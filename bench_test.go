@@ -1,0 +1,359 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation (§6), plus ablation
+// benchmarks for the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Absolute timings differ from the paper (our substrate is a pure-Go
+// simulator, not the authors' C/LLVM/SciPy stack); the benchmarks
+// document the shape: which analyses solve their problems within which
+// budgets, and how the ablations compare.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/gsl"
+	"repro/internal/instrument"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/libm"
+	"repro/internal/opt"
+	"repro/internal/paper"
+	"repro/internal/progs"
+	"repro/internal/sat"
+)
+
+// BenchmarkTable1_BackendSanity regenerates Table 1: three MO backends
+// on the boundary and path weak distances of Fig. 2.
+func BenchmarkTable1_BackendSanity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := paper.Table1(int64(i)+1, 12000)
+		if res.Rows[0].BoundaryMin != 0 {
+			b.Fatal("Basinhopping failed the sanity check")
+		}
+	}
+}
+
+// BenchmarkFig3_BoundarySampling regenerates Figure 3: the boundary
+// weak-distance graph and a Basinhopping sampling run.
+func BenchmarkFig3_BoundarySampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := paper.Fig3(int64(i)+1, 4000)
+		if f.ZeroSamples == 0 {
+			b.Fatal("no boundary values sampled")
+		}
+	}
+}
+
+// BenchmarkFig4_PathSampling regenerates Figure 4: the path
+// weak-distance graph and sampling.
+func BenchmarkFig4_PathSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := paper.Fig4(int64(i)+1, 4000)
+		if f.ZeroSamples == 0 {
+			b.Fatal("no path solutions sampled")
+		}
+	}
+}
+
+// BenchmarkFig7_CharacteristicAblation regenerates the Fig. 7 ablation:
+// the graded weak distance must solve the problem; the flat
+// characteristic function degenerates into random testing.
+func BenchmarkFig7_CharacteristicAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := paper.Fig7(int64(i)+1, 20000)
+		if !r.GradedFound {
+			b.Fatal("graded weak distance failed")
+		}
+	}
+}
+
+// BenchmarkFig9_SinConvergence regenerates the Figure 9 series: number
+// of sin boundary conditions triggered versus samples. The run is sized
+// to reach all 8 reachable conditions.
+func BenchmarkFig9_SinConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := paper.SinBoundaryStudy(int64(i)+1, 64, 4000)
+		n := len(s.Report.Progress)
+		if n == 0 || s.Report.Progress[n-1].Conditions < 8 {
+			b.Fatalf("reached %d conditions, want 8", s.Report.Progress[n-1].Conditions)
+		}
+	}
+}
+
+// BenchmarkTable2_SinBVA regenerates Table 2: per-condition boundary
+// value statistics for the glibc sin port.
+func BenchmarkTable2_SinBVA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := paper.SinBoundaryStudy(int64(i)+1, 64, 4000)
+		if s.Report.SoundnessViolations != 0 {
+			b.Fatal("unsound boundary values")
+		}
+		_ = s.FormatTable2()
+	}
+}
+
+// BenchmarkTable3_Bessel runs Algorithm 3 on the Bessel benchmark (one
+// Table 3 row; the |O| >= 21 headline).
+func BenchmarkTable3_Bessel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := analysis.DetectOverflows(gsl.BesselProgram(), analysis.OverflowOptions{
+			Seed: int64(i) + 1, EvalsPerRound: 6000,
+		})
+		if len(rep.Findings) < 21 {
+			b.Fatalf("found %d overflows, want >= 21", len(rep.Findings))
+		}
+	}
+}
+
+// BenchmarkTable3_Hyperg runs Algorithm 3 on the hyperg benchmark.
+func BenchmarkTable3_Hyperg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := analysis.DetectOverflows(gsl.Hyperg2F0Program(), analysis.OverflowOptions{
+			Seed: int64(i) + 1, EvalsPerRound: 6000,
+		})
+		if len(rep.Findings) == 0 {
+			b.Fatal("no overflows found")
+		}
+	}
+}
+
+// BenchmarkTable3_Airy runs Algorithm 3 on the Airy benchmark.
+func BenchmarkTable3_Airy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := analysis.DetectOverflows(gsl.AiryAiProgram(), analysis.OverflowOptions{
+			Seed: int64(i) + 1, EvalsPerRound: 6000,
+		})
+		if len(rep.Findings) == 0 {
+			b.Fatal("no overflows found")
+		}
+	}
+}
+
+// BenchmarkTable4_BesselPerOp regenerates Table 4: per-operation
+// overflow inputs for the Bessel function, verifying each finding by
+// replay.
+func BenchmarkTable4_BesselPerOp(b *testing.B) {
+	p := gsl.BesselProgram()
+	for i := 0; i < b.N; i++ {
+		rep := analysis.DetectOverflows(p, analysis.OverflowOptions{
+			Seed: int64(i) + 1, EvalsPerRound: 6000,
+		})
+		mon := instrument.NewOverflow()
+		for _, f := range rep.Findings {
+			for id := range mon.L {
+				delete(mon.L, id)
+			}
+			for _, op := range p.Ops {
+				if op.ID != f.Site {
+					mon.L[op.ID] = true
+				}
+			}
+			if p.Execute(mon, f.Input) != 0 {
+				b.Fatalf("finding at site %d does not replay", f.Site)
+			}
+		}
+	}
+}
+
+// BenchmarkTable5_InconsistencyReplay regenerates Table 5: the full GSL
+// pipeline with inconsistency classification and confirmed-bug replay.
+func BenchmarkTable5_InconsistencyReplay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := paper.GSLStudy(int64(i)+1, 6000)
+		var airy paper.Table3Row
+		for _, r := range res.Rows {
+			if r.File == "airy" {
+				airy = r
+			}
+		}
+		if airy.Bugs != 2 {
+			b.Fatalf("airy bugs = %d, want 2", airy.Bugs)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// BenchmarkAblation_StopAtZero measures the early-termination contract
+// (§4.4 remark): stopping the moment W = 0 is sampled versus running
+// the full budget.
+func BenchmarkAblation_StopAtZero(b *testing.B) {
+	p := progs.Fig2()
+	w := opt.Objective(p.WeakDistance(&instrument.Boundary{}))
+	cfgBase := opt.Config{MaxEvals: 20000, Bounds: []opt.Bound{{Lo: -100, Hi: 100}}}
+	b.Run("stop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := cfgBase
+			cfg.Seed = int64(i) + 1
+			cfg.StopAtZero = true
+			(&opt.Basinhopping{}).Minimize(w, 1, cfg)
+		}
+	})
+	b.Run("nostop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := cfgBase
+			cfg.Seed = int64(i) + 1
+			(&opt.Basinhopping{}).Minimize(w, 1, cfg)
+		}
+	})
+}
+
+// BenchmarkAblation_ULPvsReal compares the ULP and real-valued atom
+// distances on the motivating SAT constraint (§7 / Limitation 2).
+func BenchmarkAblation_ULPvsReal(b *testing.B) {
+	f, _, err := sat.Parse("x < 1 && x + 1 >= 2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := []opt.Bound{{Lo: -4, Hi: 4}}
+	run := func(b *testing.B, real bool) {
+		for i := 0; i < b.N; i++ {
+			r := sat.Solve(f, sat.Options{
+				Seed: int64(i) + 1, Starts: 4, EvalsPerStart: 10000,
+				Bounds: bounds, RealDist: real,
+			})
+			if r.Verdict != sat.Sat {
+				b.Fatal("constraint not solved")
+			}
+		}
+	}
+	b.Run("ulp", func(b *testing.B) { run(b, false) })
+	b.Run("real", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblation_Backends compares the MO backends on the Fig. 2
+// boundary problem under equal budgets.
+func BenchmarkAblation_Backends(b *testing.B) {
+	p := progs.Fig2()
+	w := opt.Objective(p.WeakDistance(&instrument.Boundary{}))
+	for _, m := range []opt.Minimizer{
+		&opt.Basinhopping{},
+		&opt.DifferentialEvolution{InitSpan: 100},
+		&opt.Powell{},
+		&opt.RandomSearch{},
+		&opt.SimulatedAnnealing{},
+	} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.Minimize(w, 1, opt.Config{
+					Seed: int64(i) + 1, MaxEvals: 10000,
+					Bounds:     []opt.Bound{{Lo: -100, Hi: 100}},
+					StopAtZero: true,
+				})
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+// BenchmarkWeakDistanceEval measures the cost of one weak-distance
+// evaluation on the native ports (the unit the MO budgets are
+// denominated in).
+func BenchmarkWeakDistanceEval(b *testing.B) {
+	cases := []struct {
+		name string
+		w    func([]float64) float64
+		x    []float64
+	}{
+		{"fig2/boundary", progs.Fig2().WeakDistance(&instrument.Boundary{}), []float64{0.5}},
+		{"sin/boundary", libm.SinProgram().WeakDistance(&instrument.Boundary{}), []float64{0.5}},
+		{"bessel/overflow", gsl.BesselProgram().WeakDistance(instrument.NewOverflow()), []float64{1.5, 2.5}},
+		{"airy/overflow", gsl.AiryAiProgram().WeakDistance(instrument.NewOverflow()), []float64{-1.5}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.w(c.x)
+			}
+		})
+	}
+}
+
+// BenchmarkInterpreterVsNative compares the DSL-interpreted Fig. 2
+// against the native port under the same monitor (the cost of the
+// compiler substrate).
+func BenchmarkInterpreterVsNative(b *testing.B) {
+	const src = `
+func prog(x double) {
+    if (x <= 1.0) { x = x + 1.0; }
+    var y double = x * x;
+    if (y <= 4.0) { x = x - 1.0; }
+}`
+	mod, err := ir.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dsl, err := interp.New(mod).Program("prog")
+	if err != nil {
+		b.Fatal(err)
+	}
+	native := progs.Fig2()
+	mon := &instrument.Boundary{}
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dsl.Execute(mon, []float64{0.5})
+		}
+	})
+	b.Run("native", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			native.Execute(mon, []float64{0.5})
+		}
+	})
+}
+
+// BenchmarkXSatMotivating measures end-to-end SAT solving of the §1
+// constraint.
+func BenchmarkXSatMotivating(b *testing.B) {
+	f, _, err := sat.Parse("x < 1 && x + 1 >= 2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r := sat.Solve(f, sat.Options{
+			Seed: int64(i) + 1, Starts: 4, EvalsPerStart: 10000,
+			Bounds: []opt.Bound{{Lo: -4, Hi: 4}},
+		})
+		if r.Verdict != sat.Sat {
+			b.Fatal("not solved")
+		}
+	}
+}
+
+// BenchmarkCoverageFig2 measures CoverMe-style branch coverage on
+// Fig. 2 (Instance 4).
+func BenchmarkCoverageFig2(b *testing.B) {
+	p := progs.Fig2()
+	for i := 0; i < b.N; i++ {
+		rep := analysis.Cover(p, analysis.CoverOptions{
+			Seed: int64(i) + 1, Bounds: []opt.Bound{{Lo: -1000, Hi: 1000}},
+		})
+		if rep.Ratio() != 1 {
+			b.Fatalf("coverage %v", rep.Ratio())
+		}
+	}
+}
+
+// BenchmarkAblation_HighPrecisionBoundary compares the plain float64
+// multiplicative boundary distance against the scaled double-double
+// accumulator (the §5.2 higher-precision mitigation in internal/dd).
+func BenchmarkAblation_HighPrecisionBoundary(b *testing.B) {
+	p := libm.SinProgram()
+	for _, hp := range []bool{false, true} {
+		name := "plain"
+		if hp {
+			name = "double-double"
+		}
+		b.Run(name, func(b *testing.B) {
+			w := p.WeakDistance(&instrument.Boundary{HighPrecision: hp})
+			for i := 0; i < b.N; i++ {
+				(&opt.Basinhopping{}).Minimize(opt.Objective(w), 1, opt.Config{
+					Seed: int64(i) + 1, MaxEvals: 4000, StopAtZero: true,
+				})
+			}
+		})
+	}
+}

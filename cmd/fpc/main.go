@@ -1,0 +1,90 @@
+// Command fpc is the FPL compiler driver: parse, type-check, lower to
+// IR, inspect instrumentation sites, and run programs concretely.
+//
+// Usage:
+//
+//	fpc -dump-ir prog.fpl
+//	fpc -sites prog.fpl
+//	fpc -run prog -args 1.5,2.5 prog.fpl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func main() {
+	var (
+		dumpIR = flag.Bool("dump-ir", false, "print the lowered IR")
+		sites  = flag.Bool("sites", false, "print instrumentation site tables")
+		run    = flag.String("run", "", "execute the named function")
+		args   = flag.String("args", "", "comma-separated float inputs for -run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: fpc [flags] file.fpl"))
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	mod, err := ir.Compile(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	did := false
+	if *dumpIR {
+		fmt.Print(mod.String())
+		did = true
+	}
+	if *sites {
+		fmt.Printf("floating-point operation sites (%d):\n", len(mod.OpSites))
+		for _, op := range mod.OpSites {
+			fmt.Printf("  op#%-4d %s\n", op.ID, op.Label)
+		}
+		fmt.Printf("branch sites (%d):\n", len(mod.BranchSites))
+		for _, b := range mod.BranchSites {
+			fmt.Printf("  br#%-4d %s\n", b.ID, b.Label)
+		}
+		did = true
+	}
+	if *run != "" {
+		var in []float64
+		if *args != "" {
+			for _, part := range strings.Split(*args, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad -args: %v", err))
+				}
+				in = append(in, v)
+			}
+		}
+		it := interp.New(mod)
+		out, err := it.Run(*run, in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s(%v) = %.17g\n", *run, in, out)
+		for _, f := range it.Failures {
+			fmt.Println("assertion failure:", f)
+		}
+		did = true
+	}
+	if !did {
+		// Default: report a successful compile with a summary.
+		fmt.Printf("%s: %d function(s), %d FP operation sites, %d branch sites\n",
+			flag.Arg(0), len(mod.Order), len(mod.OpSites), len(mod.BranchSites))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpc:", err)
+	os.Exit(1)
+}

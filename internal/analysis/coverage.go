@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/instrument"
+	"repro/internal/opt"
+	"repro/internal/rt"
+)
+
+// CoverOptions configures Cover.
+type CoverOptions struct {
+	// Seed makes the run deterministic.
+	Seed int64
+	// EvalsPerRound bounds evaluations per minimization round; zero
+	// selects 4000.
+	EvalsPerRound int
+	// MaxStall stops after this many consecutive rounds without new
+	// coverage; zero selects 6.
+	MaxStall int
+	// Backend is the MO backend; nil selects Basinhopping.
+	Backend opt.Minimizer
+	// Bounds optionally restricts the input space.
+	Bounds []opt.Bound
+	// ULP selects ULP branch distances.
+	ULP bool
+}
+
+func (o CoverOptions) evalsPerRound() int {
+	if o.EvalsPerRound > 0 {
+		return o.EvalsPerRound
+	}
+	return 4000
+}
+
+func (o CoverOptions) maxStall() int {
+	if o.MaxStall > 0 {
+		return o.MaxStall
+	}
+	return 6
+}
+
+func (o CoverOptions) backend() opt.Minimizer {
+	if o.Backend != nil {
+		return o.Backend
+	}
+	return &opt.Basinhopping{}
+}
+
+// CoverReport is the result of branch-coverage testing.
+type CoverReport struct {
+	// Covered lists the covered branch sides.
+	Covered []instrument.Side
+	// Total is 2 × number of branch sites (each site has two sides).
+	Total int
+	// Inputs maps each covered side to the input that first covered it.
+	Inputs map[instrument.Side][]float64
+	// Rounds and Evals account for the search effort.
+	Rounds int
+	Evals  int
+}
+
+// Ratio returns covered/total.
+func (r *CoverReport) Ratio() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(len(r.Covered)) / float64(r.Total)
+}
+
+// Cover implements branch-coverage-based testing (§2 Instance 4, the
+// CoverMe construction): it grows the covered set B by repeatedly
+// minimizing the coverage weak distance, which is zero exactly on
+// inputs taking some branch side outside B.
+func Cover(p *rt.Program, o CoverOptions) *CoverReport {
+	mon := instrument.NewCoverage()
+	mon.ULP = o.ULP
+	rec := &instrument.RecordNewSides{Covered: mon.Covered}
+	w := p.WeakDistance(mon)
+	rep := &CoverReport{
+		Total:  2 * len(p.Branches),
+		Inputs: map[instrument.Side][]float64{},
+	}
+
+	backend := o.backend()
+	stall := 0
+	for stall < o.maxStall() && len(mon.Covered) < rep.Total {
+		rep.Rounds++
+		cfg := opt.Config{
+			Seed:       o.Seed + int64(rep.Rounds)*15485863,
+			MaxEvals:   o.evalsPerRound(),
+			Bounds:     o.Bounds,
+			StopAtZero: true,
+		}
+		r := backend.Minimize(opt.Objective(w), p.Dim, cfg)
+		rep.Evals += r.Evals
+		if !r.FoundZero {
+			stall++
+			continue
+		}
+		// Replay the solution to find which sides it covers, and merge.
+		p.Execute(rec, r.X)
+		sides := rec.Sides()
+		if len(sides) == 0 {
+			stall++
+			continue
+		}
+		stall = 0
+		for _, s := range sides {
+			mon.Covered[s] = true
+			rep.Covered = append(rep.Covered, s)
+			in := make([]float64, len(r.X))
+			copy(in, r.X)
+			rep.Inputs[s] = in
+		}
+	}
+	sort.Slice(rep.Covered, func(i, j int) bool {
+		a, b := rep.Covered[i], rep.Covered[j]
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Taken && !b.Taken
+	})
+	return rep
+}

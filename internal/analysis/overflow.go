@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"time"
+
+	"repro/internal/instrument"
+	"repro/internal/opt"
+	"repro/internal/rt"
+)
+
+// OverflowOptions configures DetectOverflows (Algorithm 3).
+type OverflowOptions struct {
+	// Seed makes the run deterministic.
+	Seed int64
+	// EvalsPerRound bounds weak-distance evaluations per minimization
+	// round (step 5); zero selects 6000.
+	EvalsPerRound int
+	// MaxRounds caps minimization rounds beyond the |L| <= nOps
+	// guarantee; zero selects 3 * number of operation sites.
+	MaxRounds int
+	// Backend is the MO backend; nil selects Basinhopping (as in the
+	// paper's fpod).
+	Backend opt.Minimizer
+	// Bounds optionally restricts the input space.
+	Bounds []opt.Bound
+	// RetriesPerTarget relaunches from fresh starting points when a
+	// round ends with a positive minimum, before giving the target up
+	// (§6.3.1: "we relaunch Basinhopping with other starting points in
+	// case that failing to find a minimum 0 is due to incompleteness");
+	// zero selects 3.
+	RetriesPerTarget int
+}
+
+func (o OverflowOptions) evalsPerRound() int {
+	if o.EvalsPerRound > 0 {
+		return o.EvalsPerRound
+	}
+	return 6000
+}
+
+func (o OverflowOptions) backend() opt.Minimizer {
+	if o.Backend != nil {
+		return o.Backend
+	}
+	return &opt.Basinhopping{}
+}
+
+func (o OverflowOptions) retries() int {
+	if o.RetriesPerTarget > 0 {
+		return o.RetriesPerTarget
+	}
+	return 3
+}
+
+// OverflowFinding is one detected overflow: the operation site and an
+// input triggering it (a row of Table 4).
+type OverflowFinding struct {
+	Site  int
+	Label string
+	Input []float64
+}
+
+// OverflowReport is the result of Algorithm 3.
+type OverflowReport struct {
+	// Findings lists one overflow per detected site, in detection
+	// order.
+	Findings []OverflowFinding
+	// Missed lists operation sites for which no overflow was found
+	// (unreachable overflows or incompleteness — Table 4's "missed").
+	Missed []int
+	// Ops is the total number of operation sites (|Op| of Table 3).
+	Ops int
+	// Rounds counts minimization rounds; Evals total weak-distance
+	// evaluations.
+	Rounds int
+	Evals  int
+	// Duration is the wall-clock analysis time (Table 3's T column).
+	Duration time.Duration
+}
+
+// Found reports whether the site has a detected overflow.
+func (r *OverflowReport) Found(site int) bool {
+	for _, f := range r.Findings {
+		if f.Site == site {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectOverflows implements Algorithm 3 (the paper's fpod): it tracks
+// the set L of handled operation sites, repeatedly minimizes the
+// overflow weak distance (which targets the last executed site outside
+// L), records an input for every site driven to overflow, and
+// terminates when every site is tracked.
+func DetectOverflows(p *rt.Program, o OverflowOptions) *OverflowReport {
+	start := time.Now()
+	mon := instrument.NewOverflow()
+	w := p.WeakDistance(mon)
+	rep := &OverflowReport{Ops: len(p.Ops)}
+	labels := map[int]string{}
+	for _, op := range p.Ops {
+		labels[op.ID] = op.Label
+	}
+
+	maxRounds := o.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 3 * len(p.Ops)
+	}
+	backend := o.backend()
+	retriesLeft := o.retries()
+
+	for rep.Rounds = 0; rep.Rounds < maxRounds && len(mon.L) < len(p.Ops); rep.Rounds++ {
+		// Steps 4-5: minimize from a fresh random starting point.
+		cfg := opt.Config{
+			Seed:       o.Seed + int64(rep.Rounds)*104729,
+			MaxEvals:   o.evalsPerRound(),
+			Bounds:     o.Bounds,
+			StopAtZero: true,
+		}
+		r := backend.Minimize(opt.Objective(w), p.Dim, cfg)
+		rep.Evals += r.Evals
+
+		// Step 7: replay the minimum point to identify the targeted
+		// instruction (the last untracked site the execution reached).
+		w(r.X)
+		target := mon.LastSite()
+
+		if r.FoundZero && target >= 0 {
+			// Step 6: a genuine overflow at the target.
+			rep.Findings = append(rep.Findings, OverflowFinding{
+				Site:  target,
+				Label: labels[target],
+				Input: r.X,
+			})
+			mon.L[target] = true
+			retriesLeft = o.retries()
+			continue
+		}
+
+		if target < 0 {
+			// Every site the execution reaches is already tracked; a
+			// fresh random start may reach others, but if the whole
+			// round made no progress repeatedly, stop early.
+			if retriesLeft--; retriesLeft < 0 {
+				break
+			}
+			continue
+		}
+
+		// Positive minimum: possibly incompleteness. Retry the same
+		// target from other starting points before giving it up
+		// (adding it to L per the Algorithm 3 termination argument).
+		if retriesLeft > 0 {
+			retriesLeft--
+			continue
+		}
+		mon.L[target] = true
+		retriesLeft = o.retries()
+	}
+
+	for _, op := range p.Ops {
+		if !rep.Found(op.ID) {
+			rep.Missed = append(rep.Missed, op.ID)
+		}
+	}
+	rep.Duration = time.Since(start)
+	return rep
+}

@@ -1,0 +1,175 @@
+// Package cli carries the shared plumbing of the command-line tools:
+// loading FPL programs from disk, resolving built-in benchmark
+// programs, and parsing bound/path specifications.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/gsl"
+	"repro/internal/instrument"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/libm"
+	"repro/internal/opt"
+	"repro/internal/progs"
+	"repro/internal/rt"
+)
+
+// builtins maps names accepted by -builtin to program constructors.
+var builtins = map[string]func() *rt.Program{
+	"fig1a":  progs.Fig1a,
+	"fig1b":  progs.Fig1b,
+	"fig2":   progs.Fig2,
+	"eqzero": progs.EqZero,
+	"sin":    libm.SinProgram,
+	"bessel": gsl.BesselProgram,
+	"hyperg": gsl.Hyperg2F0Program,
+	"airy":   gsl.AiryAiProgram,
+}
+
+// BuiltinNames lists the available built-in programs.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Builtin resolves a built-in program by name.
+func Builtin(name string) (*rt.Program, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown builtin %q (available: %s)",
+			name, strings.Join(BuiltinNames(), ", "))
+	}
+	return mk(), nil
+}
+
+// LoadFPL compiles an FPL source file and wraps the named function
+// (empty = sole or first function) as an instrumentable program.
+func LoadFPL(path, fn string) (*interp.Interp, *rt.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	mod, err := ir.Compile(string(src))
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if fn == "" {
+		fn = mod.Order[0]
+	}
+	it := interp.New(mod)
+	p, err := it.Program(fn)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it, p, nil
+}
+
+// Resolve loads either a built-in (-builtin name) or an FPL file.
+func Resolve(builtin, file, fn string) (*rt.Program, error) {
+	switch {
+	case builtin != "" && file != "":
+		return nil, fmt.Errorf("use either -builtin or a source file, not both")
+	case builtin != "":
+		return Builtin(builtin)
+	case file != "":
+		_, p, err := LoadFPL(file, fn)
+		return p, err
+	}
+	return nil, fmt.Errorf("no program: pass -builtin NAME or a source file (builtins: %s)",
+		strings.Join(BuiltinNames(), ", "))
+}
+
+// ParseBounds reads "lo:hi[,lo:hi...]" into per-dimension bounds; a
+// single pair is broadcast over dim dimensions.
+func ParseBounds(spec string, dim int) ([]opt.Bound, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	var bs []opt.Bound
+	for _, part := range parts {
+		lohi := strings.Split(part, ":")
+		if len(lohi) != 2 {
+			return nil, fmt.Errorf("bad bound %q, want lo:hi", part)
+		}
+		lo, err := strconv.ParseFloat(strings.TrimSpace(lohi[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bound %q: %v", part, err)
+		}
+		hi, err := strconv.ParseFloat(strings.TrimSpace(lohi[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bound %q: %v", part, err)
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("bad bound %q: lo > hi", part)
+		}
+		bs = append(bs, opt.Bound{Lo: lo, Hi: hi})
+	}
+	if len(bs) == 1 && dim > 1 {
+		for len(bs) < dim {
+			bs = append(bs, bs[0])
+		}
+	}
+	if len(bs) != dim {
+		return nil, fmt.Errorf("%d bounds for %d dimensions", len(bs), dim)
+	}
+	return bs, nil
+}
+
+// ParsePath reads "site:t,site:f,..." into a decision sequence.
+func ParsePath(spec string) ([]instrument.Decision, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("empty path; want e.g. 0:t,1:f")
+	}
+	var ds []instrument.Decision
+	for _, part := range strings.Split(spec, ",") {
+		sv := strings.Split(strings.TrimSpace(part), ":")
+		if len(sv) != 2 {
+			return nil, fmt.Errorf("bad decision %q, want site:t or site:f", part)
+		}
+		site, err := strconv.Atoi(sv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad site in %q: %v", part, err)
+		}
+		var taken bool
+		switch strings.ToLower(sv[1]) {
+		case "t", "true", "1":
+			taken = true
+		case "f", "false", "0":
+			taken = false
+		default:
+			return nil, fmt.Errorf("bad outcome in %q, want t or f", part)
+		}
+		ds = append(ds, instrument.Decision{Site: site, Taken: taken})
+	}
+	return ds, nil
+}
+
+// Backend resolves a backend name.
+func Backend(name string) (opt.Minimizer, error) {
+	switch strings.ToLower(name) {
+	case "", "basinhopping", "bh":
+		return &opt.Basinhopping{}, nil
+	case "de", "differentialevolution":
+		return &opt.DifferentialEvolution{}, nil
+	case "powell":
+		return &opt.Powell{}, nil
+	case "random", "randomsearch":
+		return &opt.RandomSearch{}, nil
+	case "neldermead", "nm":
+		return &opt.NelderMead{}, nil
+	case "anneal", "sa", "simulatedannealing":
+		return &opt.SimulatedAnnealing{}, nil
+	}
+	return nil, fmt.Errorf("unknown backend %q (basinhopping, de, powell, random, neldermead, anneal)", name)
+}

@@ -1,0 +1,156 @@
+// Package core implements the reduction theory of Fu & Su (PLDI 2019):
+// a floating-point analysis problem ⟨Prog; S⟩ — find an input in S or
+// report "not found" — is solved by minimizing a weak distance W
+// (Def. 3.1), a nonnegative program whose zeros are exactly S. Theorem
+// 3.3 guarantees the reduction is faithful: minimizing W solves the
+// problem in the sense of Def. 2.1(a-b).
+//
+// The package provides Algorithm 2 (Solve) on top of the black-box MO
+// backends of internal/opt, with two practical refinements discussed in
+// the paper's §5:
+//
+//   - multi-start minimization (§4.1: local MO applied over a set of
+//     starting points), and
+//   - an optional membership re-verification of the returned point
+//     (§5.2 remark), which restores soundness when the constructed W has
+//     spurious zeros due to floating-point inaccuracy (Limitation 2).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/opt"
+)
+
+// WeakDistance is a weak-distance program W : F^N → F (Def. 3.1). The
+// framework never inspects it symbolically — it only executes it, which
+// is the key practical benefit of the reduction (§1).
+type WeakDistance func(x []float64) float64
+
+// Problem packages a floating-point analysis problem ⟨Prog; S⟩ together
+// with its constructed weak distance.
+type Problem struct {
+	// Name identifies the problem in reports.
+	Name string
+	// Dim is N, the input arity (dom(Prog) = F^N).
+	Dim int
+	// W is the weak distance constructed for the problem (Algorithm 2
+	// step 1).
+	W WeakDistance
+	// Member, when non-nil, decides x ∈ S by concrete execution. It is
+	// the soundness guard of §5.2: a zero of W whose membership check
+	// fails is rejected instead of being reported as a spurious
+	// solution.
+	Member func(x []float64) bool
+}
+
+// Options configures the Solve driver.
+type Options struct {
+	// Backend is the MO minimizer; nil selects Basinhopping.
+	Backend opt.Minimizer
+	// Starts is the number of random restarts; zero selects 8.
+	Starts int
+	// EvalsPerStart bounds evaluations per restart; zero selects
+	// 20000 * Dim.
+	EvalsPerStart int
+	// Seed makes the run deterministic.
+	Seed int64
+	// Bounds optionally restricts the search space per dimension.
+	Bounds []opt.Bound
+	// Trace records every W evaluation across all restarts.
+	Trace *opt.Trace
+}
+
+func (o Options) backend() opt.Minimizer {
+	if o.Backend != nil {
+		return o.Backend
+	}
+	return &opt.Basinhopping{}
+}
+
+func (o Options) starts() int {
+	if o.Starts > 0 {
+		return o.Starts
+	}
+	return 8
+}
+
+func (o Options) evalsPerStart(dim int) int {
+	if o.EvalsPerStart > 0 {
+		return o.EvalsPerStart
+	}
+	return 20000 * dim
+}
+
+// Result is the outcome of Algorithm 2.
+type Result struct {
+	// Found reports whether a solution was returned (W(x*) = 0 and, when
+	// a Member oracle is present, x* ∈ S).
+	Found bool
+	// X is the solution when Found.
+	X []float64
+	// W is the smallest weak-distance value sampled.
+	W float64
+	// Evals is the total number of W evaluations across restarts.
+	Evals int
+	// Restarts is the number of restarts actually used.
+	Restarts int
+	// Rejected counts zeros of W rejected by the membership guard
+	// (evidence of Limitation 2 in the constructed weak distance).
+	Rejected int
+}
+
+// String renders the result in the paper's reporting style.
+func (r Result) String() string {
+	if r.Found {
+		return fmt.Sprintf("found x*=%v (W=0, %d evals, %d restarts)", r.X, r.Evals, r.Restarts)
+	}
+	return fmt.Sprintf("not found (min W=%.6g, %d evals, %d restarts, %d rejected)", r.W, r.Evals, r.Restarts, r.Rejected)
+}
+
+// Solve runs Algorithm 2 (weak-distance minimization) on the problem:
+// minimize W from multiple random starts; return the first sampled exact
+// zero, or "not found" when the budget expires with a positive minimum.
+//
+// Per Theorem 3.3 the procedure is exact up to the MO backend's ability
+// to reach global minima: a returned point is always in S (soundness,
+// enforced by construction and optionally by the Member guard); "not
+// found" may be incomplete when the backend misses a zero
+// (Limitation 3).
+func Solve(p Problem, o Options) Result {
+	if p.Dim < 1 {
+		return Result{W: math.Inf(1)}
+	}
+	backend := o.backend()
+	res := Result{W: math.Inf(1)}
+
+	for s := 0; s < o.starts(); s++ {
+		cfg := opt.Config{
+			Seed:       o.Seed + int64(s)*1000003,
+			MaxEvals:   o.evalsPerStart(p.Dim),
+			Bounds:     o.Bounds,
+			StopAtZero: true,
+			Trace:      o.Trace,
+		}
+		r := backend.Minimize(opt.Objective(p.W), p.Dim, cfg)
+		res.Evals += r.Evals
+		res.Restarts++
+		if r.F < res.W {
+			res.W = r.F
+		}
+		if r.FoundZero {
+			// Soundness guard (§5.2): confirm membership by concrete
+			// execution when an oracle is available.
+			if p.Member != nil && !p.Member(r.X) {
+				res.Rejected++
+				continue
+			}
+			res.Found = true
+			res.X = r.X
+			res.W = 0
+			return res
+		}
+	}
+	return res
+}

@@ -1,0 +1,180 @@
+package dd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoSumExact(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		s, e := twoSum(a, b)
+		if math.IsInf(s, 0) {
+			return true // overflow: transformation not applicable
+		}
+		// s + e == a + b exactly; checked by re-summation in both orders.
+		return s+e == a+b || e == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoProdExact(t *testing.T) {
+	// The FMA residual recovers the exact product error.
+	cases := [][2]float64{
+		{0.1, 0.2}, {1e8 + 1, 1e8 - 1}, {math.Pi, math.E}, {1.5, 2.5},
+	}
+	for _, c := range cases {
+		p, e := twoProd(c[0], c[1])
+		got := Add(FromFloat(p), FromFloat(e))
+		// Verify p is the rounding of the true product (e is the error).
+		if p != c[0]*c[1] {
+			t.Errorf("p mismatch for %v", c)
+		}
+		if got.Hi != p {
+			t.Errorf("renormalization moved the head for %v", c)
+		}
+	}
+}
+
+func TestAddCarriesExtraPrecision(t *testing.T) {
+	// 1 + 1e-30 is invisible in float64 but visible in double-double.
+	a := Add(FromFloat(1), FromFloat(1e-30))
+	if a.Hi != 1 || a.Lo != 1e-30 {
+		t.Errorf("a = %+v", a)
+	}
+	b := Sub(a, FromFloat(1))
+	if b.Float() != 1e-30 {
+		t.Errorf("recovered %v, want 1e-30", b.Float())
+	}
+}
+
+func TestMulPrecision(t *testing.T) {
+	// (1 + 2^-53)² = 1 + 2^-52 + 2^-106: double-double keeps the middle
+	// term exactly.
+	x := Add(FromFloat(1), FromFloat(math.Ldexp(1, -53)))
+	sq := Mul(x, x)
+	want := Add(FromFloat(1), FromFloat(math.Ldexp(1, -52)))
+	diff := Sub(sq, want).Float()
+	if math.Abs(diff) > math.Ldexp(1, -100) {
+		t.Errorf("square error %g", diff)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	one := FromFloat(1)
+	onePlus := Add(one, FromFloat(1e-30))
+	if Cmp(one, onePlus) != -1 || Cmp(onePlus, one) != 1 || Cmp(one, one) != 0 {
+		t.Error("Cmp ordering broken at sub-ulp resolution")
+	}
+}
+
+func TestScaledProductNoUnderflow(t *testing.T) {
+	// 10 factors of 1e-70 underflow to 0 in plain float64 (1e-700), but
+	// the scaled product stays positive.
+	plain := 1.0
+	p := NewScaledProduct()
+	for i := 0; i < 10; i++ {
+		plain *= 1e-70
+		p.MulFactor(1e-70)
+	}
+	if plain != 0 {
+		t.Fatalf("test premise: plain product should underflow, got %g", plain)
+	}
+	if p.IsZero() {
+		t.Fatal("scaled product spuriously zero")
+	}
+	if v := p.Value(); v <= 0 {
+		t.Errorf("Value() = %v, want positive", v)
+	}
+	if got := p.Log2(); math.Abs(got-(-700/math.Log10(2))) > 1 {
+		t.Errorf("Log2 = %v, want ≈ %v", got, -700/math.Log10(2))
+	}
+}
+
+func TestScaledProductNoOverflow(t *testing.T) {
+	p := NewScaledProduct()
+	for i := 0; i < 10; i++ {
+		p.MulFactor(1e300)
+	}
+	if v := p.Value(); math.IsInf(v, 0) || v != math.MaxFloat64 {
+		t.Errorf("Value() = %v, want saturation at MaxFloat64", v)
+	}
+}
+
+func TestScaledProductExactZero(t *testing.T) {
+	p := NewScaledProduct()
+	p.MulFactor(0.5)
+	p.MulFactor(0)
+	p.MulFactor(123)
+	if !p.IsZero() || p.Value() != 0 {
+		t.Error("zero factor must make the product exactly zero")
+	}
+	if !math.IsInf(p.Log2(), -1) {
+		t.Error("Log2 of zero should be -Inf")
+	}
+}
+
+func TestScaledProductZeroIffFactorZero(t *testing.T) {
+	prop := func(fs []float64) bool {
+		p := NewScaledProduct()
+		anyZero := false
+		anyNaN := false
+		for _, f := range fs {
+			f = math.Abs(f)
+			if math.IsNaN(f) {
+				anyNaN = true
+			}
+			if f == 0 {
+				anyZero = true
+			}
+			p.MulFactor(f)
+		}
+		if anyNaN {
+			return true // NaN saturates; zero state may have preceded it
+		}
+		return p.IsZero() == anyZero && (p.Value() == 0) == anyZero
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaledProductMatchesPlainInRange(t *testing.T) {
+	// For well-scaled factors the scaled product agrees with the plain
+	// one to high relative accuracy.
+	p := NewScaledProduct()
+	plain := 1.0
+	for _, f := range []float64{2.5, 0.125, 3.75, 1.0, 9.5, 0.004} {
+		p.MulFactor(f)
+		plain *= f
+	}
+	if rel := math.Abs(p.Value()-plain) / plain; rel > 1e-15 {
+		t.Errorf("scaled %v vs plain %v (rel %g)", p.Value(), plain, rel)
+	}
+}
+
+func TestScaledProductReset(t *testing.T) {
+	p := NewScaledProduct()
+	p.MulFactor(0)
+	p.Reset()
+	p.MulFactor(2)
+	if p.IsZero() || p.Value() != 2 {
+		t.Errorf("after reset: %v", p.Value())
+	}
+}
+
+func TestScaledProductInfFactor(t *testing.T) {
+	p := NewScaledProduct()
+	p.MulFactor(math.Inf(1))
+	if p.IsZero() {
+		t.Error("inf factor must not zero the product")
+	}
+	if v := p.Value(); v != math.MaxFloat64 {
+		t.Errorf("Value = %v, want saturation", v)
+	}
+}

@@ -1,0 +1,351 @@
+package fp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbs(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{1.5, 1.5},
+		{-1.5, 1.5},
+		{0, 0},
+		{math.Inf(-1), math.Inf(1)},
+		{math.Copysign(0, -1), 0},
+	}
+	for _, c := range cases {
+		if got := Abs(c.in); got != c.want {
+			t.Errorf("Abs(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Abs(math.NaN())) {
+		t.Errorf("Abs(NaN) should be NaN")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite(1.0) || !IsFinite(-MaxFloat) || !IsFinite(0) {
+		t.Error("finite values misclassified")
+	}
+	if IsFinite(math.Inf(1)) || IsFinite(math.Inf(-1)) || IsFinite(math.NaN()) {
+		t.Error("non-finite values misclassified")
+	}
+}
+
+func TestULPDiffAdjacent(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want uint64
+	}{
+		{1.0, 1.0, 0},
+		{1.0, math.Nextafter(1.0, 2), 1},
+		{0.0, math.SmallestNonzeroFloat64, 1},
+		{0.0, math.Copysign(0, -1), 0}, // +0 and -0 share an ordKey neighborhood? see below
+		{-math.SmallestNonzeroFloat64, math.SmallestNonzeroFloat64, 2},
+	}
+	for _, c := range cases {
+		if got := ULPDiff(c.a, c.b); got != c.want {
+			t.Errorf("ULPDiff(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestULPDiffNaN(t *testing.T) {
+	if ULPDiff(math.NaN(), 1) != math.MaxUint64 {
+		t.Error("NaN must be maximally distant")
+	}
+}
+
+func TestULPDiffMetricAxioms(t *testing.T) {
+	// Symmetry and identity on random finite floats.
+	sym := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return ULPDiff(a, b) == ULPDiff(b, a)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	ident := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true
+		}
+		return ULPDiff(a, a) == 0
+	}
+	if err := quick.Check(ident, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestULPDiffTriangle(t *testing.T) {
+	tri := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		ab, bc, ac := ULPDiff(a, b), ULPDiff(b, c), ULPDiff(a, c)
+		// Guard wraparound: distances here never exceed 2^64-1 so sum may
+		// overflow; saturate.
+		sum := ab + bc
+		if sum < ab {
+			sum = math.MaxUint64
+		}
+		return ac <= sum
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestULPDiffMonotone(t *testing.T) {
+	// Moving b further from a (on the float lattice) must not decrease
+	// distance.
+	a := 1.0
+	prev := uint64(0)
+	b := a
+	for i := 0; i < 1000; i++ {
+		b = NextUp(b)
+		d := ULPDiff(a, b)
+		if d <= prev {
+			t.Fatalf("ULPDiff not strictly increasing at step %d: %d <= %d", i, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestCmpOpEvalAndString(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		a, b float64
+		want bool
+		str  string
+	}{
+		{LT, 1, 2, true, "<"},
+		{LT, 2, 1, false, "<"},
+		{LE, 2, 2, true, "<="},
+		{GT, 3, 2, true, ">"},
+		{GE, 2, 3, false, ">="},
+		{EQ, 2, 2, true, "=="},
+		{NE, 2, 2, false, "!="},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("(%v %s %v) = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+		if c.op.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.op.String(), c.str)
+		}
+	}
+}
+
+func TestCmpOpNegate(t *testing.T) {
+	neg := func(opRaw uint8, a, b float64) bool {
+		op := CmpOp(opRaw % 6)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true // IEEE NaN comparisons are all-false; Negate contract excludes NaN.
+		}
+		return op.Negate().Eval(a, b) == !op.Eval(a, b)
+	}
+	if err := quick.Check(neg, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchDistZeroIffHolds(t *testing.T) {
+	prop := func(opRaw uint8, a, b float64) bool {
+		op := CmpOp(opRaw % 6)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return math.IsInf(BranchDist(op, a, b), 1)
+		}
+		d := BranchDist(op, a, b)
+		if d < 0 {
+			return false
+		}
+		holds := op.Eval(a, b)
+		if holds {
+			return d == 0
+		}
+		return d > 0 || math.IsInf(a, 0) || math.IsInf(b, 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchDistGraded(t *testing.T) {
+	// Distances grow monotonically as the failing operand moves away.
+	for _, op := range []CmpOp{LT, LE} {
+		d1 := BranchDist(op, 2.0, 1.0) // a must become <(=) b
+		d2 := BranchDist(op, 3.0, 1.0)
+		if d2 <= d1 {
+			t.Errorf("%s: distance should grow with violation: d(2,1)=%v d(3,1)=%v", op, d1, d2)
+		}
+	}
+}
+
+func TestBranchDistStrictAtEquality(t *testing.T) {
+	// a < b fails at a==b but only barely: distance should be tiny yet
+	// strictly positive.
+	d := BranchDist(LT, 1.0, 1.0)
+	if d <= 0 {
+		t.Errorf("BranchDist(LT, 1, 1) = %v, want > 0", d)
+	}
+	if d > 1e-9 {
+		t.Errorf("BranchDist(LT, 1, 1) = %v, want tiny (graded)", d)
+	}
+}
+
+func TestBranchDistULPZeroIffHolds(t *testing.T) {
+	prop := func(opRaw uint8, a, b float64) bool {
+		op := CmpOp(opRaw % 6)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return math.IsInf(BranchDistULP(op, a, b), 1)
+		}
+		d := BranchDistULP(op, a, b)
+		if d < 0 {
+			return false
+		}
+		return op.Eval(a, b) == (d == 0)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBranchDistULPBeatsRealOnUnderflow(t *testing.T) {
+	// The paper's Limitation 2 example: with W(x) = x*x, W(1e-200) rounds
+	// to 0 even though x != 0. The real-valued |a-b| distance here is
+	// graded but can underflow in client squaring; ULP distance for the
+	// EQ comparison never vanishes unless actually equal.
+	x := 1e-200
+	if BranchDistULP(EQ, x, 0) == 0 {
+		t.Error("ULP distance must not vanish for x != 0")
+	}
+	if got := BranchDistULP(EQ, 0.0, 0.0); got != 0 {
+		t.Errorf("ULP distance at equality = %v, want 0", got)
+	}
+}
+
+func TestBoundaryDist(t *testing.T) {
+	if got := BoundaryDist(1.0, 1.0); got != 0 {
+		t.Errorf("BoundaryDist(1,1) = %v", got)
+	}
+	if got := BoundaryDist(3.0, 1.0); got != 2.0 {
+		t.Errorf("BoundaryDist(3,1) = %v", got)
+	}
+	if !math.IsInf(BoundaryDist(math.NaN(), 1), 1) {
+		t.Error("NaN should saturate to +Inf")
+	}
+	if got := BoundaryDist(math.Inf(1), math.Inf(1)); got != 0 {
+		t.Errorf("equal infinities should be distance 0, got %v", got)
+	}
+	if !math.IsInf(BoundaryDist(math.Inf(1), 1), 1) {
+		t.Error("inf vs finite should be +Inf")
+	}
+	// |a-b| overflow saturation to MaxFloat.
+	if got := BoundaryDist(MaxFloat, -MaxFloat); got != MaxFloat {
+		t.Errorf("saturation failed: %v", got)
+	}
+}
+
+func TestOverflowDist(t *testing.T) {
+	if OverflowDist(0) != MaxFloat {
+		t.Error("OverflowDist(0) should be MAX")
+	}
+	if OverflowDist(MaxFloat) != 0 {
+		t.Error("MAX itself counts as overflow boundary")
+	}
+	if OverflowDist(math.Inf(1)) != 0 || OverflowDist(math.Inf(-1)) != 0 {
+		t.Error("infinities are overflows")
+	}
+	if OverflowDist(math.NaN()) != 0 {
+		t.Error("NaN treated as triggered")
+	}
+	if d := OverflowDist(MaxFloat / 2); d <= 0 || d >= MaxFloat {
+		t.Errorf("interior value distance out of range: %v", d)
+	}
+	if !Overflowed(math.Inf(1)) || Overflowed(1.0) {
+		t.Error("Overflowed misclassification")
+	}
+}
+
+func TestOverflowDistMonotone(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if Abs(a) <= Abs(b) {
+			return OverflowDist(a) >= OverflowDist(b)
+		}
+		return OverflowDist(a) <= OverflowDist(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddULPs(t *testing.T) {
+	if got := AddULPs(1.0, 1); got != NextUp(1.0) {
+		t.Errorf("AddULPs(1,1) = %v", got)
+	}
+	if got := AddULPs(1.0, -1); got != NextDown(1.0) {
+		t.Errorf("AddULPs(1,-1) = %v", got)
+	}
+	if got := AddULPs(0.0, 1); got != math.SmallestNonzeroFloat64 {
+		t.Errorf("AddULPs(0,1) = %v", got)
+	}
+	if got := AddULPs(0.0, -1); got != -math.SmallestNonzeroFloat64 {
+		t.Errorf("AddULPs(0,-1) = %v (crossing zero)", got)
+	}
+	if got := AddULPs(MaxFloat, 5); got != MaxFloat {
+		t.Errorf("AddULPs must clamp at MaxFloat, got %v", got)
+	}
+	if !math.IsNaN(AddULPs(math.NaN(), 1)) {
+		t.Error("AddULPs(NaN, n) should stay NaN")
+	}
+}
+
+func TestAddULPsRoundTrip(t *testing.T) {
+	prop := func(x float64, nRaw int32) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		n := int64(nRaw % 1000)
+		y := AddULPs(x, n)
+		// Unless clamped at the rails, stepping back restores x.
+		if Abs(y) >= MaxFloat {
+			return true
+		}
+		return AddULPs(y, -n) == x
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddULPsConsistentWithULPDiff(t *testing.T) {
+	prop := func(x float64, nRaw uint16) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || Abs(x) >= MaxFloat/2 {
+			return true
+		}
+		n := int64(nRaw)
+		y := AddULPs(x, n)
+		return ULPDiff(x, y) == uint64(n)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextUpDown(t *testing.T) {
+	if NextUp(1.0) <= 1.0 {
+		t.Error("NextUp(1) must exceed 1")
+	}
+	if NextDown(1.0) >= 1.0 {
+		t.Error("NextDown(1) must be below 1")
+	}
+	if NextUp(NextDown(1.0)) != 1.0 {
+		t.Error("NextUp∘NextDown should round-trip")
+	}
+}

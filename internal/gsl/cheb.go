@@ -1,0 +1,80 @@
+package gsl
+
+import (
+	"math"
+
+	"repro/internal/rt"
+)
+
+// chebSeries mirrors GSL's cheb_series: Chebyshev coefficients on [a,b].
+type chebSeries struct {
+	c     []float64 // coefficients c[0..order]
+	order int
+	a, b  float64
+}
+
+// Operation sites of cheb_eval_mode_e / cheb_eval_e. The evaluator is
+// one function in GSL, so its instruction sites are shared by every
+// series it is applied to — our ports preserve that.
+const (
+	chebOp2x     = iota // 2.*x
+	chebOpSubA          // - cs.a
+	chebOpSubB          // - cs.b
+	chebOpDen           // cs.b - cs.a
+	chebOpDiv           // (…) / (…)
+	chebOpY2            // 2.0 * y
+	chebOpMul           // y2 * d          (Clenshaw loop)
+	chebOpSub           // … - dd          (Clenshaw loop)
+	chebOpAdd           // … + cs.c[j]     (Clenshaw loop)
+	chebOpFinMul        // y * d
+	chebOpFinSub        // … - dd
+	chebOpC0            // 0.5 * c[0]
+	chebOpFinAdd        // … + 0.5*c[0]
+	chebOpErrMul        // GSL_DBL_EPSILON * |val|
+	chebOpErrAdd        // … + |c[order]|
+
+	chebOpCount
+)
+
+var chebOpLabels = [chebOpCount]string{
+	chebOp2x:     "cheb_eval: 2.*x",
+	chebOpSubA:   "cheb_eval: (2.*x) - cs->a",
+	chebOpSubB:   "cheb_eval: (2.*x - cs->a) - cs->b",
+	chebOpDen:    "cheb_eval: cs->b - cs->a",
+	chebOpDiv:    "cheb_eval: y = (2.*x - cs->a - cs->b)/(cs->b - cs->a)",
+	chebOpY2:     "cheb_eval: y2 = 2.0 * y",
+	chebOpMul:    "cheb_eval: y2 * d (loop)",
+	chebOpSub:    "cheb_eval: y2*d - dd (loop)",
+	chebOpAdd:    "cheb_eval: y2*d - dd + cs->c[j] (loop)",
+	chebOpFinMul: "cheb_eval: y * d",
+	chebOpFinSub: "cheb_eval: y*d - dd",
+	chebOpC0:     "cheb_eval: 0.5 * cs->c[0]",
+	chebOpFinAdd: "cheb_eval: y*d - dd + 0.5*cs->c[0]",
+	chebOpErrMul: "cheb_eval: GSL_DBL_EPSILON * fabs(val)",
+	chebOpErrAdd: "cheb_eval: err + fabs(cs->c[order])",
+}
+
+// chebEvalMode ports cheb_eval_mode_e: the Clenshaw recurrence with
+// GSL's exact operation order and error estimate. base offsets the
+// shared cheb sites into the calling program's site space.
+func chebEvalMode(ctx *rt.Ctx, base int, cs *chebSeries, x float64, result *Result) Status {
+	d := 0.0
+	dd := 0.0
+	y := ctx.Op(base+chebOpDiv,
+		ctx.Op(base+chebOpSubB,
+			ctx.Op(base+chebOpSubA, ctx.Op(base+chebOp2x, 2.*x)-cs.a)-cs.b)/
+			ctx.Op(base+chebOpDen, cs.b-cs.a))
+	y2 := ctx.Op(base+chebOpY2, 2.0*y)
+	for j := cs.order; j >= 1; j-- {
+		temp := d
+		d = ctx.Op(base+chebOpAdd,
+			ctx.Op(base+chebOpSub, ctx.Op(base+chebOpMul, y2*d)-dd)+cs.c[j])
+		dd = temp
+	}
+	result.Val = ctx.Op(base+chebOpFinAdd,
+		ctx.Op(base+chebOpFinSub, ctx.Op(base+chebOpFinMul, y*d)-dd)+
+			ctx.Op(base+chebOpC0, 0.5*cs.c[0]))
+	result.Err = ctx.Op(base+chebOpErrAdd,
+		ctx.Op(base+chebOpErrMul, DblEpsilon*math.Abs(result.Val))+math.Abs(cs.c[cs.order]))
+	return Success
+}

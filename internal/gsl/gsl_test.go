@@ -1,0 +1,337 @@
+package gsl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fp"
+	"repro/internal/instrument"
+)
+
+func TestBesselValueSanity(t *testing.T) {
+	// The asymptotic form: K_nu(x)·e^x ≈ sqrt(π/(2x))(1 + …) for large
+	// x. For nu=0, x=100: leading term sqrt(π/200) ≈ 0.12533.
+	res, st := BesselKnuScaledAsympx(0, 100)
+	if st != Success {
+		t.Fatalf("status %v", st)
+	}
+	if math.Abs(res.Val-0.12533) > 1e-3 {
+		t.Errorf("val = %v, want ≈ 0.12533", res.Val)
+	}
+	if res.Err < 0 || math.IsNaN(res.Err) {
+		t.Errorf("err = %v", res.Err)
+	}
+}
+
+func TestBesselPaperOverflowInputs(t *testing.T) {
+	// §4.4: nu = 1.8e308 (paper's rounded display; any nu with
+	// 4|nu| >= MAX works) triggers overflow on l1 (4.0 * nu), and
+	// nu = 3.2e157 on l2 (4.0*nu * nu).
+	p := BesselProgram()
+	m := instrument.NewOverflow()
+	p.Execute(m, []float64{1.7e308, -1.5e2})
+	if m.Value() != 0 || m.LastSite() != BesselOpMu1 {
+		t.Errorf("nu=1.7e308: W=%v last=%d, want overflow at l1=%d", m.Value(), m.LastSite(), BesselOpMu1)
+	}
+	p.Execute(m, []float64{3.2e157, 5.3e1})
+	if m.Value() != 0 || m.LastSite() != BesselOpMu2 {
+		t.Errorf("nu=3.2e157: W=%v last=%d, want overflow at l2=%d", m.Value(), m.LastSite(), BesselOpMu2)
+	}
+}
+
+func TestBesselProgramSiteCount(t *testing.T) {
+	p := BesselProgram()
+	if len(p.Ops) != 23 {
+		t.Errorf("op sites = %d, want 23 (Table 4)", len(p.Ops))
+	}
+	if BesselOpCount != 23 {
+		t.Errorf("BesselOpCount = %d", BesselOpCount)
+	}
+	if BesselOpLabel(0) == "?" || BesselOpLabel(99) != "?" {
+		t.Error("label lookup broken")
+	}
+}
+
+func TestBesselAllSitesObserved(t *testing.T) {
+	// A benign input must execute all 23 operation sites exactly once.
+	p := BesselProgram()
+	seen := map[int]int{}
+	mon := &opRecorder{seen: seen}
+	p.Execute(mon, []float64{1.5, 2.5})
+	for i := 0; i < BesselOpCount; i++ {
+		if seen[i] != 1 {
+			t.Errorf("site %d (%s) observed %d times, want 1", i, BesselOpLabel(i), seen[i])
+		}
+	}
+}
+
+type opRecorder struct{ seen map[int]int }
+
+func (m *opRecorder) Reset()                                 {}
+func (m *opRecorder) Branch(int, fp.CmpOp, float64, float64) {}
+func (m *opRecorder) FPOp(site int, v float64) bool          { m.seen[site]++; return false }
+func (m *opRecorder) Value() float64                         { return 0 }
+
+func TestBesselConstantProductNeverOverflows(t *testing.T) {
+	// 2.0 * GSL_DBL_EPSILON is a constant product: Table 4's expected
+	// miss. No input can overflow it.
+	prop := func(nu, x float64) bool {
+		if math.IsNaN(nu) || math.IsNaN(x) {
+			return true
+		}
+		p := BesselProgram()
+		rec := &opValueRecorder{site: BesselOpErrEps}
+		p.Execute(rec, []float64{nu, x})
+		return !rec.sawOverflow
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+type opValueRecorder struct {
+	site        int
+	sawOverflow bool
+}
+
+func (m *opValueRecorder) Reset()                                 {}
+func (m *opValueRecorder) Branch(int, fp.CmpOp, float64, float64) {}
+func (m *opValueRecorder) FPOp(site int, v float64) bool {
+	if site == m.site && fp.Overflowed(v) {
+		m.sawOverflow = true
+	}
+	return false
+}
+func (m *opValueRecorder) Value() float64 { return 0 }
+
+func TestCosAccuracy(t *testing.T) {
+	for _, x := range []float64{0, 1e-5, 0.3, 1.0, 2.0, 3.1, -4.5, 10.0, 100.0, 1e6} {
+		res, st := CosErr(x, 0)
+		if st != Success {
+			t.Fatalf("CosErr(%v) status %v", x, st)
+		}
+		if diff := math.Abs(res.Val - math.Cos(x)); diff > 1e-6 {
+			t.Errorf("CosErr(%v).Val = %v, want %v (diff %g)", x, res.Val, math.Cos(x), diff)
+		}
+	}
+}
+
+func TestCosHugeArgumentBreakdown(t *testing.T) {
+	// Bug 2's mechanism: for huge arguments the Cody–Waite reduction is
+	// meaningless and the Chebyshev argument leaves [-1,1]; the result
+	// escapes [-1,1] (the paper observed -Inf) while status stays
+	// Success.
+	res, st := CosErr(-8.11e50, 7.50e35)
+	if st != Success {
+		t.Fatalf("status %v, want Success (the bug: no error reported)", st)
+	}
+	if math.Abs(res.Val) <= 1 {
+		t.Errorf("CosErr(-8.11e50).Val = %v, expected far outside [-1,1]", res.Val)
+	}
+}
+
+func TestAiryAiMiddleRegionAccuracy(t *testing.T) {
+	// Reference values (Abramowitz & Stegun / Mathematica).
+	cases := []struct{ x, want float64 }{
+		{0, 0.3550280538878172},
+		{0.5, 0.2316936064808335},
+		{1.0, 0.1352924163128814},
+		{-0.5, 0.4757280916105396},
+		{-1.0, 0.5355608832923521},
+	}
+	for _, c := range cases {
+		res, st := AiryAi(c.x)
+		if st != Success {
+			t.Fatalf("AiryAi(%v) status %v", c.x, st)
+		}
+		if math.Abs(res.Val-c.want) > 1e-9 {
+			t.Errorf("AiryAi(%v) = %v, want %v", c.x, res.Val, c.want)
+		}
+	}
+}
+
+func TestAiryAiRightRegionDecays(t *testing.T) {
+	res5, st := AiryAi(5)
+	if st != Success {
+		t.Fatalf("status %v", st)
+	}
+	// Ai(5) ≈ 1.0835e-4 (asymptotic form is ~1% accurate here).
+	if math.Abs(res5.Val-1.0834e-4) > 5e-6 {
+		t.Errorf("AiryAi(5) = %v, want ≈ 1.08e-4", res5.Val)
+	}
+	// Deep right region underflows with an explicit status.
+	if _, st := AiryAi(1e6); st != EUndrflw {
+		t.Errorf("AiryAi(1e6) status = %v, want underflow", st)
+	}
+}
+
+func TestAiryAiOscillatoryRegionShape(t *testing.T) {
+	// In the oscillatory region the port follows the mod/phase
+	// asymptotics; amplitudes must decay like |x|^{-1/4} and values
+	// oscillate in sign.
+	sawPos, sawNeg := false, false
+	for x := -3.0; x > -40; x -= 0.5 {
+		res, st := AiryAi(x)
+		if st != Success {
+			t.Fatalf("AiryAi(%v) status %v", x, st)
+		}
+		if math.Abs(res.Val) > 1.0 {
+			t.Errorf("AiryAi(%v) = %v, amplitude implausible", x, res.Val)
+		}
+		if res.Val > 0 {
+			sawPos = true
+		}
+		if res.Val < 0 {
+			sawNeg = true
+		}
+	}
+	if !sawPos || !sawNeg {
+		t.Error("oscillatory region does not oscillate")
+	}
+}
+
+func TestAiryBug1DivisionByZero(t *testing.T) {
+	// Bug 1: at the paper's trigger input the am22 Chebyshev sum
+	// vanishes and airy_mod_phase divides by it — err becomes +Inf while
+	// status remains Success.
+	x1 := -1.8427611519777440
+	res, st := AiryAi(x1)
+	if st != Success {
+		t.Fatalf("status %v, want Success (the bug: no error reported)", st)
+	}
+	if !math.IsInf(res.Err, 1) && !math.IsNaN(res.Err) {
+		t.Errorf("AiryAi(%v).Err = %v, want Inf (division by vanished sum)", x1, res.Err)
+	}
+	if !Inconsistent(res, st) {
+		t.Error("Bug 1 must register as an inconsistency")
+	}
+	// A slightly perturbed input does not trigger it (paper: the
+	// exception disappears if one slightly disturbs the input).
+	res2, st2 := AiryAi(-1.84276115198)
+	if Inconsistent(res2, st2) {
+		t.Errorf("perturbed input still inconsistent: %+v %v", res2, st2)
+	}
+}
+
+func TestAiryBug2HugeNegative(t *testing.T) {
+	// Bug 2: x = -1.14e34 gives a mathematically impossible result
+	// (|Ai| <= 1 in the oscillatory region) with Success status.
+	res, st := AiryAi(-1.14e34)
+	if st != Success {
+		t.Fatalf("status %v, want Success (the bug: no error reported)", st)
+	}
+	if math.Abs(res.Val) <= 1 && !math.IsNaN(res.Val) {
+		t.Errorf("AiryAi(-1.14e34) = %v, expected an implausible value (paper saw -Inf)", res.Val)
+	}
+}
+
+func TestAiryDomainStatusNotInconsistent(t *testing.T) {
+	// Inconsistency requires Success status; explicit error statuses
+	// don't count.
+	if Inconsistent(Result{Val: math.Inf(1)}, EOvrflw) {
+		t.Error("non-success status cannot be inconsistent")
+	}
+	if !Inconsistent(Result{Val: math.Inf(1)}, Success) {
+		t.Error("Inf value with Success must be inconsistent")
+	}
+	if !Inconsistent(Result{Val: 1, Err: math.NaN()}, Success) {
+		t.Error("NaN err with Success must be inconsistent")
+	}
+}
+
+func TestHyperg2F0Basic(t *testing.T) {
+	// 2F0(a,b;x) ≈ 1 + a·b·x for small |x| (asymptotic series).
+	res, st := Hyperg2F0(0.5, 0.5, -0.001)
+	if st != Success {
+		t.Fatalf("status %v", st)
+	}
+	want := 1 + 0.5*0.5*-0.001
+	if math.Abs(res.Val-want) > 1e-4 {
+		t.Errorf("2F0(0.5,0.5,-0.001) = %v, want ≈ %v", res.Val, want)
+	}
+}
+
+func TestHyperg2F0Domain(t *testing.T) {
+	if _, st := Hyperg2F0(1, 1, 0.5); st != EDom {
+		t.Errorf("x > 0 should be a domain error, got %v", st)
+	}
+	res, st := Hyperg2F0(1, 1, 0)
+	if st != Success || res.Val != 1 {
+		t.Errorf("2F0 at x=0 = %+v %v, want 1/Success", res, st)
+	}
+}
+
+func TestHyperg2F0PaperInconsistency(t *testing.T) {
+	// Table 5 row "pre = pow(-1.0/x, a)": (a,b,x) = (-6.2e2, -3.7e2,
+	// -1.5e2) makes the pow overflow (exponent 620 on base 150) and the
+	// result non-finite while the returned status is Success.
+	res, st := Hyperg2F0(-6.2e2, -3.7e2, -1.5e2)
+	if !Inconsistent(res, st) {
+		t.Errorf("expected inconsistency, got %+v status %v", res, st)
+	}
+	// Table 5 row "pre * U.val": large negative integer parameters make
+	// the terminating U polynomial itself overflow.
+	res2, st2 := Hyperg2F0(-3.4e2, -1.2e2, -1.0e2)
+	if !Inconsistent(res2, st2) {
+		t.Errorf("expected terminating-series inconsistency, got %+v status %v", res2, st2)
+	}
+}
+
+func TestHypergProgramSites(t *testing.T) {
+	p := Hyperg2F0Program()
+	if len(p.Ops) != 8 {
+		t.Errorf("op sites = %d, want 8 (Table 3)", len(p.Ops))
+	}
+	// All 8 sites observed on the x < 0 path.
+	seen := map[int]int{}
+	p.Execute(&opRecorder{seen: seen}, []float64{0.5, 0.5, -2.0})
+	for i := 0; i < HypergOpCount; i++ {
+		if seen[i] != 1 {
+			t.Errorf("site %d (%s) observed %d, want 1", i, HypergOpLabel(i), seen[i])
+		}
+	}
+}
+
+func TestAiryProgramSiteTable(t *testing.T) {
+	p := AiryAiProgram()
+	if len(p.Ops) != airySiteCount {
+		t.Fatalf("site table %d entries, want %d", len(p.Ops), airySiteCount)
+	}
+	for i, op := range p.Ops {
+		if op.ID != i {
+			t.Fatalf("site %d has ID %d", i, op.ID)
+		}
+		if op.Label == "" {
+			t.Errorf("site %d has empty label", i)
+		}
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Success.String() != "success" || EDom.String() != "input domain error" {
+		t.Error("status strings wrong")
+	}
+	if Status(99).String() != "unknown error" {
+		t.Error("unknown status string wrong")
+	}
+}
+
+func TestAm22RootReachable(t *testing.T) {
+	// The synthetic am22 series must vanish exactly at the image of the
+	// trigger input — the property Bug 1's reachability rests on.
+	y := am22YOf(-1.8427611519777440)
+	if y != am22RootY {
+		t.Fatal("root image mismatch")
+	}
+	// Clenshaw with the port's exact operation order.
+	val := y*am22CS.c[1] + 0.5*am22CS.c[0]
+	if val != 0 {
+		t.Errorf("am22(y0) = %g, want exact 0", val)
+	}
+	// Off the root it must not vanish.
+	yOff := math.Nextafter(y, 2)
+	if got := yOff*am22CS.c[1] + 0.5*am22CS.c[0]; got == 0 {
+		t.Error("am22 vanishes off the root")
+	}
+}

@@ -1,0 +1,123 @@
+package instrument
+
+import (
+	"math"
+
+	"repro/internal/fp"
+)
+
+// Side identifies one direction of a conditional branch.
+type Side struct {
+	Site  int
+	Taken bool
+}
+
+// Coverage accumulates the branch-coverage weak distance (§2 Instance 4,
+// the CoverMe construction [17]): given the set B of branch sides already
+// covered, W(x) is zero iff executing on x takes some side outside B.
+// While the execution only takes covered sides, every branch whose
+// opposite side is still uncovered contributes the branch distance
+// toward flipping it, steering the search toward the uncovered frontier.
+//
+// With ULP set, distances are measured on the ULP scale.
+type Coverage struct {
+	// Covered is the set B; shared with the analysis driver, which grows
+	// it after each successful round.
+	Covered map[Side]bool
+	// ULP selects the ULP branch distance.
+	ULP bool
+
+	w      float64
+	hitNew bool
+}
+
+// NewCoverage returns a monitor with an empty covered set.
+func NewCoverage() *Coverage {
+	return &Coverage{Covered: make(map[Side]bool)}
+}
+
+// Reset implements rt.Monitor.
+func (m *Coverage) Reset() {
+	m.w = 0
+	m.hitNew = false
+}
+
+// Branch implements rt.Monitor.
+func (m *Coverage) Branch(site int, op fp.CmpOp, a, b float64) {
+	taken := op.Eval(a, b)
+	if !m.Covered[Side{site, taken}] {
+		m.hitNew = true // this execution covers something new: a solution
+		return
+	}
+	if !m.Covered[Side{site, !taken}] {
+		// Opposite side uncovered: add the distance to flipping this
+		// branch.
+		required := op.Negate()
+		var d float64
+		if m.ULP {
+			d = fp.BranchDistULP(required, a, b)
+		} else {
+			d = fp.BranchDist(required, a, b)
+		}
+		m.w += d
+		if math.IsInf(m.w, 0) || math.IsNaN(m.w) {
+			m.w = fp.MaxFloat
+		}
+	}
+}
+
+// FPOp implements rt.Monitor.
+func (m *Coverage) FPOp(int, float64) bool { return false }
+
+// Value implements rt.Monitor: zero iff a new side was taken; otherwise
+// the accumulated flip distances, with a positive floor so W never
+// vanishes on a non-solution (Def. 3.1(b)).
+func (m *Coverage) Value() float64 {
+	if m.hitNew {
+		return 0
+	}
+	if m.w > 0 {
+		return m.w
+	}
+	// No uncovered side is adjacent to this execution: flat region.
+	return 1
+}
+
+// RecordNewSides is a monitor capturing which uncovered sides an
+// execution takes. The driver replays a solution under it and merges the
+// result into Covered.
+type RecordNewSides struct {
+	Covered map[Side]bool
+
+	sides []Side
+	seen  map[Side]bool
+}
+
+// Reset implements rt.Monitor.
+func (m *RecordNewSides) Reset() {
+	m.sides = m.sides[:0]
+	m.seen = make(map[Side]bool)
+}
+
+// Branch implements rt.Monitor.
+func (m *RecordNewSides) Branch(site int, op fp.CmpOp, a, b float64) {
+	s := Side{site, op.Eval(a, b)}
+	if !m.Covered[s] && !m.seen[s] {
+		m.seen[s] = true
+		m.sides = append(m.sides, s)
+	}
+}
+
+// FPOp implements rt.Monitor.
+func (m *RecordNewSides) FPOp(int, float64) bool { return false }
+
+// Value implements rt.Monitor.
+func (m *RecordNewSides) Value() float64 {
+	if len(m.sides) > 0 {
+		return 0
+	}
+	return 1
+}
+
+// Sides returns the newly covered sides in first-hit order.
+func (m *RecordNewSides) Sides() []Side { return m.sides }

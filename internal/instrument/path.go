@@ -1,0 +1,80 @@
+package instrument
+
+import (
+	"math"
+
+	"repro/internal/fp"
+)
+
+// Decision is one step of a target path: the branch site and the outcome
+// the path requires there.
+type Decision struct {
+	Site  int
+	Taken bool
+}
+
+// Path accumulates the path-reachability weak distance (paper §4.3):
+// w starts at 0; at each branch the path constrains, w receives the
+// branch distance θ toward the required outcome (0 when the execution
+// already goes the required way). Structural divergence — target
+// decisions never reached because execution left the path — contributes
+// one unit each (the classic approach-level term), keeping w positive
+// whenever the path is not followed in full.
+//
+// With ULP set, θ is measured on the integer ULP scale (Limitation-2
+// mitigation).
+type Path struct {
+	// Target is the ordered sequence of required branch decisions.
+	Target []Decision
+	// ULP selects the ULP branch distance.
+	ULP bool
+
+	w    float64
+	next int // index into Target of the next expected decision
+}
+
+// Reset implements rt.Monitor.
+func (m *Path) Reset() {
+	m.w = 0
+	m.next = 0
+}
+
+// Branch implements rt.Monitor.
+func (m *Path) Branch(site int, op fp.CmpOp, a, b float64) {
+	if m.next >= len(m.Target) {
+		return // path already fully matched; suffix unconstrained
+	}
+	d := m.Target[m.next]
+	if d.Site != site {
+		return // not a constrained site at this position; keep waiting
+	}
+	m.next++
+	required := op
+	if !d.Taken {
+		required = op.Negate()
+	}
+	var dist float64
+	if m.ULP {
+		dist = fp.BranchDistULP(required, a, b)
+	} else {
+		dist = fp.BranchDist(required, a, b)
+	}
+	m.w += dist
+	if math.IsInf(m.w, 0) || math.IsNaN(m.w) {
+		m.w = fp.MaxFloat
+	}
+}
+
+// FPOp implements rt.Monitor.
+func (m *Path) FPOp(int, float64) bool { return false }
+
+// Value implements rt.Monitor: the accumulated branch distances plus one
+// unit per target decision the execution never reached.
+func (m *Path) Value() float64 {
+	missing := float64(len(m.Target) - m.next)
+	v := m.w + missing
+	if v < 0 || math.IsNaN(v) {
+		return fp.MaxFloat
+	}
+	return v
+}

@@ -1,0 +1,53 @@
+package instrument
+
+import (
+	"repro/internal/fp"
+)
+
+// PathWitness records the branch decisions of one execution, providing
+// the decidable membership oracle for path-reachability problems (the
+// §5.2 soundness guard): after the run, Matches reports whether the
+// execution followed a target path.
+type PathWitness struct {
+	decisions []Decision
+}
+
+// Reset implements rt.Monitor.
+func (m *PathWitness) Reset() { m.decisions = m.decisions[:0] }
+
+// Branch implements rt.Monitor.
+func (m *PathWitness) Branch(site int, op fp.CmpOp, a, b float64) {
+	m.decisions = append(m.decisions, Decision{Site: site, Taken: op.Eval(a, b)})
+}
+
+// FPOp implements rt.Monitor.
+func (m *PathWitness) FPOp(int, float64) bool { return false }
+
+// Value implements rt.Monitor (the witness is not a weak distance; it
+// reports 0 unconditionally).
+func (m *PathWitness) Value() float64 { return 0 }
+
+// Decisions returns the recorded decision sequence.
+func (m *PathWitness) Decisions() []Decision { return m.decisions }
+
+// Matches reports whether the recorded execution realizes the target:
+// each target decision is matched, in order, by the execution's
+// decision at that site (intervening unconstrained branches are
+// allowed, mirroring the Path monitor's matching rule).
+func (m *PathWitness) Matches(target []Decision) bool {
+	next := 0
+	for _, d := range m.decisions {
+		if next >= len(target) {
+			break
+		}
+		t := target[next]
+		if d.Site != t.Site {
+			continue
+		}
+		if d.Taken != t.Taken {
+			return false
+		}
+		next++
+	}
+	return next == len(target)
+}

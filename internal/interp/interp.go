@@ -1,0 +1,250 @@
+// Package interp executes IR modules under instrumentation. It is the
+// dynamic half of the Reduction Kernel (§5.3): given a compiled FPL
+// program, it produces an rt.Program whose every floating-point
+// operation and branch condition is observed by a pluggable monitor —
+// the same interface the native GSL/libm ports use, so all weak-distance
+// constructions work identically over both substrates.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/rt"
+)
+
+// DefaultMaxSteps bounds interpretation so that non-terminating loops
+// (reachable under adversarial optimizer inputs) cannot hang an
+// analysis. A run that exceeds the bound is abandoned; the monitor
+// reports the weak distance accumulated so far.
+const DefaultMaxSteps = 1_000_000
+
+// AssertFailure records a violated assert statement during a run.
+type AssertFailure struct {
+	Pos   lang.Pos
+	Label string
+	Input []float64
+}
+
+func (a AssertFailure) String() string {
+	return fmt.Sprintf("%s: assertion %q violated with input %v", a.Pos, a.Label, a.Input)
+}
+
+// Interp drives interpretation of one module.
+type Interp struct {
+	// Mod is the module to execute.
+	Mod *ir.Module
+	// MaxSteps bounds instructions per execution; zero selects
+	// DefaultMaxSteps.
+	MaxSteps int
+
+	// Failures collects assertion violations across runs (reset by
+	// ClearFailures). Useful for the Fig. 1 style analyses.
+	Failures []AssertFailure
+
+	steps int
+	input []float64
+}
+
+// New returns an interpreter for the module.
+func New(m *ir.Module) *Interp { return &Interp{Mod: m} }
+
+// ClearFailures discards recorded assertion failures.
+func (it *Interp) ClearFailures() { it.Failures = nil }
+
+// Program wraps the named function as an instrumentable rt.Program.
+// The returned program shares the interpreter (and its failure log).
+func (it *Interp) Program(fnName string) (*rt.Program, error) {
+	fn := it.Mod.Func(fnName)
+	if fn == nil {
+		return nil, fmt.Errorf("interp: no function %q in module", fnName)
+	}
+	return &rt.Program{
+		Name:     fnName,
+		Dim:      fn.NParams,
+		Ops:      it.Mod.OpSites,
+		Branches: it.Mod.BranchSites,
+		Run: func(ctx *rt.Ctx, x []float64) {
+			it.run(ctx, fn, x)
+		},
+	}, nil
+}
+
+// Run executes the named function uninstrumented and returns its result
+// (0 for void functions, 1/0 for bool results, NaN when the step budget
+// is exceeded).
+func (it *Interp) Run(fnName string, x []float64) (float64, error) {
+	fn := it.Mod.Func(fnName)
+	if fn == nil {
+		return 0, fmt.Errorf("interp: no function %q in module", fnName)
+	}
+	return it.run(rt.NewCtx(rt.NopMonitor{}), fn, x), nil
+}
+
+// budgetExceeded is the internal control panic for step-limit aborts.
+type budgetExceeded struct{}
+
+// run executes fn on x under ctx, returning its result (0 for void).
+func (it *Interp) run(ctx *rt.Ctx, fn *ir.Func, x []float64) float64 {
+	if len(x) != fn.NParams {
+		panic(fmt.Sprintf("interp: %s expects %d inputs, got %d", fn.Name, fn.NParams, len(x)))
+	}
+	max := it.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	it.steps = 0
+	it.input = x
+	var ret float64
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(budgetExceeded); ok {
+					ret = math.NaN()
+					return
+				}
+				panic(r)
+			}
+		}()
+		ret = it.call(ctx, fn, x, max)
+	}()
+	return ret
+}
+
+// call executes one function activation.
+func (it *Interp) call(ctx *rt.Ctx, fn *ir.Func, args []float64, max int) float64 {
+	fregs := make([]float64, fn.NumRegs())
+	bregs := make([]bool, fn.NumRegs())
+	copy(fregs, args)
+
+	bi := 0
+	ii := 0
+	for {
+		it.steps++
+		if it.steps > max {
+			panic(budgetExceeded{})
+		}
+		in := &fn.Blocks[bi].Instrs[ii]
+		ii++
+		switch in.Op {
+		case ir.ConstF:
+			fregs[in.Dst] = in.Val
+		case ir.ConstB:
+			bregs[in.Dst] = in.BVal
+		case ir.Mov:
+			if fn.Kinds[in.Dst] == ir.RegB {
+				bregs[in.Dst] = bregs[in.A]
+			} else {
+				fregs[in.Dst] = fregs[in.A]
+			}
+		case ir.FAdd:
+			fregs[in.Dst] = ctx.Op(in.Site, fregs[in.A]+fregs[in.B])
+		case ir.FSub:
+			fregs[in.Dst] = ctx.Op(in.Site, fregs[in.A]-fregs[in.B])
+		case ir.FMul:
+			fregs[in.Dst] = ctx.Op(in.Site, fregs[in.A]*fregs[in.B])
+		case ir.FDiv:
+			fregs[in.Dst] = ctx.Op(in.Site, fregs[in.A]/fregs[in.B])
+		case ir.FNeg:
+			fregs[in.Dst] = -fregs[in.A]
+		case ir.FCmp:
+			bregs[in.Dst] = ctx.Cmp(in.Site, in.Pred, fregs[in.A], fregs[in.B])
+		case ir.Not:
+			bregs[in.Dst] = !bregs[in.A]
+		case ir.Call:
+			callee := it.Mod.Funcs[in.Name]
+			cargs := make([]float64, len(in.Args))
+			for i, a := range in.Args {
+				cargs[i] = fregs[a]
+			}
+			v := it.call(ctx, callee, cargs, max)
+			if in.Dst >= 0 {
+				if fn.Kinds[in.Dst] == ir.RegB {
+					bregs[in.Dst] = v != 0
+				} else {
+					fregs[in.Dst] = v
+				}
+			}
+		case ir.CallBuiltin:
+			var v float64
+			switch len(in.Args) {
+			case 1:
+				v = builtin1(in.Name, fregs[in.Args[0]])
+			case 2:
+				v = builtin2(in.Name, fregs[in.Args[0]], fregs[in.Args[1]])
+			default:
+				panic("interp: builtin arity")
+			}
+			fregs[in.Dst] = ctx.Op(in.Site, v)
+		case ir.Jmp:
+			bi, ii = in.Target, 0
+		case ir.CondJmp:
+			if bregs[in.A] {
+				bi, ii = in.Target, 0
+			} else {
+				bi, ii = in.Else, 0
+			}
+		case ir.Ret:
+			if in.A >= 0 {
+				if fn.Kinds[in.A] == ir.RegB {
+					if bregs[in.A] {
+						return 1
+					}
+					return 0
+				}
+				return fregs[in.A]
+			}
+			return 0
+		case ir.Assert:
+			if !bregs[in.A] {
+				it.Failures = append(it.Failures, AssertFailure{
+					Pos:   in.Pos,
+					Label: in.Label,
+					Input: append([]float64(nil), it.input...),
+				})
+			}
+		default:
+			panic(fmt.Sprintf("interp: unknown opcode %s", in.Op))
+		}
+	}
+}
+
+func builtin1(name string, a float64) float64 {
+	switch name {
+	case "sin":
+		return math.Sin(a)
+	case "cos":
+		return math.Cos(a)
+	case "tan":
+		return math.Tan(a)
+	case "sqrt":
+		return math.Sqrt(a)
+	case "fabs":
+		return math.Abs(a)
+	case "exp":
+		return math.Exp(a)
+	case "log":
+		return math.Log(a)
+	case "floor":
+		return math.Floor(a)
+	case "ceil":
+		return math.Ceil(a)
+	case "highword":
+		return float64(uint32(math.Float64bits(a)>>32) & 0x7fffffff)
+	}
+	panic(fmt.Sprintf("interp: unknown builtin %s/1", name))
+}
+
+func builtin2(name string, a, b float64) float64 {
+	switch name {
+	case "pow":
+		return math.Pow(a, b)
+	case "fmin":
+		return math.Min(a, b)
+	case "fmax":
+		return math.Max(a, b)
+	}
+	panic(fmt.Sprintf("interp: unknown builtin %s/2", name))
+}

@@ -1,0 +1,297 @@
+package interp_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fp"
+
+	"repro/internal/instrument"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/rt"
+)
+
+const fig2Src = `
+func prog(x double) {
+    if (x <= 1.0) {
+        x = x + 1.0;
+    }
+    var y double = x * x;
+    if (y <= 4.0) {
+        x = x - 1.0;
+    }
+}
+`
+
+func mustProgram(t *testing.T, src, fn string) (*interp.Interp, *rt.Program) {
+	t.Helper()
+	m, err := ir.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	it := interp.New(m)
+	p, err := it.Program(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it, p
+}
+
+func run(t *testing.T, src, fn string, args ...float64) float64 {
+	t.Helper()
+	m, err := ir.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	v, err := interp.New(m).Run(fn, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		args []float64
+		want float64
+	}{
+		{"func f(x double) double { return x + 1.0; }", []float64{2}, 3},
+		{"func f(x double) double { return x - 1.0; }", []float64{2}, 1},
+		{"func f(x double) double { return x * 3.0; }", []float64{2}, 6},
+		{"func f(x double) double { return x / 4.0; }", []float64{2}, 0.5},
+		{"func f(x double) double { return -x; }", []float64{2}, -2},
+		{"func f(x double, y double) double { return x * y + 1.0; }", []float64{3, 4}, 13},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src, "f", c.args...); got != c.want {
+			t.Errorf("%s with %v = %v, want %v", c.src, c.args, got, c.want)
+		}
+	}
+}
+
+func TestIEEESemantics(t *testing.T) {
+	// Division by zero and overflow follow IEEE-754, not panics.
+	if got := run(t, "func f(x double) double { return 1.0 / x; }", "f", 0); !math.IsInf(got, 1) {
+		t.Errorf("1/0 = %v, want +Inf", got)
+	}
+	if got := run(t, "func f(x double) double { return x * x; }", "f", 1e200); !math.IsInf(got, 1) {
+		t.Errorf("1e200^2 = %v, want +Inf", got)
+	}
+	if got := run(t, "func f(x double) double { return x / x; }", "f", 0); !math.IsNaN(got) {
+		t.Errorf("0/0 = %v, want NaN", got)
+	}
+	// The paper's §1 associativity example.
+	got1 := run(t, "func f(x double) double { return 0.1 + (0.2 + 0.3); }", "f", 0)
+	got2 := run(t, "func f(x double) double { return (0.1 + 0.2) + 0.3; }", "f", 0)
+	if got1 == got2 {
+		t.Error("floating-point non-associativity not reproduced")
+	}
+	if got1 != 0.6 {
+		t.Errorf("0.1+(0.2+0.3) = %v, want 0.6", got1)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+func f(x double) double {
+    if (x < 0.0) { return -x; }
+    else if (x < 10.0) { return x; }
+    else { return 10.0; }
+}`
+	for _, c := range []struct{ in, want float64 }{{-5, 5}, {3, 3}, {100, 10}} {
+		if got := run(t, src, "f", c.in); got != c.want {
+			t.Errorf("f(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	src := `
+func f(n double) double {
+    var sum double = 0.0;
+    var i double = 1.0;
+    while (i <= n) {
+        sum = sum + i;
+        i = i + 1.0;
+    }
+    return sum;
+}`
+	if got := run(t, src, "f", 100); got != 5050 {
+		t.Errorf("sum 1..100 = %v", got)
+	}
+}
+
+func TestUserCallsAndRecursion(t *testing.T) {
+	src := `
+func fact(n double) double {
+    if (n <= 1.0) { return 1.0; }
+    return n * fact(n - 1.0);
+}
+func f(x double) double { return fact(x); }`
+	if got := run(t, src, "f", 10); got != 3628800 {
+		t.Errorf("10! = %v", got)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		in   float64
+		want float64
+	}{
+		{"func f(x double) double { return sqrt(x); }", 9, 3},
+		{"func f(x double) double { return fabs(x); }", -2.5, 2.5},
+		{"func f(x double) double { return pow(x, 3.0); }", 2, 8},
+		{"func f(x double) double { return floor(x); }", 2.7, 2},
+		{"func f(x double) double { return ceil(x); }", 2.2, 3},
+		{"func f(x double) double { return fmin(x, 0.0); }", 2, 0},
+		{"func f(x double) double { return fmax(x, 0.0); }", 2, 2},
+		{"func f(x double) double { return exp(log(x)); }", 5, 5},
+	}
+	for _, c := range cases {
+		if got := run(t, c.src, "f", c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s (%v) = %v, want %v", c.src, c.in, got, c.want)
+		}
+	}
+	if got := run(t, "func f(x double) double { return sin(x); }", "f", math.Pi/2); math.Abs(got-1) > 1e-15 {
+		t.Errorf("sin(pi/2) = %v", got)
+	}
+}
+
+func TestShortCircuitObservation(t *testing.T) {
+	// With `x < 0 && 1/x < y`, the second comparison must not be
+	// observed when x >= 0 — verified via a branch counter.
+	src := "func f(x double) bool { return x < 0.0 && 1.0 / x < -100.0; }"
+	_, p := mustProgram(t, src, "f")
+	cnt := &branchCounter{}
+	p.Execute(cnt, []float64{5})
+	if cnt.n != 1 {
+		t.Errorf("observed %d comparisons for short-circuited rhs, want 1", cnt.n)
+	}
+	cnt.n = 0
+	p.Execute(cnt, []float64{-0.001})
+	if cnt.n != 2 {
+		t.Errorf("observed %d comparisons, want 2", cnt.n)
+	}
+}
+
+type branchCounter struct{ n int }
+
+func (m *branchCounter) Reset()                                 {}
+func (m *branchCounter) Branch(int, fp.CmpOp, float64, float64) { m.n++ }
+func (m *branchCounter) FPOp(int, float64) bool                 { return false }
+func (m *branchCounter) Value() float64                         { return 0 }
+
+func TestAssertRecording(t *testing.T) {
+	// The paper's Fig. 1(a): assert(x < 2) after x = x + 1 under x < 1.
+	src := `
+func prog(x double) {
+    if (x < 1.0) {
+        x = x + 1.0;
+        assert(x < 2.0);
+    }
+}`
+	it, p := mustProgram(t, src, "prog")
+	p.Execute(rt.NopMonitor{}, []float64{0.5})
+	if len(it.Failures) != 0 {
+		t.Errorf("spurious failures: %v", it.Failures)
+	}
+	p.Execute(rt.NopMonitor{}, []float64{0.9999999999999999})
+	if len(it.Failures) != 1 {
+		t.Fatalf("failures = %v, want 1", it.Failures)
+	}
+	if got := it.Failures[0].Input[0]; got != 0.9999999999999999 {
+		t.Errorf("failure input = %v", got)
+	}
+	it.ClearFailures()
+	if len(it.Failures) != 0 {
+		t.Error("ClearFailures did not clear")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	src := `
+func f(x double) double {
+    while (x < 1.0 || x >= 1.0) { x = x + 0.0; }
+    return x;
+}`
+	m, err := ir.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := interp.New(m)
+	it.MaxSteps = 10000
+	v, err := it.Run("f", []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(v) {
+		t.Errorf("nonterminating run returned %v, want NaN marker", v)
+	}
+}
+
+func TestInterpAgreesWithGoSemantics(t *testing.T) {
+	// Property: the interpreted Fig. 2-like expression agrees with the
+	// direct Go computation bit-for-bit, across random inputs.
+	src := `
+func f(x double) double {
+    var y double = x * x - 2.0 * x + 1.0;
+    if (y < 0.5) { y = y + x / 3.0; }
+    return y * y;
+}`
+	m, err := ir.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := interp.New(m)
+	ref := func(x float64) float64 {
+		y := x*x - 2.0*x + 1.0
+		if y < 0.5 {
+			y = y + x/3.0
+		}
+		return y * y
+	}
+	prop := func(x float64) bool {
+		got, err := it.Run("f", []float64{x})
+		if err != nil {
+			return false
+		}
+		want := ref(x)
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig2DSLMatchesNativePort(t *testing.T) {
+	// The DSL Fig. 2 and the native progs.Fig2 port must induce the same
+	// boundary weak distance.
+	_, p := mustProgram(t, fig2Src, "prog")
+	w := p.WeakDistance(&instrument.Boundary{})
+	for _, c := range []struct {
+		x    float64
+		zero bool
+	}{
+		{1, true}, {2, true}, {-3, true}, {0.9999999999999999, true},
+		{0, false}, {5, false}, {1.5, false},
+	} {
+		got := w([]float64{c.x})
+		if (got == 0) != c.zero {
+			t.Errorf("W(%v) = %v, want zero=%v", c.x, got, c.zero)
+		}
+	}
+}
+
+func TestProgramUnknownFunction(t *testing.T) {
+	m, err := ir.Compile("func f(x double) {}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interp.New(m).Program("nope"); err == nil {
+		t.Error("expected error for unknown function")
+	}
+}

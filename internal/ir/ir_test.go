@@ -1,0 +1,285 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+const fig2Src = `
+func prog(x double) {
+    if (x <= 1.0) {
+        x = x + 1.0;
+    }
+    var y double = x * x;
+    if (y <= 4.0) {
+        x = x - 1.0;
+    }
+}
+`
+
+func compile(t *testing.T, src string) *ir.Module {
+	t.Helper()
+	m, err := ir.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return m
+}
+
+func TestCompileFig2Sites(t *testing.T) {
+	m := compile(t, fig2Src)
+	// Fig. 2 has 3 FP operations (x+1, x*x, x-1) and 2 comparisons.
+	if got := len(m.OpSites); got != 3 {
+		t.Errorf("op sites = %d, want 3", got)
+	}
+	if got := len(m.BranchSites); got != 2 {
+		t.Errorf("branch sites = %d, want 2", got)
+	}
+	// Labels carry source text and positions.
+	if !strings.Contains(m.BranchSites[0].Label, "x <= 1.0") {
+		t.Errorf("branch label = %q", m.BranchSites[0].Label)
+	}
+	if !strings.Contains(m.OpSites[1].Label, "x * x") {
+		t.Errorf("op label = %q", m.OpSites[1].Label)
+	}
+}
+
+func TestVerifyAcceptsLoweredPrograms(t *testing.T) {
+	srcs := []string{
+		fig2Src,
+		"func f(x double) double { return x; }",
+		"func f(x double) double { if (x < 0.0) { return -x; } return x; }",
+		"func f(x double) double { var i double = 0.0; while (i < 3.0) { i = i + 1.0; } return i; }",
+		"func g(a double) double { return a * a; } func f(x double) double { return g(x) + g(x + 1.0); }",
+		"func f(x double) bool { return x < 1.0 && x > -1.0 || x == 5.0; }",
+		"func f(x double) double { return pow(fabs(x), 0.5); }",
+		"func v(x double) {} func f(x double) { v(x); }",
+		"func f(x double) { assert(x < 1e300); }",
+		"func f(x double) double { if (x < 0.0) { return 0.0; } else { return 1.0; } }",
+	}
+	for _, src := range srcs {
+		m := compile(t, src)
+		if err := m.Verify(); err != nil {
+			t.Errorf("Verify(%q): %v", src, err)
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	m := compile(t, "func f(x double) double { return x + 1.0; }")
+	f := m.Funcs["f"]
+
+	// Out-of-range jump target.
+	broken := *m
+	saved := f.Blocks[0].Instrs
+	f.Blocks[0].Instrs = append([]ir.Instr(nil), saved...)
+	f.Blocks[0].Instrs[len(f.Blocks[0].Instrs)-1] = ir.Instr{Op: ir.Jmp, Target: 99}
+	if err := broken.Verify(); err == nil {
+		t.Error("Verify accepted out-of-range jump")
+	}
+	f.Blocks[0].Instrs = saved
+
+	// Terminator in the middle.
+	f.Blocks[0].Instrs = append([]ir.Instr{{Op: ir.Ret, A: 0}}, saved...)
+	if err := m.Verify(); err == nil {
+		t.Error("Verify accepted mid-block terminator")
+	}
+	f.Blocks[0].Instrs = saved
+
+	// Bad op site.
+	f.Blocks[0].Instrs = append([]ir.Instr(nil), saved...)
+	for i := range f.Blocks[0].Instrs {
+		if f.Blocks[0].Instrs[i].Op == ir.FAdd {
+			f.Blocks[0].Instrs[i].Site = 42
+		}
+	}
+	if err := m.Verify(); err == nil {
+		t.Error("Verify accepted out-of-range op site")
+	}
+	f.Blocks[0].Instrs = saved
+}
+
+func TestPrintRoundtripContent(t *testing.T) {
+	m := compile(t, fig2Src)
+	s := m.String()
+	for _, want := range []string{"func prog(r0)", "fadd", "fmul", "fsub", "fcmp <=", "condjmp", "ret", "b0:", "; br#0", "; op#"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printed IR missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestShortCircuitControlFlow(t *testing.T) {
+	// && must lower to control flow: the rhs comparison site must not be
+	// observed when the lhs already decides. Structure check: more than
+	// one block.
+	m := compile(t, "func f(x double) bool { return x < 1.0 && x > -1.0; }")
+	if got := len(m.Funcs["f"].Blocks); got < 3 {
+		t.Errorf("short-circuit lowered to %d blocks, want >= 3", got)
+	}
+}
+
+func TestUnreachableCodeAfterReturn(t *testing.T) {
+	m := compile(t, `
+func f(x double) double {
+    return x;
+    x = x + 1.0;
+    return x;
+}`)
+	if err := m.Verify(); err != nil {
+		t.Errorf("unreachable code broke verification: %v", err)
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	if ir.FAdd.String() != "fadd" || ir.CondJmp.String() != "condjmp" {
+		t.Error("opcode names wrong")
+	}
+	if !ir.FMul.IsFPArith() || ir.FCmp.IsFPArith() || ir.FNeg.IsFPArith() {
+		t.Error("IsFPArith misclassifies")
+	}
+	if !ir.CallBuiltin.IsFPArith() {
+		t.Error("builtin calls are FP op sites")
+	}
+}
+
+func TestCompileErrorsPropagate(t *testing.T) {
+	if _, err := ir.Compile("func f(x double) { y = 1.0; }"); err == nil {
+		t.Error("check error not propagated")
+	}
+	if _, err := ir.Compile("func f(x double { }"); err == nil {
+		t.Error("parse error not propagated")
+	}
+}
+
+func TestModuleFuncLookup(t *testing.T) {
+	m := compile(t, "func a(x double) {} func b(x double) {}")
+	if m.Func("a") == nil || m.Func("zzz") != nil {
+		t.Error("Func lookup broken")
+	}
+	if len(m.Order) != 2 || m.Order[0] != "a" {
+		t.Errorf("Order = %v", m.Order)
+	}
+}
+
+func TestVerifyRejectsKindViolations(t *testing.T) {
+	// Build small invalid functions by hand and check the verifier
+	// rejects each class of defect.
+	mk := func(mutate func(*ir.Module, *ir.Func)) error {
+		m := compile(t, "func f(x double) double { return x + 1.0; }")
+		f := m.Funcs["f"]
+		mutate(m, f)
+		return m.Verify()
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*ir.Module, *ir.Func)
+	}{
+		{"float dst for constb", func(m *ir.Module, f *ir.Func) {
+			f.Blocks[0].Instrs[0] = ir.Instr{Op: ir.ConstB, Dst: 0} // r0 is RegF
+		}},
+		{"bool operand for fadd", func(m *ir.Module, f *ir.Func) {
+			f.Kinds = append(f.Kinds, ir.RegB)
+			for i := range f.Blocks[0].Instrs {
+				if f.Blocks[0].Instrs[i].Op == ir.FAdd {
+					f.Blocks[0].Instrs[i].A = ir.Reg(len(f.Kinds) - 1)
+				}
+			}
+		}},
+		{"out-of-range register", func(m *ir.Module, f *ir.Func) {
+			for i := range f.Blocks[0].Instrs {
+				if f.Blocks[0].Instrs[i].Op == ir.FAdd {
+					f.Blocks[0].Instrs[i].B = 99
+				}
+			}
+		}},
+		{"unknown callee", func(m *ir.Module, f *ir.Func) {
+			f.Blocks[0].Instrs[0] = ir.Instr{Op: ir.Call, Dst: -1, Name: "ghost"}
+		}},
+		{"void ret in returning function", func(m *ir.Module, f *ir.Func) {
+			last := len(f.Blocks[0].Instrs) - 1
+			f.Blocks[0].Instrs[last] = ir.Instr{Op: ir.Ret, A: -1}
+		}},
+		{"empty block", func(m *ir.Module, f *ir.Func) {
+			f.Blocks = append(f.Blocks, ir.Block{})
+		}},
+		{"branch site on fcmp out of range", func(m *ir.Module, f *ir.Func) {
+			f.Kinds = append(f.Kinds, ir.RegB)
+			b := ir.Reg(len(f.Kinds) - 1)
+			f.Blocks[0].Instrs[0] = ir.Instr{Op: ir.FCmp, Dst: b, A: 0, B: 0, Site: 7}
+		}},
+	}
+	for _, c := range cases {
+		if err := mk(c.mutate); err == nil {
+			t.Errorf("%s: verifier accepted invalid IR", c.name)
+		}
+	}
+}
+
+func TestVerifyCallArityAndVoidCapture(t *testing.T) {
+	m := compile(t, `
+func v(a double) {}
+func g(a double) double { return a; }
+func f(x double) double { v(x); return g(x); }`)
+	f := m.Funcs["f"]
+	// Corrupt the call to g: capture into a bool register.
+	f.Kinds = append(f.Kinds, ir.RegB)
+	badDst := ir.Reg(len(f.Kinds) - 1)
+	for bi := range f.Blocks {
+		for ii := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[ii]
+			if in.Op == ir.Call && in.Name == "g" {
+				in.Dst = badDst
+			}
+		}
+	}
+	if err := m.Verify(); err == nil {
+		t.Error("bool capture of double call accepted")
+	}
+	// Restore and corrupt arity instead.
+	m2 := compile(t, `
+func v(a double) {}
+func f(x double) double { v(x); return x; }`)
+	f2 := m2.Funcs["f"]
+	for bi := range f2.Blocks {
+		for ii := range f2.Blocks[bi].Instrs {
+			in := &f2.Blocks[bi].Instrs[ii]
+			if in.Op == ir.Call {
+				in.Args = nil
+			}
+		}
+	}
+	if err := m2.Verify(); err == nil {
+		t.Error("wrong call arity accepted")
+	}
+	// Capture of a void function's result.
+	m3 := compile(t, `
+func v(a double) {}
+func f(x double) double { v(x); return x; }`)
+	f3 := m3.Funcs["f"]
+	for bi := range f3.Blocks {
+		for ii := range f3.Blocks[bi].Instrs {
+			in := &f3.Blocks[bi].Instrs[ii]
+			if in.Op == ir.Call {
+				in.Dst = 0
+			}
+		}
+	}
+	if err := m3.Verify(); err == nil {
+		t.Error("capture of void result accepted")
+	}
+}
+
+func TestHighwordBuiltinLowering(t *testing.T) {
+	m := compile(t, "func f(x double) double { return highword(x); }")
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The builtin call is an op site (library calls are FP op sites).
+	if len(m.OpSites) != 1 {
+		t.Errorf("op sites = %d, want 1", len(m.OpSites))
+	}
+}

@@ -1,0 +1,464 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/fp"
+	"repro/internal/lang"
+	"repro/internal/rt"
+)
+
+// Lower compiles a checked FPL file into an IR module, assigning
+// module-wide instrumentation sites to every floating-point operation
+// and branch condition. Lower assumes lang.Check succeeded; violations
+// surface as errors.
+func Lower(file *lang.File) (*Module, error) {
+	m := &Module{Funcs: map[string]*Func{}}
+	for _, fn := range file.Funcs {
+		lf := &lowerer{mod: m, file: file}
+		f, err := lf.lowerFunc(fn)
+		if err != nil {
+			return nil, err
+		}
+		m.Funcs[fn.Name] = f
+		m.Order = append(m.Order, fn.Name)
+	}
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("lowering produced invalid IR: %w", err)
+	}
+	return m, nil
+}
+
+// Compile parses, checks, and lowers FPL source in one step.
+func Compile(src string) (*Module, error) {
+	file, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := lang.Check(file); err != nil {
+		return nil, err
+	}
+	return Lower(file)
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]Reg
+}
+
+func (s *scope) lookup(name string) (Reg, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if r, ok := sc.vars[name]; ok {
+			return r, true
+		}
+	}
+	return -1, false
+}
+
+type lowerer struct {
+	mod  *Module
+	file *lang.File
+	fn   *Func
+	cur  int // current block index
+	sc   *scope
+}
+
+func (l *lowerer) newReg(k RegKind) Reg {
+	l.fn.Kinds = append(l.fn.Kinds, k)
+	return Reg(len(l.fn.Kinds) - 1)
+}
+
+func (l *lowerer) newBlock() int {
+	l.fn.Blocks = append(l.fn.Blocks, Block{})
+	return len(l.fn.Blocks) - 1
+}
+
+func (l *lowerer) emit(in Instr) {
+	b := &l.fn.Blocks[l.cur]
+	b.Instrs = append(b.Instrs, in)
+}
+
+// terminated reports whether the current block already ends in a
+// terminator.
+func (l *lowerer) terminated() bool {
+	b := l.fn.Blocks[l.cur]
+	if len(b.Instrs) == 0 {
+		return false
+	}
+	switch b.Instrs[len(b.Instrs)-1].Op {
+	case Jmp, CondJmp, Ret:
+		return true
+	}
+	return false
+}
+
+func (l *lowerer) newOpSite(pos lang.Pos, label string) int {
+	id := len(l.mod.OpSites)
+	l.mod.OpSites = append(l.mod.OpSites, rt.OpInfo{
+		ID:    id,
+		Label: fmt.Sprintf("%s: %s", pos, label),
+	})
+	return id
+}
+
+func (l *lowerer) newBranchSite(pos lang.Pos, label string, op fp.CmpOp) int {
+	id := len(l.mod.BranchSites)
+	l.mod.BranchSites = append(l.mod.BranchSites, rt.BranchInfo{
+		ID:    id,
+		Label: fmt.Sprintf("%s: %s", pos, label),
+		Op:    op,
+	})
+	return id
+}
+
+func (l *lowerer) lowerFunc(fn *lang.FuncDecl) (*Func, error) {
+	l.fn = &Func{
+		Name:    fn.Name,
+		NParams: len(fn.Params),
+		Ret:     retKindOf(fn.RetType),
+	}
+	l.sc = &scope{vars: map[string]Reg{}}
+	for _, p := range fn.Params {
+		r := l.newReg(kindOfType(p.Type))
+		l.sc.vars[p.Name] = r
+	}
+	l.newBlock()
+	l.cur = 0
+	if err := l.lowerBlock(fn.Body); err != nil {
+		return nil, err
+	}
+	if !l.terminated() {
+		switch l.fn.Ret {
+		case RetF:
+			// The checker guarantees all paths return; a fallthrough
+			// here is unreachable, but the IR still needs a terminator.
+			z := l.newReg(RegF)
+			l.emit(Instr{Op: ConstF, Dst: z, Val: 0, Pos: fn.Pos})
+			l.emit(Instr{Op: Ret, A: z, Pos: fn.Pos})
+		case RetB:
+			z := l.newReg(RegB)
+			l.emit(Instr{Op: ConstB, Dst: z, BVal: false, Pos: fn.Pos})
+			l.emit(Instr{Op: Ret, A: z, Pos: fn.Pos})
+		default:
+			l.emit(Instr{Op: Ret, A: -1, Pos: fn.Pos})
+		}
+	}
+	return l.fn, nil
+}
+
+func retKindOf(t lang.Type) RetKind {
+	switch t {
+	case lang.Double:
+		return RetF
+	case lang.Bool:
+		return RetB
+	}
+	return RetNone
+}
+
+func kindOfType(t lang.Type) RegKind {
+	if t == lang.Bool {
+		return RegB
+	}
+	return RegF
+}
+
+func (l *lowerer) lowerBlock(b *lang.BlockStmt) error {
+	l.sc = &scope{parent: l.sc, vars: map[string]Reg{}}
+	defer func() { l.sc = l.sc.parent }()
+	for _, s := range b.Stmts {
+		if l.terminated() {
+			// Unreachable code after return; lower into a fresh dead
+			// block to keep the IR well formed.
+			dead := l.newBlock()
+			l.cur = dead
+		}
+		if err := l.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *lowerer) lowerStmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.BlockStmt:
+		return l.lowerBlock(s)
+
+	case *lang.VarStmt:
+		r := l.newReg(kindOfType(s.Type))
+		if s.Init != nil {
+			v, err := l.lowerExpr(s.Init)
+			if err != nil {
+				return err
+			}
+			l.emit(Instr{Op: Mov, Dst: r, A: v, Pos: s.Pos})
+		} else if s.Type == lang.Double {
+			l.emit(Instr{Op: ConstF, Dst: r, Val: 0, Pos: s.Pos})
+		} else {
+			l.emit(Instr{Op: ConstB, Dst: r, BVal: false, Pos: s.Pos})
+		}
+		l.sc.vars[s.Name] = r
+		return nil
+
+	case *lang.AssignStmt:
+		r, ok := l.sc.lookup(s.Name)
+		if !ok {
+			return fmt.Errorf("%s: undefined variable %s", s.Pos, s.Name)
+		}
+		v, err := l.lowerExpr(s.Expr)
+		if err != nil {
+			return err
+		}
+		l.emit(Instr{Op: Mov, Dst: r, A: v, Pos: s.Pos})
+		return nil
+
+	case *lang.IfStmt:
+		cond, err := l.lowerExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		thenB := l.newBlock()
+		joinB := l.newBlock()
+		elseB := joinB
+		if s.Else != nil {
+			elseB = l.newBlock()
+		}
+		l.emit(Instr{Op: CondJmp, A: cond, Target: thenB, Else: elseB, Pos: s.Pos})
+		l.cur = thenB
+		if err := l.lowerBlock(s.Then); err != nil {
+			return err
+		}
+		if !l.terminated() {
+			l.emit(Instr{Op: Jmp, Target: joinB, Pos: s.Pos})
+		}
+		if s.Else != nil {
+			l.cur = elseB
+			if err := l.lowerStmt(s.Else); err != nil {
+				return err
+			}
+			if !l.terminated() {
+				l.emit(Instr{Op: Jmp, Target: joinB, Pos: s.Pos})
+			}
+		}
+		l.cur = joinB
+		return nil
+
+	case *lang.WhileStmt:
+		condB := l.newBlock()
+		bodyB := l.newBlock()
+		exitB := l.newBlock()
+		l.emit(Instr{Op: Jmp, Target: condB, Pos: s.Pos})
+		l.cur = condB
+		cond, err := l.lowerExpr(s.Cond)
+		if err != nil {
+			return err
+		}
+		l.emit(Instr{Op: CondJmp, A: cond, Target: bodyB, Else: exitB, Pos: s.Pos})
+		l.cur = bodyB
+		if err := l.lowerBlock(s.Body); err != nil {
+			return err
+		}
+		if !l.terminated() {
+			l.emit(Instr{Op: Jmp, Target: condB, Pos: s.Pos})
+		}
+		l.cur = exitB
+		return nil
+
+	case *lang.ReturnStmt:
+		if s.Expr == nil {
+			l.emit(Instr{Op: Ret, A: -1, Pos: s.Pos})
+			return nil
+		}
+		v, err := l.lowerExpr(s.Expr)
+		if err != nil {
+			return err
+		}
+		l.emit(Instr{Op: Ret, A: v, Pos: s.Pos})
+		return nil
+
+	case *lang.AssertStmt:
+		v, err := l.lowerExpr(s.Expr)
+		if err != nil {
+			return err
+		}
+		l.emit(Instr{Op: Assert, A: v, Pos: s.Pos, Label: s.Expr.Text()})
+		return nil
+
+	case *lang.ExprStmt:
+		_, err := l.lowerExprOrVoid(s.Expr)
+		return err
+	}
+	return fmt.Errorf("%s: unhandled statement %T", s.StartPos(), s)
+}
+
+// lowerExprOrVoid lowers an expression allowing void calls (register -1).
+func (l *lowerer) lowerExprOrVoid(e lang.Expr) (Reg, error) {
+	if call, ok := e.(*lang.CallExpr); ok && !call.Builtin {
+		callee := l.file.Func(call.Name)
+		if callee != nil && callee.RetType == lang.Invalid {
+			args, err := l.lowerArgs(call.Args)
+			if err != nil {
+				return -1, err
+			}
+			l.emit(Instr{Op: Call, Dst: -1, Name: call.Name, Args: args, Pos: call.Pos})
+			return -1, nil
+		}
+	}
+	return l.lowerExpr(e)
+}
+
+func (l *lowerer) lowerArgs(args []lang.Expr) ([]Reg, error) {
+	var regs []Reg
+	for _, a := range args {
+		r, err := l.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		regs = append(regs, r)
+	}
+	return regs, nil
+}
+
+func (l *lowerer) lowerExpr(e lang.Expr) (Reg, error) {
+	switch e := e.(type) {
+	case *lang.NumberLit:
+		r := l.newReg(RegF)
+		l.emit(Instr{Op: ConstF, Dst: r, Val: e.Val, Pos: e.Pos})
+		return r, nil
+
+	case *lang.BoolLit:
+		r := l.newReg(RegB)
+		l.emit(Instr{Op: ConstB, Dst: r, BVal: e.Val, Pos: e.Pos})
+		return r, nil
+
+	case *lang.Ident:
+		r, ok := l.sc.lookup(e.Name)
+		if !ok {
+			return -1, fmt.Errorf("%s: undefined variable %s", e.Pos, e.Name)
+		}
+		return r, nil
+
+	case *lang.UnaryExpr:
+		x, err := l.lowerExpr(e.X)
+		if err != nil {
+			return -1, err
+		}
+		if e.Op == lang.MINUS {
+			r := l.newReg(RegF)
+			l.emit(Instr{Op: FNeg, Dst: r, A: x, Pos: e.Pos})
+			return r, nil
+		}
+		r := l.newReg(RegB)
+		l.emit(Instr{Op: Not, Dst: r, A: x, Pos: e.Pos})
+		return r, nil
+
+	case *lang.BinaryExpr:
+		switch e.Op {
+		case lang.ANDAND, lang.OROR:
+			return l.lowerShortCircuit(e)
+		case lang.LT, lang.LE, lang.GT, lang.GE, lang.EQ, lang.NE:
+			x, err := l.lowerExpr(e.X)
+			if err != nil {
+				return -1, err
+			}
+			y, err := l.lowerExpr(e.Y)
+			if err != nil {
+				return -1, err
+			}
+			pred := cmpOpOf(e.Op)
+			r := l.newReg(RegB)
+			site := l.newBranchSite(e.Pos, e.Text(), pred)
+			l.emit(Instr{Op: FCmp, Dst: r, A: x, B: y, Pred: pred, Site: site, Pos: e.Pos, Label: e.Text()})
+			return r, nil
+		default:
+			x, err := l.lowerExpr(e.X)
+			if err != nil {
+				return -1, err
+			}
+			y, err := l.lowerExpr(e.Y)
+			if err != nil {
+				return -1, err
+			}
+			var op Opcode
+			switch e.Op {
+			case lang.PLUS:
+				op = FAdd
+			case lang.MINUS:
+				op = FSub
+			case lang.STAR:
+				op = FMul
+			case lang.SLASH:
+				op = FDiv
+			default:
+				return -1, fmt.Errorf("%s: bad binary operator %s", e.Pos, e.Op)
+			}
+			r := l.newReg(RegF)
+			site := l.newOpSite(e.Pos, e.Text())
+			l.emit(Instr{Op: op, Dst: r, A: x, B: y, Site: site, Pos: e.Pos, Label: e.Text()})
+			return r, nil
+		}
+
+	case *lang.CallExpr:
+		args, err := l.lowerArgs(e.Args)
+		if err != nil {
+			return -1, err
+		}
+		if e.Builtin {
+			r := l.newReg(RegF)
+			site := l.newOpSite(e.Pos, e.Text())
+			l.emit(Instr{Op: CallBuiltin, Dst: r, Name: e.Name, Args: args, Site: site, Pos: e.Pos, Label: e.Text()})
+			return r, nil
+		}
+		r := l.newReg(kindOfType(e.Type()))
+		l.emit(Instr{Op: Call, Dst: r, Name: e.Name, Args: args, Pos: e.Pos})
+		return r, nil
+	}
+	return -1, fmt.Errorf("%s: unhandled expression %T", e.StartPos(), e)
+}
+
+// lowerShortCircuit lowers && and || with real control flow, so the
+// right operand (and any comparisons inside it) only executes — and is
+// only observed — when the left operand does not decide the result.
+func (l *lowerer) lowerShortCircuit(e *lang.BinaryExpr) (Reg, error) {
+	res := l.newReg(RegB)
+	x, err := l.lowerExpr(e.X)
+	if err != nil {
+		return -1, err
+	}
+	l.emit(Instr{Op: Mov, Dst: res, A: x, Pos: e.Pos})
+	rhsB := l.newBlock()
+	joinB := l.newBlock()
+	if e.Op == lang.ANDAND {
+		l.emit(Instr{Op: CondJmp, A: res, Target: rhsB, Else: joinB, Pos: e.Pos})
+	} else {
+		l.emit(Instr{Op: CondJmp, A: res, Target: joinB, Else: rhsB, Pos: e.Pos})
+	}
+	l.cur = rhsB
+	y, err := l.lowerExpr(e.Y)
+	if err != nil {
+		return -1, err
+	}
+	l.emit(Instr{Op: Mov, Dst: res, A: y, Pos: e.Pos})
+	l.emit(Instr{Op: Jmp, Target: joinB, Pos: e.Pos})
+	l.cur = joinB
+	return res, nil
+}
+
+func cmpOpOf(k lang.Kind) fp.CmpOp {
+	switch k {
+	case lang.LT:
+		return fp.LT
+	case lang.LE:
+		return fp.LE
+	case lang.GT:
+		return fp.GT
+	case lang.GE:
+		return fp.GE
+	case lang.EQ:
+		return fp.EQ
+	case lang.NE:
+		return fp.NE
+	}
+	panic("not a comparison")
+}

@@ -1,0 +1,107 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in a readable assembly-like syntax, e.g.
+//
+//	func prog(r0) {
+//	b0:
+//	    r1 = constf 1
+//	    r2 = fcmp le r0, r1    ; br#0 2:9: x <= 1.0
+//	    condjmp r2, b1, b2
+//	...
+func (m *Module) String() string {
+	var sb strings.Builder
+	for i, name := range m.Order {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		m.Funcs[name].print(&sb)
+	}
+	return sb.String()
+}
+
+// String renders a single function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	f.print(&sb)
+	return sb.String()
+}
+
+func (f *Func) print(sb *strings.Builder) {
+	params := make([]string, f.NParams)
+	for i := range params {
+		params[i] = fmt.Sprintf("r%d", i)
+	}
+	ret := ""
+	switch f.Ret {
+	case RetF:
+		ret = " double"
+	case RetB:
+		ret = " bool"
+	}
+	fmt.Fprintf(sb, "func %s(%s)%s {\n", f.Name, strings.Join(params, ", "), ret)
+	for bi, b := range f.Blocks {
+		fmt.Fprintf(sb, "b%d:\n", bi)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(sb, "    %s\n", in)
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	site := func(prefix string) string {
+		if in.Site == NoSite {
+			return ""
+		}
+		return fmt.Sprintf("    ; %s#%d %s", prefix, in.Site, in.Label)
+	}
+	switch in.Op {
+	case ConstF:
+		return fmt.Sprintf("r%d = constf %g", in.Dst, in.Val)
+	case ConstB:
+		return fmt.Sprintf("r%d = constb %t", in.Dst, in.BVal)
+	case Mov:
+		return fmt.Sprintf("r%d = r%d", in.Dst, in.A)
+	case FAdd, FSub, FMul, FDiv:
+		return fmt.Sprintf("r%d = %s r%d, r%d%s", in.Dst, in.Op, in.A, in.B, site("op"))
+	case FNeg:
+		return fmt.Sprintf("r%d = fneg r%d", in.Dst, in.A)
+	case FCmp:
+		return fmt.Sprintf("r%d = fcmp %s r%d, r%d%s", in.Dst, in.Pred, in.A, in.B, site("br"))
+	case Not:
+		return fmt.Sprintf("r%d = not r%d", in.Dst, in.A)
+	case Call, CallBuiltin:
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = fmt.Sprintf("r%d", a)
+		}
+		kind := "call"
+		suffix := ""
+		if in.Op == CallBuiltin {
+			kind = "callb"
+			suffix = site("op")
+		}
+		if in.Dst < 0 {
+			return fmt.Sprintf("%s %s(%s)%s", kind, in.Name, strings.Join(args, ", "), suffix)
+		}
+		return fmt.Sprintf("r%d = %s %s(%s)%s", in.Dst, kind, in.Name, strings.Join(args, ", "), suffix)
+	case Jmp:
+		return fmt.Sprintf("jmp b%d", in.Target)
+	case CondJmp:
+		return fmt.Sprintf("condjmp r%d, b%d, b%d", in.A, in.Target, in.Else)
+	case Ret:
+		if in.A < 0 {
+			return "ret"
+		}
+		return fmt.Sprintf("ret r%d", in.A)
+	case Assert:
+		return fmt.Sprintf("assert r%d    ; %s", in.A, in.Label)
+	}
+	return fmt.Sprintf("?%d", in.Op)
+}

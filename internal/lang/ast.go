@@ -1,0 +1,262 @@
+package lang
+
+import "strings"
+
+// Type is an FPL type.
+type Type int
+
+// FPL types. Invalid marks unresolved or erroneous expressions during
+// checking.
+const (
+	Invalid Type = iota
+	Double
+	Bool
+)
+
+// String returns the source spelling.
+func (t Type) String() string {
+	switch t {
+	case Double:
+		return "double"
+	case Bool:
+		return "bool"
+	}
+	return "invalid"
+}
+
+// File is a parsed FPL source file.
+type File struct {
+	Funcs []*FuncDecl
+}
+
+// Func returns the declared function with the given name, or nil.
+func (f *File) Func(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// FuncDecl is a function declaration.
+type FuncDecl struct {
+	Pos     Pos
+	Name    string
+	Params  []Param
+	RetType Type // Invalid when the function returns nothing
+	Body    *BlockStmt
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type Type
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmtNode()
+	StartPos() Pos
+}
+
+// BlockStmt is a `{ ... }` statement list.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarStmt is `var name type = init;` (init optional).
+type VarStmt struct {
+	Pos  Pos
+	Name string
+	Type Type
+	Init Expr // may be nil
+}
+
+// AssignStmt is `name = expr;`.
+type AssignStmt struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// IfStmt is `if (cond) block [else block|if]`.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else Stmt // *BlockStmt, *IfStmt, or nil
+}
+
+// WhileStmt is `while (cond) block`.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ReturnStmt is `return [expr];`.
+type ReturnStmt struct {
+	Pos  Pos
+	Expr Expr // may be nil
+}
+
+// AssertStmt is `assert(expr);` — the analyzable assertion of the
+// paper's Fig. 1 examples.
+type AssertStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+// ExprStmt is a bare call expression used as a statement.
+type ExprStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+func (*BlockStmt) stmtNode()  {}
+func (*VarStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*AssertStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+// StartPos implements Stmt.
+func (s *BlockStmt) StartPos() Pos  { return s.Pos }
+func (s *VarStmt) StartPos() Pos    { return s.Pos }
+func (s *AssignStmt) StartPos() Pos { return s.Pos }
+func (s *IfStmt) StartPos() Pos     { return s.Pos }
+func (s *WhileStmt) StartPos() Pos  { return s.Pos }
+func (s *ReturnStmt) StartPos() Pos { return s.Pos }
+func (s *AssertStmt) StartPos() Pos { return s.Pos }
+func (s *ExprStmt) StartPos() Pos   { return s.Pos }
+
+// Expr is an expression node. Checked expressions carry their type.
+type Expr interface {
+	exprNode()
+	StartPos() Pos
+	// Type returns the checked type (Invalid before checking).
+	Type() Type
+	// Text renders the expression approximately as written, used for
+	// instrumentation-site labels.
+	Text() string
+}
+
+// NumberLit is a floating-point literal.
+type NumberLit struct {
+	Pos Pos
+	Lit string
+	Val float64
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+// Ident is a variable reference.
+type Ident struct {
+	Pos  Pos
+	Name string
+	typ  Type
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  Kind // MINUS or NOT
+	X   Expr
+	typ Type
+}
+
+// BinaryExpr is a binary operation: arithmetic (+ - * /), comparison
+// (< <= > >= == !=) or logical (&& ||).
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Kind
+	X, Y Expr
+	typ  Type
+}
+
+// CallExpr is f(args...) — a user function or math builtin.
+type CallExpr struct {
+	Pos     Pos
+	Name    string
+	Args    []Expr
+	typ     Type
+	Builtin bool // resolved during checking
+}
+
+func (*NumberLit) exprNode()  {}
+func (*BoolLit) exprNode()    {}
+func (*Ident) exprNode()      {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*CallExpr) exprNode()   {}
+
+// StartPos implements Expr.
+func (e *NumberLit) StartPos() Pos  { return e.Pos }
+func (e *BoolLit) StartPos() Pos    { return e.Pos }
+func (e *Ident) StartPos() Pos      { return e.Pos }
+func (e *UnaryExpr) StartPos() Pos  { return e.Pos }
+func (e *BinaryExpr) StartPos() Pos { return e.Pos }
+func (e *CallExpr) StartPos() Pos   { return e.Pos }
+
+// Type implements Expr.
+func (e *NumberLit) Type() Type  { return Double }
+func (e *BoolLit) Type() Type    { return Bool }
+func (e *Ident) Type() Type      { return e.typ }
+func (e *UnaryExpr) Type() Type  { return e.typ }
+func (e *BinaryExpr) Type() Type { return e.typ }
+func (e *CallExpr) Type() Type   { return e.typ }
+
+// Text implements Expr.
+func (e *NumberLit) Text() string { return e.Lit }
+
+// Text implements Expr.
+func (e *BoolLit) Text() string {
+	if e.Val {
+		return "true"
+	}
+	return "false"
+}
+
+// Text implements Expr.
+func (e *Ident) Text() string { return e.Name }
+
+// Text implements Expr.
+func (e *UnaryExpr) Text() string {
+	op := "-"
+	if e.Op == NOT {
+		op = "!"
+	}
+	return op + e.X.Text()
+}
+
+// Text implements Expr.
+func (e *BinaryExpr) Text() string {
+	return paren(e.X) + " " + e.Op.String() + " " + paren(e.Y)
+}
+
+// paren wraps nested binary operands so rendered labels read
+// unambiguously ("(z*z - a) / (2.0*z)", not "z*z - a / 2.0*z").
+func paren(e Expr) string {
+	if _, ok := e.(*BinaryExpr); ok {
+		return "(" + e.Text() + ")"
+	}
+	return e.Text()
+}
+
+// Text implements Expr.
+func (e *CallExpr) Text() string {
+	var args []string
+	for _, a := range e.Args {
+		args = append(args, a.Text())
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}

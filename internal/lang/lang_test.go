@@ -1,0 +1,279 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const fig2Src = `
+// The paper's Fig. 2 program.
+func prog(x double) {
+    if (x <= 1.0) {
+        x = x + 1.0;
+    }
+    var y double = x * x;
+    if (y <= 4.0) {
+        x = x - 1.0;
+    }
+}
+`
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func mustCheck(t *testing.T, src string) *File {
+	t.Helper()
+	f := mustParse(t, src)
+	if err := Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return f
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("func f(x double) { x = x + 1.5e-3; } // c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	want := []Kind{FUNC, IDENT, LPAREN, IDENT, DOUBLE, RPAREN, LBRACE,
+		IDENT, ASSIGN, IDENT, PLUS, NUMBER, SEMICOLON, RBRACE, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(kinds), kinds, len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex("< <= > >= == != = && || ! - + * /")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{LT, LE, GT, GE, EQ, NE, ASSIGN, ANDAND, OROR, NOT, MINUS, PLUS, STAR, SLASH, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	for _, lit := range []string{"0", "42", "3.14", "1e10", "1.5e-300", "2E+8", ".5"} {
+		toks, err := Lex(lit)
+		if err != nil {
+			t.Errorf("Lex(%q): %v", lit, err)
+			continue
+		}
+		if toks[0].Kind != NUMBER || toks[0].Lit != lit {
+			t.Errorf("Lex(%q) = %v", lit, toks[0])
+		}
+	}
+}
+
+func TestLexBlockComment(t *testing.T) {
+	toks, err := Lex("/* multi\nline */ func")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != FUNC {
+		t.Errorf("got %v", toks[0])
+	}
+	if toks[0].Pos.Line != 2 {
+		t.Errorf("position tracking through comments: line %d, want 2", toks[0].Pos.Line)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "1e", "/* unclosed", "&", "|"} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseFig2(t *testing.T) {
+	f := mustParse(t, fig2Src)
+	if len(f.Funcs) != 1 {
+		t.Fatalf("got %d functions", len(f.Funcs))
+	}
+	fn := f.Funcs[0]
+	if fn.Name != "prog" || len(fn.Params) != 1 || fn.Params[0].Type != Double {
+		t.Errorf("bad signature: %+v", fn)
+	}
+	if len(fn.Body.Stmts) != 3 {
+		t.Errorf("got %d top statements, want 3", len(fn.Body.Stmts))
+	}
+	ifs, ok := fn.Body.Stmts[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("first stmt is %T", fn.Body.Stmts[0])
+	}
+	cond, ok := ifs.Cond.(*BinaryExpr)
+	if !ok || cond.Op != LE {
+		t.Errorf("condition: %v", ifs.Cond)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, "func f(a double, b double) bool { return a + b * 2.0 < a * a; }")
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	cmp := ret.Expr.(*BinaryExpr)
+	if cmp.Op != LT {
+		t.Fatalf("top op %s", cmp.Op)
+	}
+	add := cmp.X.(*BinaryExpr)
+	if add.Op != PLUS {
+		t.Fatalf("left of < is %s, want +", add.Op)
+	}
+	if mul := add.Y.(*BinaryExpr); mul.Op != STAR {
+		t.Errorf("right of + is %s, want *", mul.Op)
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	src := `
+func f(x double) double {
+    if (x < 1.0) { return 1.0; }
+    else if (x < 2.0) { return 2.0; }
+    else { return 3.0; }
+}`
+	f := mustCheck(t, src)
+	ifs := f.Funcs[0].Body.Stmts[0].(*IfStmt)
+	if _, ok := ifs.Else.(*IfStmt); !ok {
+		t.Errorf("else-if not chained: %T", ifs.Else)
+	}
+}
+
+func TestParseWhileAndCalls(t *testing.T) {
+	src := `
+func helper(a double) double { return a * 2.0; }
+func f(x double) double {
+    var i double = 0.0;
+    while (i < 10.0) {
+        x = helper(x) + sin(x);
+        i = i + 1.0;
+    }
+    return x;
+}`
+	mustCheck(t, src)
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                   // no functions
+		"func f(x double) {",                 // unclosed block
+		"func f(x double) { x = ; }",         // missing expr
+		"func f(x double) { var y; }",        // missing type
+		"func f(x double) { 1.0; }",          // non-call expression stmt
+		"func f(x double) { if x < 1 {} }",   // missing parens
+		"func f(x double) { assert x > 1; }", // missing parens
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestCheckFig2(t *testing.T) {
+	mustCheck(t, fig2Src)
+}
+
+func TestCheckAssertBool(t *testing.T) {
+	mustCheck(t, "func f(x double) { assert(x < 2.0); }")
+	f := mustParse(t, "func f(x double) { assert(x + 2.0); }")
+	if err := Check(f); err == nil || !strings.Contains(err.Error(), "bool") {
+		t.Errorf("expected bool error, got %v", err)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"func f(x double) { y = 1.0; }", "undefined variable"},
+		{"func f(x double) { x = true; }", "cannot assign"},
+		{"func f(x double) { var b bool = 1.0; }", "cannot initialize"},
+		{"func f(x double) { if (x) {} }", "must be bool"},
+		{"func f(x double) { while (x + 1.0) {} }", "must be bool"},
+		{"func f(x double) double { return true; }", "cannot return"},
+		{"func f(x double) double { }", "missing return"},
+		{"func f(x double) double { if (x < 1.0) { return 1.0; } }", "missing return"},
+		{"func f(x double) { return 1.0; }", "returns no value"},
+		{"func f(x double) { g(x); }", "undefined function"},
+		{"func f(x double) { sin(x, x); }", "takes 1 argument"},
+		{"func f(x double) { pow(x); }", "takes 2 argument"},
+		{"func f(x double) { var x double; var x double; }", "redeclared"},
+		{"func f(x double) {} func f(y double) {}", "redeclared"},
+		{"func sin(x double) {}", "shadows a builtin"},
+		{"func f(x double) { x = x + true; }", "requires double"},
+		{"func f(x double) { x = -true; }", "requires double"},
+		{"func f(b bool) { b = !1.0; }", "requires bool"},
+		{"func f(x double) { var b bool = x < 1.0 && x; }", "requires bool"},
+		{"func g(x double) {} func f(x double) { x = g(x); }", "cannot assign"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q) failed at parse time: %v", c.src, err)
+			continue
+		}
+		err = Check(f)
+		if err == nil {
+			t.Errorf("Check(%q): expected error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Check(%q) = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCheckScopes(t *testing.T) {
+	// Inner scopes may shadow outer ones; uses resolve innermost.
+	mustCheck(t, `
+func f(x double) double {
+    var y double = 1.0;
+    if (x < 1.0) {
+        var y bool = true;
+        assert(y);
+    }
+    return y;
+}`)
+}
+
+func TestExprText(t *testing.T) {
+	f := mustCheck(t, "func f(x double) double { return fabs(x - 1.0) * 2.0; }")
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	got := ret.Expr.Text()
+	if !strings.Contains(got, "fabs(x - 1.0)") {
+		t.Errorf("Text() = %q", got)
+	}
+}
+
+func TestFileFunc(t *testing.T) {
+	f := mustParse(t, "func a(x double) {} func b(x double) {}")
+	if f.Func("b") == nil || f.Func("missing") != nil {
+		t.Error("Func lookup broken")
+	}
+}
+
+func TestPosReporting(t *testing.T) {
+	_, err := Parse("func f(x double) {\n  bad bad;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q lacks line 2 position", err)
+	}
+}

@@ -1,0 +1,216 @@
+package lang
+
+import (
+	"strings"
+)
+
+// Lexer turns FPL source text into tokens. It supports // line comments
+// and /* block comments */ and tracks line/column positions for
+// diagnostics.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the entire input, returning the token stream terminated
+// by an EOF token, or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.off]
+		if k, ok := keywords[lit]; ok {
+			return Token{Kind: k, Lit: lit, Pos: pos}, nil
+		}
+		return Token{Kind: IDENT, Lit: lit, Pos: pos}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(l.peek2())):
+		return l.lexNumber(pos)
+	}
+
+	l.advance()
+	two := func(second byte, with, without Kind) (Token, error) {
+		if l.peek() == second {
+			l.advance()
+			return Token{Kind: with, Pos: pos}, nil
+		}
+		return Token{Kind: without, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LPAREN, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RPAREN, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBRACE, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBRACE, Pos: pos}, nil
+	case ',':
+		return Token{Kind: COMMA, Pos: pos}, nil
+	case ';':
+		return Token{Kind: SEMICOLON, Pos: pos}, nil
+	case '+':
+		return Token{Kind: PLUS, Pos: pos}, nil
+	case '-':
+		return Token{Kind: MINUS, Pos: pos}, nil
+	case '*':
+		return Token{Kind: STAR, Pos: pos}, nil
+	case '/':
+		return Token{Kind: SLASH, Pos: pos}, nil
+	case '=':
+		return two('=', EQ, ASSIGN)
+	case '<':
+		return two('=', LE, LT)
+	case '>':
+		return two('=', GE, GT)
+	case '!':
+		return two('=', NE, NOT)
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: ANDAND, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q (did you mean &&?)", "&")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OROR, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected character %q (did you mean ||?)", "|")
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// lexNumber scans a floating-point literal: digits, optional fraction,
+// optional exponent (1, 1.5, .5, 1e10, 1.5e-300, 0x1p4 is NOT supported).
+func (l *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	if l.peek() == '.' {
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		l.advance()
+		if c := l.peek(); c == '+' || c == '-' {
+			l.advance()
+		}
+		if !isDigit(l.peek()) {
+			return Token{}, errf(l.pos(), "malformed exponent in number literal")
+		}
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	lit := l.src[start:l.off]
+	if strings.HasSuffix(lit, ".") && strings.Count(lit, ".") == 1 && len(lit) == 1 {
+		return Token{}, errf(pos, "malformed number literal %q", lit)
+	}
+	return Token{Kind: NUMBER, Lit: lit, Pos: pos}, nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }

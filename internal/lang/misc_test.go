@@ -1,0 +1,81 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+		FUNC: "func", IF: "if", ELSE: "else", WHILE: "while",
+		ASSIGN: "=", LE: "<=", NE: "!=", ANDAND: "&&", OROR: "||",
+		LBRACE: "{", SEMICOLON: ";",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(999).String(); !strings.Contains(got, "999") {
+		t.Errorf("unknown kind string %q", got)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "foo"}
+	if got := tok.String(); !strings.Contains(got, "foo") {
+		t.Errorf("Token.String() = %q", got)
+	}
+	num := Token{Kind: NUMBER, Lit: "1.5"}
+	if got := num.String(); !strings.Contains(got, "1.5") {
+		t.Errorf("Token.String() = %q", got)
+	}
+	kw := Token{Kind: FUNC}
+	if got := kw.String(); got != "func" {
+		t.Errorf("Token.String() = %q", got)
+	}
+}
+
+func TestPosAndErrorStrings(t *testing.T) {
+	p := Pos{Line: 3, Col: 7}
+	if p.String() != "3:7" {
+		t.Errorf("Pos.String() = %q", p.String())
+	}
+	e := errf(p, "bad %s", "thing")
+	if e.Error() != "3:7: bad thing" {
+		t.Errorf("Error() = %q", e.Error())
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	if Double.String() != "double" || Bool.String() != "bool" || Invalid.String() != "invalid" {
+		t.Error("type strings wrong")
+	}
+}
+
+func TestHighwordBuiltinChecks(t *testing.T) {
+	if _, err := Parse("func f(x double) double { return highword(x); }"); err != nil {
+		t.Fatal(err)
+	}
+	f := mustParse(t, "func f(x double) double { return highword(x); }")
+	if err := Check(f); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	// Arity enforced.
+	f2 := mustParse(t, "func f(x double) double { return highword(x, x); }")
+	if err := Check(f2); err == nil {
+		t.Error("highword arity not enforced")
+	}
+}
+
+func TestUnaryAndCallText(t *testing.T) {
+	f := mustCheck(t, "func f(x double) bool { return !(x < 1.0) || -x > 0.0; }")
+	ret := f.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	txt := ret.Expr.Text()
+	for _, want := range []string{"!", "-x"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Text() = %q missing %q", txt, want)
+		}
+	}
+}

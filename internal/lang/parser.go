@@ -1,0 +1,438 @@
+package lang
+
+import (
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for FPL.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses an FPL source file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseFile()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %s, found %s", k, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.cur().Kind != EOF {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		f.Funcs = append(f.Funcs, fn)
+	}
+	if len(f.Funcs) == 0 {
+		return nil, errf(Pos{1, 1}, "source contains no functions")
+	}
+	return f, nil
+}
+
+func (p *Parser) parseType() (Type, error) {
+	switch t := p.next(); t.Kind {
+	case DOUBLE:
+		return Double, nil
+	case BOOL:
+		return Bool, nil
+	default:
+		return Invalid, errf(t.Pos, "expected type, found %s", t)
+	}
+}
+
+func (p *Parser) parseFunc() (*FuncDecl, error) {
+	kw, err := p.expect(FUNC)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Pos: kw.Pos, Name: name.Lit}
+	for p.cur().Kind != RPAREN {
+		if len(fn.Params) > 0 {
+			if _, err := p.expect(COMMA); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, Param{Pos: pn.Pos, Name: pn.Lit, Type: pt})
+	}
+	p.next() // RPAREN
+	// Optional return type before the body.
+	if k := p.cur().Kind; k == DOUBLE || k == BOOL {
+		rt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fn.RetType = rt
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for p.cur().Kind != RBRACE {
+		if p.cur().Kind == EOF {
+			return nil, errf(p.cur().Pos, "unexpected EOF, unclosed block at %s", lb.Pos)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next() // RBRACE
+	return blk, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch t := p.cur(); t.Kind {
+	case LBRACE:
+		return p.parseBlock()
+	case VAR:
+		return p.parseVar()
+	case IF:
+		return p.parseIf()
+	case WHILE:
+		return p.parseWhile()
+	case RETURN:
+		p.next()
+		rs := &ReturnStmt{Pos: t.Pos}
+		if p.cur().Kind != SEMICOLON {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Expr = e
+		}
+		if _, err := p.expect(SEMICOLON); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case ASSERT:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMICOLON); err != nil {
+			return nil, err
+		}
+		return &AssertStmt{Pos: t.Pos, Expr: e}, nil
+	case IDENT:
+		// Assignment or call statement.
+		if p.toks[p.pos+1].Kind == ASSIGN {
+			p.next()
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(SEMICOLON); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: t.Pos, Name: t.Lit, Expr: e}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(SEMICOLON); err != nil {
+			return nil, err
+		}
+		if _, ok := e.(*CallExpr); !ok {
+			return nil, errf(t.Pos, "expression statement must be a call")
+		}
+		return &ExprStmt{Pos: t.Pos, Expr: e}, nil
+	default:
+		return nil, errf(t.Pos, "expected statement, found %s", t)
+	}
+}
+
+func (p *Parser) parseVar() (Stmt, error) {
+	kw := p.next() // VAR
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	vs := &VarStmt{Pos: kw.Pos, Name: name.Lit, Type: typ}
+	if p.accept(ASSIGN) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		vs.Init = e
+	}
+	if _, err := p.expect(SEMICOLON); err != nil {
+		return nil, err
+	}
+	return vs, nil
+}
+
+func (p *Parser) parseIf() (Stmt, error) {
+	kw := p.next() // IF
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: kw.Pos, Cond: cond, Then: then}
+	if p.accept(ELSE) {
+		if p.cur().Kind == IF {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		} else {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+	}
+	return st, nil
+}
+
+func (p *Parser) parseWhile() (Stmt, error) {
+	kw := p.next() // WHILE
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: kw.Pos, Cond: cond, Body: body}, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	or:      and ('||' and)*
+//	and:     cmp ('&&' cmp)*
+//	cmp:     add (('<'|'<='|'>'|'>='|'=='|'!=') add)?
+//	add:     mul (('+'|'-') mul)*
+//	mul:     unary (('*'|'/') unary)*
+//	unary:   ('-'|'!') unary | primary
+//	primary: NUMBER | true | false | IDENT | IDENT '(' args ')' | '(' expr ')'
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == OROR {
+		op := p.next()
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: OROR, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	x, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == ANDAND {
+		op := p.next()
+		y, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: ANDAND, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	x, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch k := p.cur().Kind; k {
+	case LT, LE, GT, GE, EQ, NE:
+		op := p.next()
+		y, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Pos: op.Pos, Op: k, X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	x, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		if k != PLUS && k != MINUS {
+			return x, nil
+		}
+		op := p.next()
+		y, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: k, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		k := p.cur().Kind
+		if k != STAR && k != SLASH {
+			return x, nil
+		}
+		op := p.next()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos: op.Pos, Op: k, X: x, Y: y}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch t := p.cur(); t.Kind {
+	case MINUS, NOT:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: t.Kind, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch t := p.next(); t.Kind {
+	case NUMBER:
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			return nil, errf(t.Pos, "bad number literal %q: %v", t.Lit, err)
+		}
+		return &NumberLit{Pos: t.Pos, Lit: t.Lit, Val: v}, nil
+	case TRUE:
+		return &BoolLit{Pos: t.Pos, Val: true}, nil
+	case FALSE:
+		return &BoolLit{Pos: t.Pos, Val: false}, nil
+	case IDENT:
+		if p.cur().Kind == LPAREN {
+			p.next()
+			call := &CallExpr{Pos: t.Pos, Name: t.Lit}
+			for p.cur().Kind != RPAREN {
+				if len(call.Args) > 0 {
+					if _, err := p.expect(COMMA); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+			}
+			p.next() // RPAREN
+			return call, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Lit}, nil
+	case LPAREN:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errf(t.Pos, "expected expression, found %s", t)
+	}
+}

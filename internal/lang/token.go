@@ -1,0 +1,124 @@
+// Package lang implements the front end of FPL, the small C-like
+// floating-point language used to write analyzable client programs
+// (the paper's Client layer, §5.1). FPL programs are lexed and parsed
+// here, type-checked, and then lowered to the three-address IR of
+// internal/ir, where every floating-point operation is exactly one
+// instruction — mirroring the paper's LLVM-IR view of the analyzed code
+// (§4.4).
+//
+// The language is deliberately small: the double and bool types,
+// functions over doubles, if/else, while, assignment, assert, calls to
+// user functions and to the math builtins (sin, cos, tan, sqrt, fabs,
+// exp, log, pow, floor, ceil). This is exactly the fragment the paper's
+// examples and weak-distance constructions need.
+package lang
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	NUMBER
+
+	// Keywords.
+	FUNC
+	VAR
+	IF
+	ELSE
+	WHILE
+	RETURN
+	ASSERT
+	TRUE
+	FALSE
+	DOUBLE
+	BOOL
+
+	// Punctuation.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	COMMA     // ,
+	SEMICOLON // ;
+
+	// Operators.
+	ASSIGN // =
+	PLUS   // +
+	MINUS  // -
+	STAR   // *
+	SLASH  // /
+	NOT    // !
+	LT     // <
+	LE     // <=
+	GT     // >
+	GE     // >=
+	EQ     // ==
+	NE     // !=
+	ANDAND // &&
+	OROR   // ||
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", NUMBER: "number",
+	FUNC: "func", VAR: "var", IF: "if", ELSE: "else", WHILE: "while",
+	RETURN: "return", ASSERT: "assert", TRUE: "true", FALSE: "false",
+	DOUBLE: "double", BOOL: "bool",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}",
+	COMMA: ",", SEMICOLON: ";",
+	ASSIGN: "=", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	NOT: "!", LT: "<", LE: "<=", GT: ">", GE: ">=", EQ: "==", NE: "!=",
+	ANDAND: "&&", OROR: "||",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// keywords maps identifier spellings to keyword kinds.
+var keywords = map[string]Kind{
+	"func": FUNC, "var": VAR, "if": IF, "else": ELSE, "while": WHILE,
+	"return": RETURN, "assert": ASSERT, "true": TRUE, "false": FALSE,
+	"double": DOUBLE, "bool": BOOL,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text for IDENT and NUMBER
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == IDENT || t.Kind == NUMBER {
+		return fmt.Sprintf("%s(%s)", t.Kind, t.Lit)
+	}
+	return t.Kind.String()
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,120 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DifferentialEvolution is the rand/1/bin variant of Storn's differential
+// evolution (Storn 1999), the second backend in the paper's Table 1
+// sanity check: an evolutionary direct-search strategy maintaining a
+// population of candidate points.
+//
+// The zero value is ready to use.
+type DifferentialEvolution struct {
+	// PopSize is the population size; zero selects max(15*dim, 30).
+	PopSize int
+	// F is the differential weight; zero selects 0.7.
+	F float64
+	// CR is the crossover probability; zero selects 0.9.
+	CR float64
+	// InitSpan bounds the initial population when the search range is
+	// the full float lattice; zero keeps full-lattice initialization.
+	// (Table 1 reproduces SciPy-like behaviour with linear-range
+	// initialization, which is why DE tends to miss isolated zeros.)
+	InitSpan float64
+}
+
+// Name implements Minimizer.
+func (de *DifferentialEvolution) Name() string { return "DifferentialEvolution" }
+
+// Minimize implements Minimizer.
+func (de *DifferentialEvolution) Minimize(obj Objective, dim int, cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x1e3779b97f4a7c15))
+	e := newEvaluator(obj, cfg, 4000*dim)
+
+	np := de.PopSize
+	if np == 0 {
+		np = 15 * dim
+		if np < 30 {
+			np = 30
+		}
+	}
+	F := de.F
+	if F == 0 {
+		F = 0.7
+	}
+	CR := de.CR
+	if CR == 0 {
+		CR = 0.9
+	}
+
+	// Initialize population.
+	pop := make([][]float64, np)
+	fit := make([]float64, np)
+	for i := range pop {
+		if de.InitSpan > 0 {
+			pop[i] = make([]float64, dim)
+			for j := range pop[i] {
+				b := cfg.bound(j)
+				lo, hi := b.Lo, b.Hi
+				if b.isFull() {
+					lo, hi = -de.InitSpan, de.InitSpan
+				}
+				pop[i][j] = lo + rng.Float64()*(hi-lo)
+			}
+		} else {
+			pop[i] = randPoint(rng, dim, cfg)
+		}
+		if e.done() {
+			fit[i] = math.Inf(1)
+			continue
+		}
+		fit[i] = e.eval(pop[i])
+	}
+
+	trial := make([]float64, dim)
+	gens := 0
+	for !e.done() {
+		gens++
+		for i := 0; i < np && !e.done(); i++ {
+			// Pick three distinct members a, b, c != i.
+			a, b, c := distinct3(rng, np, i)
+			jr := rng.Intn(dim)
+			for j := 0; j < dim; j++ {
+				if j == jr || rng.Float64() < CR {
+					trial[j] = pop[a][j] + F*(pop[b][j]-pop[c][j])
+				} else {
+					trial[j] = pop[i][j]
+				}
+			}
+			clampInto(trial, cfg)
+			ft := e.eval(trial)
+			if ft <= fit[i] {
+				copy(pop[i], trial)
+				fit[i] = ft
+			}
+		}
+	}
+	return e.result(gens)
+}
+
+// distinct3 returns three distinct indices in [0,n) all different from i.
+func distinct3(rng *rand.Rand, n, i int) (int, int, int) {
+	pick := func(excl ...int) int {
+	retry:
+		for {
+			v := rng.Intn(n)
+			for _, x := range excl {
+				if v == x {
+					continue retry
+				}
+			}
+			return v
+		}
+	}
+	a := pick(i)
+	b := pick(i, a)
+	c := pick(i, a, b)
+	return a, b, c
+}

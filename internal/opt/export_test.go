@@ -1,0 +1,5 @@
+package opt
+
+import "math/rand"
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(42)) }

@@ -1,0 +1,207 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NelderMead is the derivative-free downhill-simplex local minimizer
+// (Nelder & Mead 1965). It serves as the inner local search of
+// Basinhopping and is exposed as a standalone LocalMinimizer.
+//
+// The zero value is ready to use with standard coefficients.
+type NelderMead struct {
+	// Reflection, Expansion, Contraction, Shrink coefficients; zero
+	// values select the standard 1, 2, 0.5, 0.5.
+	Reflection  float64
+	Expansion   float64
+	Contraction float64
+	Shrink      float64
+	// InitStep scales the initial simplex edge relative to |x0| (with an
+	// absolute floor). Zero selects 0.05.
+	InitStep float64
+	// FTol terminates when the simplex function-value spread drops below
+	// it. Zero selects 1e-12 (absolute).
+	FTol float64
+}
+
+// Name implements LocalMinimizer.
+func (nm *NelderMead) Name() string { return "NelderMead" }
+
+func (nm *NelderMead) coeffs() (alpha, gamma, rho, sigma, step, ftol float64) {
+	alpha, gamma, rho, sigma = nm.Reflection, nm.Expansion, nm.Contraction, nm.Shrink
+	if alpha == 0 {
+		alpha = 1
+	}
+	if gamma == 0 {
+		gamma = 2
+	}
+	if rho == 0 {
+		rho = 0.5
+	}
+	if sigma == 0 {
+		sigma = 0.5
+	}
+	step = nm.InitStep
+	if step == 0 {
+		step = 0.05
+	}
+	ftol = nm.FTol
+	if ftol == 0 {
+		ftol = 1e-12
+	}
+	return
+}
+
+type vertex struct {
+	x []float64
+	f float64
+}
+
+// MinimizeFrom implements LocalMinimizer.
+func (nm *NelderMead) MinimizeFrom(obj Objective, x0 []float64, cfg Config) Result {
+	e := newEvaluator(obj, cfg, 200*len(x0)+400)
+	r := nm.run(e, x0, cfg)
+	return r
+}
+
+// run performs the simplex iteration against a shared evaluator so that
+// Basinhopping can chain multiple local searches under one budget. It
+// returns the evaluator result snapshot after this local search.
+func (nm *NelderMead) run(e *evaluator, x0 []float64, cfg Config) Result {
+	alpha, gamma, rho, sigma, step, ftol := nm.coeffs()
+	dim := len(x0)
+
+	// Initial simplex: x0 plus dim perturbed vertices. Perturbation is
+	// relative so the simplex is meaningful at any magnitude (1e-300 or
+	// 1e300 alike).
+	simplex := make([]vertex, 0, dim+1)
+	add := func(x []float64) bool {
+		if e.done() {
+			return false
+		}
+		xc := make([]float64, dim)
+		copy(xc, x)
+		clampInto(xc, cfg)
+		simplex = append(simplex, vertex{x: xc, f: e.eval(xc)})
+		return true
+	}
+	if !add(x0) {
+		return e.result(0)
+	}
+	for i := 0; i < dim; i++ {
+		xi := make([]float64, dim)
+		copy(xi, x0)
+		h := step * math.Abs(xi[i])
+		if h == 0 {
+			h = step
+		}
+		xi[i] += h
+		if !add(xi) {
+			return e.result(0)
+		}
+	}
+
+	centroid := make([]float64, dim)
+	xr := make([]float64, dim)
+	xe := make([]float64, dim)
+	xc := make([]float64, dim)
+
+	iters := 0
+	for !e.done() {
+		iters++
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		best, worst := simplex[0], simplex[dim]
+		spread := worst.f - best.f
+		// Relative termination: keep refining while the spread is large
+		// compared to the best value, so weak distances are pushed all
+		// the way toward zero instead of stalling at an absolute floor.
+		if spread <= ftol*math.Abs(best.f) || math.IsNaN(spread) {
+			break
+		}
+
+		// Centroid of all but the worst vertex.
+		for j := 0; j < dim; j++ {
+			centroid[j] = 0
+			for i := 0; i < dim; i++ {
+				centroid[j] += simplex[i].x[j]
+			}
+			centroid[j] /= float64(dim)
+		}
+
+		// Reflection.
+		for j := 0; j < dim; j++ {
+			xr[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		clampInto(xr, cfg)
+		fr := e.eval(xr)
+		switch {
+		case fr < best.f:
+			// Expansion.
+			if e.done() {
+				copyVertex(&simplex[dim], xr, fr)
+				break
+			}
+			for j := 0; j < dim; j++ {
+				xe[j] = centroid[j] + gamma*(xr[j]-centroid[j])
+			}
+			clampInto(xe, cfg)
+			fe := e.eval(xe)
+			if fe < fr {
+				copyVertex(&simplex[dim], xe, fe)
+			} else {
+				copyVertex(&simplex[dim], xr, fr)
+			}
+		case fr < simplex[dim-1].f:
+			copyVertex(&simplex[dim], xr, fr)
+		default:
+			// Contraction (outside if fr improved on the worst, inside
+			// otherwise).
+			ref := worst
+			if fr < worst.f {
+				ref = vertex{x: xr, f: fr}
+			}
+			for j := 0; j < dim; j++ {
+				xc[j] = centroid[j] + rho*(ref.x[j]-centroid[j])
+			}
+			clampInto(xc, cfg)
+			if e.done() {
+				break
+			}
+			fc := e.eval(xc)
+			if fc < ref.f {
+				copyVertex(&simplex[dim], xc, fc)
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= dim; i++ {
+					if e.done() {
+						break
+					}
+					for j := 0; j < dim; j++ {
+						simplex[i].x[j] = best.x[j] + sigma*(simplex[i].x[j]-best.x[j])
+					}
+					clampInto(simplex[i].x, cfg)
+					simplex[i].f = e.eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	// Discrete final phase: land exactly on lattice minima (weak
+	// distances have exact zeros on F^N).
+	latticePolish(e, cfg)
+	return e.result(iters)
+}
+
+func copyVertex(v *vertex, x []float64, f float64) {
+	copy(v.x, x)
+	v.f = f
+}
+
+// Minimize implements Minimizer by running one local search from a random
+// start point — mainly useful in tests; global users should prefer
+// Basinhopping or DifferentialEvolution.
+func (nm *NelderMead) Minimize(obj Objective, dim int, cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return nm.MinimizeFrom(obj, randPoint(rng, dim, cfg), cfg)
+}

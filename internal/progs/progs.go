@@ -1,0 +1,178 @@
+// Package progs contains the example floating-point programs used
+// throughout the paper, ported as instrumentable rt.Programs:
+//
+//   - Fig1a / Fig1b: the motivating assertion examples (§1),
+//   - Fig2: the two-branch program driving §4.2–4.3 and Table 1,
+//   - EqZero: the `if (x == 0)` program of §5.2 illustrating
+//     Limitation 2 (spurious weak-distance zeros under underflow).
+//
+// Site numbering is stable and documented per program; analyses and the
+// paper-reproduction harness refer to these sites by the exported
+// constants.
+package progs
+
+import (
+	"math"
+
+	"repro/internal/fp"
+	"repro/internal/rt"
+)
+
+// Branch and operation sites of Fig2. The program is
+//
+//	void Prog(double x) {
+//	    if (x <= 1.0) x++;        // branch B0, op OpInc
+//	    double y = x * x;         // op OpSquare
+//	    if (y <= 4.0) x--;        // branch B1, op OpDec
+//	}
+const (
+	Fig2BranchX = 0 // x <= 1.0
+	Fig2BranchY = 1 // y <= 4.0
+
+	Fig2OpInc    = 0 // x + 1
+	Fig2OpSquare = 1 // x * x
+	Fig2OpDec    = 2 // x - 1
+)
+
+// Fig2 returns the paper's Fig. 2 program.
+func Fig2() *rt.Program {
+	return &rt.Program{
+		Name: "fig2",
+		Dim:  1,
+		Ops: []rt.OpInfo{
+			{ID: Fig2OpInc, Label: "x = x + 1"},
+			{ID: Fig2OpSquare, Label: "y = x * x"},
+			{ID: Fig2OpDec, Label: "x = x - 1"},
+		},
+		Branches: []rt.BranchInfo{
+			{ID: Fig2BranchX, Label: "x <= 1.0", Op: fp.LE},
+			{ID: Fig2BranchY, Label: "y <= 4.0", Op: fp.LE},
+		},
+		Run: func(ctx *rt.Ctx, in []float64) {
+			x := in[0]
+			if ctx.Cmp(Fig2BranchX, fp.LE, x, 1.0) {
+				x = ctx.Op(Fig2OpInc, x+1)
+			}
+			y := ctx.Op(Fig2OpSquare, x*x)
+			if ctx.Cmp(Fig2BranchY, fp.LE, y, 4.0) {
+				x = ctx.Op(Fig2OpDec, x-1)
+			}
+			_ = x
+		},
+	}
+}
+
+// Sites of Fig1a/Fig1b:
+//
+//	void Prog(double x) {
+//	    if (x < 1) {              // branch B0
+//	        x = x + 1;            // (Fig1a) or x = x + tan(x) (Fig1b)
+//	        assert(x < 2);        // branch B1 (assertion condition)
+//	    }
+//	}
+const (
+	Fig1BranchLT1 = 0 // x < 1
+	Fig1BranchLT2 = 1 // x < 2 (the assertion)
+
+	Fig1OpAdd = 0 // x + 1 (or x + tan(x))
+	Fig1OpTan = 1 // tan(x), Fig1b only
+)
+
+// Fig1Result records whether the assertion of a Fig. 1 run held.
+type Fig1Result struct {
+	Entered  bool // the `x < 1` branch was taken
+	Violated bool // the assertion `x < 2` failed
+}
+
+// Fig1a returns the paper's Fig. 1(a) program (`x = x + 1`). The
+// assertion outcome for the last run can be recovered by re-running
+// Fig1aCheck.
+func Fig1a() *rt.Program {
+	return &rt.Program{
+		Name: "fig1a",
+		Dim:  1,
+		Ops: []rt.OpInfo{
+			{ID: Fig1OpAdd, Label: "x = x + 1"},
+		},
+		Branches: []rt.BranchInfo{
+			{ID: Fig1BranchLT1, Label: "x < 1", Op: fp.LT},
+			{ID: Fig1BranchLT2, Label: "assert(x < 2)", Op: fp.LT},
+		},
+		Run: func(ctx *rt.Ctx, in []float64) {
+			x := in[0]
+			if ctx.Cmp(Fig1BranchLT1, fp.LT, x, 1.0) {
+				x = ctx.Op(Fig1OpAdd, x+1)
+				ctx.Cmp(Fig1BranchLT2, fp.LT, x, 2.0)
+			}
+		},
+	}
+}
+
+// Fig1aCheck executes Fig. 1(a) concretely and reports the assertion
+// outcome.
+func Fig1aCheck(x float64) Fig1Result {
+	var r Fig1Result
+	if x < 1 {
+		r.Entered = true
+		x = x + 1
+		r.Violated = !(x < 2)
+	}
+	return r
+}
+
+// Fig1b returns the paper's Fig. 1(b) program (`x = x + tan(x)`), the
+// variant SMT-based methods struggle with because tan's implementation
+// is system-dependent (§1).
+func Fig1b() *rt.Program {
+	return &rt.Program{
+		Name: "fig1b",
+		Dim:  1,
+		Ops: []rt.OpInfo{
+			{ID: Fig1OpAdd, Label: "x = x + tan(x)"},
+			{ID: Fig1OpTan, Label: "tan(x)"},
+		},
+		Branches: []rt.BranchInfo{
+			{ID: Fig1BranchLT1, Label: "x < 1", Op: fp.LT},
+			{ID: Fig1BranchLT2, Label: "assert(x < 2)", Op: fp.LT},
+		},
+		Run: func(ctx *rt.Ctx, in []float64) {
+			x := in[0]
+			if ctx.Cmp(Fig1BranchLT1, fp.LT, x, 1.0) {
+				t := ctx.Op(Fig1OpTan, math.Tan(x))
+				x = ctx.Op(Fig1OpAdd, x+t)
+				ctx.Cmp(Fig1BranchLT2, fp.LT, x, 2.0)
+			}
+		},
+	}
+}
+
+// Fig1bCheck executes Fig. 1(b) concretely and reports the assertion
+// outcome.
+func Fig1bCheck(x float64) Fig1Result {
+	var r Fig1Result
+	if x < 1 {
+		r.Entered = true
+		x = x + math.Tan(x)
+		r.Violated = !(x < 2)
+	}
+	return r
+}
+
+// EqZeroBranch is the single branch site of EqZero.
+const EqZeroBranch = 0
+
+// EqZero returns the §5.2 program `if (x == 0) ...`, used to demonstrate
+// Limitation 2: the naive weak distance w = x*x has spurious zeros
+// (W(1e-200) = 0 by underflow) that the membership guard must reject.
+func EqZero() *rt.Program {
+	return &rt.Program{
+		Name: "eqzero",
+		Dim:  1,
+		Branches: []rt.BranchInfo{
+			{ID: EqZeroBranch, Label: "x == 0", Op: fp.EQ},
+		},
+		Run: func(ctx *rt.Ctx, in []float64) {
+			ctx.Cmp(EqZeroBranch, fp.EQ, in[0], 0.0)
+		},
+	}
+}

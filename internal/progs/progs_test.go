@@ -1,0 +1,85 @@
+package progs_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fp"
+	"repro/internal/progs"
+	"repro/internal/rt"
+)
+
+func TestFig1aCheckAgainstDirectSemantics(t *testing.T) {
+	prop := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		r := progs.Fig1aCheck(x)
+		if r.Entered != (x < 1) {
+			return false
+		}
+		if !r.Entered {
+			return !r.Violated
+		}
+		return r.Violated == !(x+1 < 2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig1bCheckMatchesProgram(t *testing.T) {
+	// The instrumented program and the concrete checker must agree on
+	// which branch is entered.
+	p := progs.Fig1b()
+	for _, x := range []float64{-2, 0, 0.5, 0.99, 0.9999999999999999, 1, 3} {
+		var seen []bool
+		mon := &branchTaken{out: &seen}
+		p.Execute(mon, []float64{x})
+		r := progs.Fig1bCheck(x)
+		if (len(seen) >= 1 && seen[0]) != r.Entered {
+			t.Errorf("x=%v: program entered=%v, checker %v", x, seen, r.Entered)
+		}
+	}
+}
+
+type branchTaken struct{ out *[]bool }
+
+func (m *branchTaken) Reset() {}
+func (m *branchTaken) Branch(site int, op fp.CmpOp, a, b float64) {
+	*m.out = append(*m.out, op.Eval(a, b))
+}
+func (m *branchTaken) FPOp(int, float64) bool { return false }
+func (m *branchTaken) Value() float64         { return 0 }
+
+func TestProgramInventories(t *testing.T) {
+	cases := []struct {
+		p        *rt.Program
+		dim      int
+		branches int
+	}{
+		{progs.Fig1a(), 1, 2},
+		{progs.Fig1b(), 1, 2},
+		{progs.Fig2(), 1, 2},
+		{progs.EqZero(), 1, 1},
+	}
+	for _, c := range cases {
+		if c.p.Dim != c.dim {
+			t.Errorf("%s: dim %d, want %d", c.p.Name, c.p.Dim, c.dim)
+		}
+		if len(c.p.Branches) != c.branches {
+			t.Errorf("%s: %d branches, want %d", c.p.Name, len(c.p.Branches), c.branches)
+		}
+		for i, b := range c.p.Branches {
+			if b.ID != i || b.Label == "" {
+				t.Errorf("%s: branch %d malformed: %+v", c.p.Name, i, b)
+			}
+		}
+		for i, op := range c.p.Ops {
+			if op.ID != i || op.Label == "" {
+				t.Errorf("%s: op %d malformed: %+v", c.p.Name, i, op)
+			}
+		}
+	}
+}

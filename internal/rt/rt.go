@@ -1,0 +1,137 @@
+// Package rt is the observation runtime for natively ported benchmark
+// programs (glibc sin, the GSL special functions). It plays the role of
+// the paper's Clang/LLVM instrumentation pass (§5.3 "Reduction Kernel"):
+// every floating-point operation and every conditional branch in a port
+// flows through a Ctx, which forwards the observation to a pluggable
+// Monitor — the weak-distance state machine.
+//
+// A port is written once with explicit observation points; which analysis
+// runs (boundary value, path reachability, overflow detection, coverage)
+// is decided by the Monitor plugged in at run time, exactly as the
+// paper's Analysis Designer layer chooses w_init and update_w.
+package rt
+
+import (
+	"repro/internal/fp"
+)
+
+// Monitor receives the runtime observations of one program execution and
+// accumulates the weak-distance value w. Implementations live in
+// internal/instrument.
+type Monitor interface {
+	// Reset prepares the monitor for a fresh execution.
+	Reset()
+	// Branch observes a conditional `a op b` at the given site just
+	// before it executes.
+	Branch(site int, op fp.CmpOp, a, b float64)
+	// FPOp observes the result of the floating-point operation at the
+	// given site. Returning stop=true aborts the execution immediately
+	// (Algorithm 3's injected `if (w == 0) return;`).
+	FPOp(site int, v float64) (stop bool)
+	// Value returns the weak distance w accumulated by the execution.
+	Value() float64
+}
+
+// NopMonitor ignores all observations and reports w = 0. It is used to
+// run a port uninstrumented (plain concrete execution).
+type NopMonitor struct{}
+
+// Reset implements Monitor.
+func (NopMonitor) Reset() {}
+
+// Branch implements Monitor.
+func (NopMonitor) Branch(int, fp.CmpOp, float64, float64) {}
+
+// FPOp implements Monitor.
+func (NopMonitor) FPOp(int, float64) bool { return false }
+
+// Value implements Monitor.
+func (NopMonitor) Value() float64 { return 0 }
+
+// OpInfo describes one floating-point operation site of a program: an
+// entry of the paper's instruction set L̄ (§4.4).
+type OpInfo struct {
+	ID    int    // dense site identifier, unique within the program
+	Label string // source-level description, e.g. "mu = 4.0 * nu*nu (first *)"
+}
+
+// BranchInfo describes one conditional branch site.
+type BranchInfo struct {
+	ID    int      // dense site identifier, unique within the program
+	Label string   // source-level description, e.g. "k < 0x3e500000"
+	Op    fp.CmpOp // comparison operator at the site
+}
+
+// Program is an instrumentable native port: a fixed input arity, static
+// inventories of its FP-operation and branch sites, and a Run function
+// that executes the port under a Ctx.
+type Program struct {
+	Name     string
+	Dim      int // number of float64 inputs (dom(Prog) = F^Dim)
+	Ops      []OpInfo
+	Branches []BranchInfo
+	Run      func(ctx *Ctx, x []float64)
+}
+
+// Execute runs the program on x under the monitor and returns the
+// accumulated weak distance. Early stops requested by the monitor are
+// honored via panic-based unwinding confined to this call.
+func (p *Program) Execute(m Monitor, x []float64) float64 {
+	m.Reset()
+	ctx := &Ctx{mon: m}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopExecution); !ok {
+					panic(r)
+				}
+			}
+		}()
+		p.Run(ctx, x)
+	}()
+	return m.Value()
+}
+
+// WeakDistance returns the weak-distance objective W(x) induced by the
+// monitor: exactly the paper's
+//
+//	double W(double x1, ..., xN) { w = w_init; Prog_w(x...); return w; }
+//
+// construction (Algorithm 2 step 1 / Algorithm 3 step 3).
+func (p *Program) WeakDistance(m Monitor) func(x []float64) float64 {
+	return func(x []float64) float64 {
+		return p.Execute(m, x)
+	}
+}
+
+// stopExecution is the sentinel panic used to abort a run when a monitor
+// requests early termination.
+type stopExecution struct{}
+
+// Ctx is the execution context handed to a port's Run function.
+type Ctx struct {
+	mon Monitor
+}
+
+// NewCtx returns a context forwarding observations to m. Most callers
+// should use Program.Execute, which also handles early-stop unwinding;
+// NewCtx exists for direct execution (e.g. extracting a port's return
+// value with a NopMonitor).
+func NewCtx(m Monitor) *Ctx { return &Ctx{mon: m} }
+
+// Op reports the result of the FP operation at the given site and returns
+// it, so ports can wrap expressions inline:
+//
+//	mu := ctx.Op(1, ctx.Op(0, 4.0*nu)*nu)
+func (c *Ctx) Op(site int, v float64) float64 {
+	if c.mon.FPOp(site, v) {
+		panic(stopExecution{})
+	}
+	return v
+}
+
+// Cmp observes and evaluates the branch condition `a op b` at the site.
+func (c *Ctx) Cmp(site int, op fp.CmpOp, a, b float64) bool {
+	c.mon.Branch(site, op, a, b)
+	return op.Eval(a, b)
+}

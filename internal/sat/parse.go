@@ -1,0 +1,288 @@
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/fp"
+	"repro/internal/lang"
+)
+
+// Parse reads a CNF from text: one clause per `&&`-separated group,
+// atoms separated by `||`, e.g.
+//
+//	x < 1 && (x + 1 >= 2 || y * y == 4)
+//
+// Variables are arbitrary identifiers, assigned indices in first-use
+// order (stable across the formula); the usual arithmetic operators,
+// parentheses, numeric literals and the unary math builtins (sin, cos,
+// tan, sqrt, fabs, exp, log) are supported.
+func Parse(src string) (*Formula, map[string]int, error) {
+	toks, err := lang.Lex(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &parser{toks: toks, vars: map[string]int{}}
+	f, err := p.parseFormula()
+	if err != nil {
+		return nil, nil, err
+	}
+	f.NumVars = len(p.vars)
+	return f, p.vars, nil
+}
+
+// VarNames returns the variable names of a Parse result ordered by
+// index.
+func VarNames(vars map[string]int) []string {
+	names := make([]string, len(vars))
+	for n, i := range vars {
+		names[i] = n
+	}
+	sort.SliceStable(names, func(i, j int) bool { return vars[names[i]] < vars[names[j]] })
+	return names
+}
+
+type parser struct {
+	toks []lang.Token
+	pos  int
+	vars map[string]int
+}
+
+func (p *parser) cur() lang.Token  { return p.toks[p.pos] }
+func (p *parser) next() lang.Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: %s", p.cur().Pos, fmt.Sprintf(format, args...))
+}
+
+// parseFormula: clause ('&&' clause)*
+func (p *parser) parseFormula() (*Formula, error) {
+	f := &Formula{}
+	for {
+		cl, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		f.Clauses = append(f.Clauses, cl)
+		if p.cur().Kind != lang.ANDAND {
+			break
+		}
+		p.next()
+	}
+	if p.cur().Kind != lang.EOF {
+		return nil, p.errf("unexpected %s after formula", p.cur())
+	}
+	return f, nil
+}
+
+// parseClause: atomgroup ('||' atomgroup)*. Parenthesized clauses are
+// handled by atom-level parenthesis support plus the observation that a
+// clause is a flat disjunction.
+func (p *parser) parseClause() (Clause, error) {
+	var cl Clause
+	// A clause may be wrapped in parentheses: peek for '(' followed by
+	// a full clause; since expressions also use parens, try to parse an
+	// atom first and fall back.
+	paren := false
+	if p.cur().Kind == lang.LPAREN && p.clauseParen() {
+		p.next()
+		paren = true
+	}
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		cl = append(cl, a)
+		if p.cur().Kind != lang.OROR {
+			break
+		}
+		p.next()
+	}
+	if paren {
+		if p.cur().Kind != lang.RPAREN {
+			return nil, p.errf("expected ) closing clause")
+		}
+		p.next()
+	}
+	return cl, nil
+}
+
+// clauseParen decides whether the '(' at the cursor opens a whole
+// clause (contains a top-level comparison before its matching ')').
+func (p *parser) clauseParen() bool {
+	depth := 0
+	for i := p.pos; i < len(p.toks); i++ {
+		switch p.toks[i].Kind {
+		case lang.LPAREN:
+			depth++
+		case lang.RPAREN:
+			depth--
+			if depth == 0 {
+				return false
+			}
+		case lang.LT, lang.LE, lang.GT, lang.GE, lang.EQ, lang.NE:
+			if depth == 1 {
+				return true
+			}
+		case lang.EOF:
+			return false
+		}
+	}
+	return false
+}
+
+// parseAtom: expr cmp expr
+func (p *parser) parseAtom() (Atom, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return Atom{}, err
+	}
+	op, ok := cmpOf(p.cur().Kind)
+	if !ok {
+		return Atom{}, p.errf("expected comparison, found %s", p.cur())
+	}
+	p.next()
+	r, err := p.parseExpr()
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{Op: op, L: l, R: r}, nil
+}
+
+func cmpOf(k lang.Kind) (op fp.CmpOp, ok bool) {
+	switch k {
+	case lang.LT:
+		return fp.LT, true
+	case lang.LE:
+		return fp.LE, true
+	case lang.GT:
+		return fp.GT, true
+	case lang.GE:
+		return fp.GE, true
+	case lang.EQ:
+		return fp.EQ, true
+	case lang.NE:
+		return fp.NE, true
+	}
+	return 0, false
+}
+
+// parseExpr: term (('+'|'-') term)*
+func (p *parser) parseExpr() (Expr, error) {
+	x, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case lang.PLUS:
+			p.next()
+			y, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			x = &Bin{Op: OpAdd, L: x, R: y}
+		case lang.MINUS:
+			p.next()
+			y, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			x = &Bin{Op: OpSub, L: x, R: y}
+		default:
+			return x, nil
+		}
+	}
+}
+
+// parseTerm: unary (('*'|'/') unary)*
+func (p *parser) parseTerm() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case lang.STAR:
+			p.next()
+			y, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			x = &Bin{Op: OpMul, L: x, R: y}
+		case lang.SLASH:
+			p.next()
+			y, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			x = &Bin{Op: OpDiv, L: x, R: y}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur().Kind == lang.MINUS {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+var satBuiltins = map[string]bool{
+	"sin": true, "cos": true, "tan": true, "sqrt": true,
+	"fabs": true, "exp": true, "log": true,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch t := p.next(); t.Kind {
+	case lang.NUMBER:
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad number %q", t.Pos, t.Lit)
+		}
+		return Const(v), nil
+	case lang.IDENT:
+		if p.cur().Kind == lang.LPAREN {
+			if !satBuiltins[t.Lit] {
+				return nil, fmt.Errorf("%s: unknown function %s", t.Pos, t.Lit)
+			}
+			p.next()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.cur().Kind != lang.RPAREN {
+				return nil, p.errf("expected ) closing call")
+			}
+			p.next()
+			return &Call{Name: t.Lit, X: x}, nil
+		}
+		idx, ok := p.vars[t.Lit]
+		if !ok {
+			idx = len(p.vars)
+			p.vars[t.Lit] = idx
+		}
+		return Var(idx), nil
+	case lang.LPAREN:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != lang.RPAREN {
+			return nil, p.errf("expected )")
+		}
+		p.next()
+		return x, nil
+	default:
+		return nil, fmt.Errorf("%s: expected expression, found %s", t.Pos, t)
+	}
+}

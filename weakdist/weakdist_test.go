@@ -1,0 +1,142 @@
+package weakdist_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/weakdist"
+)
+
+// TestPublicAPIEndToEnd drives every analysis through the facade only,
+// the way a downstream user would.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	// A native program via the public types.
+	prog := &weakdist.Program{
+		Name: "api",
+		Dim:  1,
+		Ops: []weakdist.OpInfo{
+			{ID: 0, Label: "x*x"},
+		},
+		Branches: []weakdist.BranchInfo{
+			{ID: 0, Label: "x*x <= 4", Op: weakdist.LE},
+		},
+		Run: func(ctx *weakdist.Ctx, x []float64) {
+			s := ctx.Op(0, x[0]*x[0])
+			ctx.Cmp(0, weakdist.LE, s, 4)
+		},
+	}
+	bounds := []weakdist.Bound{{Lo: -100, Hi: 100}}
+
+	// Boundary value analysis.
+	rep := weakdist.BoundaryValues(prog, weakdist.BoundaryOptions{
+		Seed: 1, Starts: 8, Bounds: bounds,
+	})
+	if rep.BoundaryValues == 0 {
+		t.Error("no boundary values via public API")
+	}
+
+	// Path reachability.
+	r := weakdist.ReachPath(prog, []weakdist.Decision{{Site: 0, Taken: false}},
+		weakdist.ReachOptions{Seed: 2, Bounds: bounds})
+	if !r.Found || r.X[0]*r.X[0] <= 4 {
+		t.Errorf("reach: %v", r)
+	}
+
+	// Overflow detection.
+	ov := weakdist.DetectOverflows(prog, weakdist.OverflowOptions{Seed: 3})
+	if !ov.Found(0) {
+		t.Errorf("overflow not found: %+v", ov)
+	}
+
+	// Coverage.
+	cov := weakdist.Cover(prog, weakdist.CoverOptions{Seed: 4, Bounds: bounds})
+	if cov.Ratio() != 1 {
+		t.Errorf("coverage %v", cov.Ratio())
+	}
+}
+
+func TestPublicSAT(t *testing.T) {
+	f, vars, err := weakdist.ParseFormula("x < 1 && x + 1 >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := weakdist.SolveSAT(f, weakdist.SatOptions{
+		Seed: 1, Bounds: []weakdist.Bound{{Lo: -4, Hi: 4}},
+	})
+	if r.Model == nil {
+		t.Fatalf("no model: %+v", r)
+	}
+	if x := r.Model[vars["x"]]; !(x < 1 && x+1 >= 2) {
+		t.Errorf("model %v does not satisfy", x)
+	}
+}
+
+func TestPublicCompileFPL(t *testing.T) {
+	p, err := weakdist.CompileFPL(`
+func prog(x double) {
+    if (x <= 1.0) { x = x + 1.0; }
+    var y double = x * x;
+    if (y <= 4.0) { x = x - 1.0; }
+}`, "prog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.WeakDistance(&weakdist.Boundary{})
+	if got := w([]float64{1}); got != 0 {
+		t.Errorf("W(1) = %v", got)
+	}
+	// Direct low-level solving through the theory layer.
+	res := weakdist.Solve(weakdist.Problem{
+		Name: "fpl", Dim: 1, W: w,
+	}, weakdist.SolveOptions{Seed: 5, Bounds: []weakdist.Bound{{Lo: -50, Hi: 50}}})
+	if !res.Found {
+		t.Errorf("solve: %v", res)
+	}
+	if _, err := weakdist.CompileFPL("func f(x double) { y = 1.0; }", ""); err == nil {
+		t.Error("compile error not surfaced")
+	}
+}
+
+func TestPublicDistances(t *testing.T) {
+	if weakdist.ULPDiff(1, 1) != 0 {
+		t.Error("ULPDiff identity")
+	}
+	if weakdist.BranchDist(weakdist.LT, 0, 1) != 0 {
+		t.Error("BranchDist holds case")
+	}
+	if weakdist.BranchDist(weakdist.GE, 0, 1) != 1 {
+		t.Error("BranchDist violation case")
+	}
+	// Monitors are directly usable.
+	m := weakdist.NewOverflow()
+	m.Reset()
+	if stop := m.FPOp(0, math.Inf(1)); !stop {
+		t.Error("overflow monitor should request stop at Inf")
+	}
+}
+
+func TestPublicBackends(t *testing.T) {
+	obj := weakdist.Objective(func(x []float64) float64 {
+		d := x[0] - 3
+		if d < 0 {
+			d = -d
+		}
+		return d
+	})
+	for _, m := range []weakdist.Minimizer{
+		&weakdist.Basinhopping{},
+		&weakdist.DifferentialEvolution{InitSpan: 10},
+		&weakdist.Powell{},
+		&weakdist.RandomSearch{},
+		&weakdist.NelderMead{},
+	} {
+		r := m.Minimize(obj, 1, weakdist.Config{
+			Seed: 1, MaxEvals: 5000,
+			Bounds:     []weakdist.Bound{{Lo: -10, Hi: 10}},
+			StopAtZero: true,
+		})
+		if r.F > 0.51 {
+			t.Errorf("%s: best %v at %v", m.Name(), r.F, r.X)
+		}
+	}
+}
