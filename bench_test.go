@@ -11,6 +11,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -320,6 +322,85 @@ func BenchmarkXSatMotivating(b *testing.B) {
 		if r.Verdict != sat.Sat {
 			b.Fatal("not solved")
 		}
+	}
+}
+
+// --- Parallel multi-start engine benchmarks ---
+
+// benchWorkerCounts is the serial-vs-parallel comparison axis: always
+// workers=1, plus the full pool when the host actually has one.
+func benchWorkerCounts() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkParallelBoundary measures the parallel multi-start engine on
+// boundary value analysis of the glibc sin port (Starts restarts of the
+// §4.2 minimization): the serial path (workers=1) against the full
+// worker pool. Findings are identical in both runs — per-start traces
+// merge in start order — so the ratio is pure wall-clock speedup.
+func BenchmarkParallelBoundary(b *testing.B) {
+	p := libm.SinProgram()
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := analysis.BoundaryValues(p, analysis.BoundaryOptions{
+					Seed: int64(i) + 1, Starts: 32, EvalsPerStart: 4000,
+					Workers: workers,
+				})
+				if rep.BoundaryValues == 0 {
+					b.Fatal("no boundary values sampled")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelReach measures the parallel Algorithm 2 driver on a
+// deliberately hard path problem (unreachable target, so every restart
+// runs its full budget — the worst case a serial loop pays in full).
+func BenchmarkParallelReach(b *testing.B) {
+	p := progs.Fig2()
+	// y <= 4 taken with x <= 1 not taken requires x in (1, 2]; shrink
+	// the search box away from it so the budget is always exhausted.
+	target := []instrument.Decision{
+		{Site: progs.Fig2BranchX, Taken: false},
+		{Site: progs.Fig2BranchY, Taken: true},
+	}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := analysis.ReachPath(p, target, analysis.ReachOptions{
+					Seed: int64(i) + 1, Starts: 16, EvalsPerStart: 4000,
+					Bounds:  []opt.Bound{{Lo: 3, Hi: 1000}},
+					Workers: workers,
+				})
+				if r.Found {
+					b.Fatal("unreachable path reported found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelOverflowStall measures speculative round execution
+// in Algorithm 3's stall phase (every op tracked or given up, rounds
+// make no progress — exactly where speculation pays).
+func BenchmarkParallelOverflowStall(b *testing.B) {
+	p := gsl.BesselProgram()
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := analysis.DetectOverflows(p, analysis.OverflowOptions{
+					Seed: int64(i) + 1, EvalsPerRound: 6000, Workers: workers,
+				})
+				if len(rep.Findings) == 0 {
+					b.Fatal("no overflows found")
+				}
+			}
+		})
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 		bounds  = flag.String("bounds", "", "search bounds lo:hi[,lo:hi...]")
 		ulp     = flag.Bool("ulp", false, "use ULP branch distances")
 		backend = flag.String("backend", "basinhopping", "MO backend")
+		workers = flag.Int("workers", 0, "speculative parallel rounds (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		Backend:       be,
 		Bounds:        bs,
 		ULP:           *ulp,
+		Workers:       *workers,
 	})
 	fmt.Printf("program %s: covered %d/%d branch sides (%.1f%%) in %d rounds, %d evals\n",
 		p.Name, len(rep.Covered), rep.Total, 100*rep.Ratio(), rep.Rounds, rep.Evals)

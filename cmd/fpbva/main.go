@@ -27,6 +27,7 @@ func main() {
 		bounds  = flag.String("bounds", "", "search bounds lo:hi[,lo:hi...]")
 		ulp     = flag.Bool("ulp", false, "use ULP boundary distances")
 		backend = flag.String("backend", "basinhopping", "MO backend")
+		workers = flag.Int("workers", 0, "parallel restarts (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,7 @@ func main() {
 		Backend:       be,
 		Bounds:        bs,
 		ULP:           *ulp,
+		Workers:       *workers,
 	})
 
 	fmt.Printf("program %s: %d samples, %d boundary values, %d conditions triggered\n",

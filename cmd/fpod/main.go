@@ -29,6 +29,7 @@ func main() {
 		rounds  = flag.Int("rounds", 0, "max rounds (0 = 3x ops)")
 		bounds  = flag.String("bounds", "", "search bounds lo:hi[,lo:hi...]")
 		backend = flag.String("backend", "basinhopping", "MO backend")
+		workers = flag.Int("workers", 0, "speculative parallel rounds (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,7 @@ func main() {
 		MaxRounds:     *rounds,
 		Backend:       be,
 		Bounds:        bs,
+		Workers:       *workers,
 	})
 
 	fmt.Printf("program %s: %d/%d operations overflowed (%d rounds, %d evals, %.2fs)\n",
@@ -87,7 +89,7 @@ func main() {
 		for _, f := range rep.Findings {
 			inputs = append(inputs, f.Input)
 		}
-		incs := analysis.CheckInconsistencies(evalFn, inputs)
+		incs := analysis.CheckInconsistenciesWorkers(evalFn, inputs, *workers)
 		fmt.Printf("inconsistencies (status GSL_SUCCESS with non-finite result): %d\n", len(incs))
 		for _, inc := range incs {
 			fmt.Printf("  input %v: val=%g err=%g — %s\n", inc.Input, inc.Val, inc.Err, inc.Cause)

@@ -31,6 +31,7 @@ func main() {
 		bounds  = flag.String("bounds", "", "search bounds lo:hi[,lo:hi...]")
 		ulp     = flag.Bool("ulp", false, "use ULP branch distances")
 		backend = flag.String("backend", "basinhopping", "MO backend")
+		workers = flag.Int("workers", 0, "parallel restarts (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 		Backend:       be,
 		Bounds:        bs,
 		ULP:           *ulp,
+		Workers:       *workers,
 	})
 	fmt.Printf("program %s, target %v\n", p.Name, target)
 	fmt.Println(r)

@@ -41,6 +41,7 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	seed := flag.Int64("seed", 1, "random seed")
 	budget := flag.Int("budget", 0, "evaluation budget scale (0 = defaults)")
+	workers := flag.Int("workers", 0, "parallel search workers (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	if *all {
@@ -64,11 +65,11 @@ func main() {
 	var sinStudy *paper.SinStudy
 	needSin := want(tables, 2) || want(figs, 9)
 	if needSin {
-		sinStudy = paper.SinBoundaryStudy(*seed, 0, *budget)
+		sinStudy = paper.SinBoundaryStudyWorkers(*seed, 0, *budget, *workers)
 	}
 	var gslStudy *paper.GSLStudyResult
 	if want(tables, 3) || want(tables, 4) || want(tables, 5) {
-		gslStudy = paper.GSLStudy(*seed, *budget)
+		gslStudy = paper.GSLStudyWorkers(*seed, *budget, *workers)
 	}
 
 	if want(tables, 1) {

@@ -27,6 +27,7 @@ func main() {
 		bounds  = flag.String("bounds", "", "search bounds lo:hi (broadcast over variables)")
 		real    = flag.Bool("real", false, "use real-valued |l-r| atom distances instead of ULP")
 		backend = flag.String("backend", "basinhopping", "MO backend")
+		workers = flag.Int("workers", 0, "parallel restarts (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -61,6 +62,7 @@ func main() {
 		Backend:       be,
 		Bounds:        bs,
 		RealDist:      *real,
+		Workers:       *workers,
 	})
 	switch r.Verdict {
 	case sat.Sat:

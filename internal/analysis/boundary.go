@@ -7,6 +7,7 @@ package analysis
 
 import (
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/instrument"
@@ -39,6 +40,11 @@ type BoundaryOptions struct {
 	// per condition (statistics always cover all of them); zero
 	// selects 16.
 	KeepValues int
+	// Workers sets multi-start parallelism: 0 selects runtime.NumCPU(),
+	// 1 forces serial execution. The report is identical for every
+	// value — per-start traces are merged in start order, so parallelism
+	// only changes wall-clock time.
+	Workers int
 }
 
 func (o BoundaryOptions) starts() int {
@@ -133,7 +139,6 @@ func (r *BoundaryReport) Condition(site int, negative bool) *ConditionStats {
 // witness monitor (the §6.2 soundness check), and aggregates Table 2 /
 // Fig. 9 style statistics.
 func BoundaryValues(p *rt.Program, o BoundaryOptions) *BoundaryReport {
-	mon := &instrument.Boundary{ULP: o.ULP, HighPrecision: o.HighPrecision, Sites: o.Sites}
 	wit := &instrument.BoundaryWitness{}
 	rep := &BoundaryReport{}
 	stats := map[ConditionKey]*ConditionStats{}
@@ -142,62 +147,39 @@ func BoundaryValues(p *rt.Program, o BoundaryOptions) *BoundaryReport {
 		labels[b.ID] = b.Label
 	}
 
-	backend := o.backend()
-	for s := 0; s < o.starts(); s++ {
-		tr := &opt.Trace{}
-		cfg := opt.Config{
-			Seed:       o.Seed + int64(s)*7919,
-			MaxEvals:   o.evalsPerStart(),
-			Bounds:     o.Bounds,
-			StopAtZero: false, // keep sampling: we want many boundary values
-			Trace:      tr,
+	// Every restart is independent: run them on the worker pool, each
+	// with its own program instance, monitor, and trace, then fold the
+	// traces in start order — the exact sample stream the serial loop
+	// produced. Starts run in worker-sized batches so that at most one
+	// batch of traces is retained at a time (the fold is a pure
+	// concatenation in start order, so batching never changes the
+	// report; Workers=1 keeps the serial loop's one-trace peak).
+	batchSize := o.Workers
+	if batchSize <= 0 {
+		batchSize = runtime.NumCPU()
+	}
+	for base := 0; base < o.starts(); base += batchSize {
+		n := o.starts() - base
+		if n > batchSize {
+			n = batchSize
 		}
-		backend.Minimize(opt.Objective(p.WeakDistance(mon)), p.Dim, cfg)
+		batch := opt.ParallelStarts(o.backend(), func(int) opt.Objective {
+			inst := p.Instance()
+			mon := &instrument.Boundary{ULP: o.ULP, HighPrecision: o.HighPrecision, Sites: o.Sites}
+			return opt.Objective(inst.WeakDistance(mon))
+		}, p.Dim, opt.ParallelConfig{
+			Starts:      n,
+			Workers:     o.Workers,
+			Seed:        o.Seed + int64(base)*7919,
+			SeedStride:  7919,
+			MaxEvals:    o.evalsPerStart(),
+			Bounds:      o.Bounds,
+			StopAtZero:  false, // keep sampling: we want many boundary values
+			RecordTrace: true,
+		})
 
-		for _, smp := range tr.Samples() {
-			rep.Samples++
-			if smp.F != 0 {
-				continue
-			}
-			rep.BoundaryValues++
-			p.Execute(wit, smp.X)
-			sites := wit.Sites()
-			if len(sites) == 0 {
-				rep.SoundnessViolations++
-				continue
-			}
-			for _, site := range sites {
-				if o.Sites != nil && !o.Sites[site] {
-					continue
-				}
-				key := ConditionKey{Site: site, Negative: math.Signbit(smp.X[0])}
-				cs, ok := stats[key]
-				if !ok {
-					cs = &ConditionStats{
-						Key:   key,
-						Label: labels[site],
-						Min:   math.Inf(1),
-						Max:   math.Inf(-1),
-					}
-					stats[key] = cs
-					rep.Progress = append(rep.Progress, ProgressPoint{
-						Samples:    rep.Samples,
-						Conditions: len(stats),
-					})
-				}
-				cs.Hits++
-				if v := smp.X[0]; v < cs.Min {
-					cs.Min = v
-				}
-				if v := smp.X[0]; v > cs.Max {
-					cs.Max = v
-				}
-				if len(cs.Examples) < o.keep() {
-					x := make([]float64, len(smp.X))
-					copy(x, smp.X)
-					cs.Examples = append(cs.Examples, x)
-				}
-			}
+		for _, sr := range batch {
+			mergeBoundaryTrace(p, sr.Trace, wit, rep, stats, labels, o)
 		}
 	}
 
@@ -212,4 +194,58 @@ func BoundaryValues(p *rt.Program, o BoundaryOptions) *BoundaryReport {
 		return !a.Negative && b.Negative
 	})
 	return rep
+}
+
+// mergeBoundaryTrace folds one start's sample stream into the report:
+// count samples, attribute every exact zero to its boundary
+// condition(s) by witness replay, and maintain the Fig. 9 progress
+// series.
+func mergeBoundaryTrace(p *rt.Program, tr *opt.Trace, wit *instrument.BoundaryWitness,
+	rep *BoundaryReport, stats map[ConditionKey]*ConditionStats, labels map[int]string,
+	o BoundaryOptions) {
+	for _, smp := range tr.Samples() {
+		rep.Samples++
+		if smp.F != 0 {
+			continue
+		}
+		rep.BoundaryValues++
+		p.Execute(wit, smp.X)
+		sites := wit.Sites()
+		if len(sites) == 0 {
+			rep.SoundnessViolations++
+			continue
+		}
+		for _, site := range sites {
+			if o.Sites != nil && !o.Sites[site] {
+				continue
+			}
+			key := ConditionKey{Site: site, Negative: math.Signbit(smp.X[0])}
+			cs, ok := stats[key]
+			if !ok {
+				cs = &ConditionStats{
+					Key:   key,
+					Label: labels[site],
+					Min:   math.Inf(1),
+					Max:   math.Inf(-1),
+				}
+				stats[key] = cs
+				rep.Progress = append(rep.Progress, ProgressPoint{
+					Samples:    rep.Samples,
+					Conditions: len(stats),
+				})
+			}
+			cs.Hits++
+			if v := smp.X[0]; v < cs.Min {
+				cs.Min = v
+			}
+			if v := smp.X[0]; v > cs.Max {
+				cs.Max = v
+			}
+			if len(cs.Examples) < o.keep() {
+				x := make([]float64, len(smp.X))
+				copy(x, smp.X)
+				cs.Examples = append(cs.Examples, x)
+			}
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"runtime"
 	"sort"
 
 	"repro/internal/instrument"
@@ -24,6 +25,16 @@ type CoverOptions struct {
 	Bounds []opt.Bound
 	// ULP selects ULP branch distances.
 	ULP bool
+	// Workers sets the parallelism: 0 selects runtime.NumCPU(), 1
+	// forces the serial loop. Rounds have a sequential dependency (each
+	// round's weak distance is built over the covered set left by the
+	// previous one), so parallelism is speculative: Workers rounds are
+	// minimized concurrently against a snapshot of the covered set, and
+	// speculative results are discarded the moment a consumed round
+	// changes the set. The report is therefore identical for every
+	// Workers value; speculation pays off in the stall phase, where
+	// rounds leave the set unchanged.
+	Workers int
 }
 
 func (o CoverOptions) evalsPerRound() int {
@@ -47,6 +58,13 @@ func (o CoverOptions) backend() opt.Minimizer {
 	return &opt.Basinhopping{}
 }
 
+func (o CoverOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
 // CoverReport is the result of branch-coverage testing.
 type CoverReport struct {
 	// Covered lists the covered branch sides.
@@ -55,7 +73,8 @@ type CoverReport struct {
 	Total int
 	// Inputs maps each covered side to the input that first covered it.
 	Inputs map[instrument.Side][]float64
-	// Rounds and Evals account for the search effort.
+	// Rounds and Evals account for the search effort (consumed rounds
+	// only; discarded speculative rounds are not charged).
 	Rounds int
 	Evals  int
 }
@@ -73,45 +92,74 @@ func (r *CoverReport) Ratio() float64 {
 // minimizing the coverage weak distance, which is zero exactly on
 // inputs taking some branch side outside B.
 func Cover(p *rt.Program, o CoverOptions) *CoverReport {
-	mon := instrument.NewCoverage()
-	mon.ULP = o.ULP
-	rec := &instrument.RecordNewSides{Covered: mon.Covered}
-	w := p.WeakDistance(mon)
+	covered := map[instrument.Side]bool{}
 	rep := &CoverReport{
 		Total:  2 * len(p.Branches),
 		Inputs: map[instrument.Side][]float64{},
 	}
 
 	backend := o.backend()
+	rec := &instrument.RecordNewSides{Covered: covered}
 	stall := 0
-	for stall < o.maxStall() && len(mon.Covered) < rep.Total {
-		rep.Rounds++
-		cfg := opt.Config{
-			Seed:       o.Seed + int64(rep.Rounds)*15485863,
+	for stall < o.maxStall() && len(covered) < rep.Total {
+		// Launch a batch of speculative rounds against a read-only
+		// snapshot of the covered set. Slot j corresponds to serial
+		// round rep.Rounds+1+j and uses that round's historical seed.
+		snapshot := make(map[instrument.Side]bool, len(covered))
+		for s := range covered {
+			snapshot[s] = true
+		}
+		batch := opt.ParallelStarts(backend, func(int) opt.Objective {
+			inst := p.Instance()
+			mon := &instrument.Coverage{Covered: snapshot, ULP: o.ULP}
+			return opt.Objective(inst.WeakDistance(mon))
+		}, p.Dim, opt.ParallelConfig{
+			Starts:     o.workers(),
+			Workers:    o.Workers,
+			Seed:       o.Seed + int64(rep.Rounds+1)*15485863,
+			SeedStride: 15485863,
 			MaxEvals:   o.evalsPerRound(),
 			Bounds:     o.Bounds,
 			StopAtZero: true,
-		}
-		r := backend.Minimize(opt.Objective(w), p.Dim, cfg)
-		rep.Evals += r.Evals
-		if !r.FoundZero {
-			stall++
-			continue
-		}
-		// Replay the solution to find which sides it covers, and merge.
-		p.Execute(rec, r.X)
-		sides := rec.Sides()
-		if len(sides) == 0 {
-			stall++
-			continue
-		}
-		stall = 0
-		for _, s := range sides {
-			mon.Covered[s] = true
-			rep.Covered = append(rep.Covered, s)
-			in := make([]float64, len(r.X))
-			copy(in, r.X)
-			rep.Inputs[s] = in
+		})
+
+		// Consume slots in round order, replaying the serial driver's
+		// state machine; the first slot that grows the covered set
+		// invalidates the rest of the batch (they were computed against
+		// the now-stale snapshot).
+		for _, sr := range batch {
+			if sr.Skipped {
+				break
+			}
+			rep.Rounds++
+			rep.Evals += sr.Evals
+			if !sr.FoundZero {
+				if stall++; stall >= o.maxStall() {
+					break
+				}
+				continue
+			}
+			// Replay the solution to find which sides it covers, and
+			// merge. Any FoundZero slot ends the batch: later slots may
+			// have been cancelled when this zero landed, so their
+			// results are not trustworthy — the next batch re-runs them
+			// with their positional seeds, preserving serial
+			// equivalence.
+			p.Execute(rec, sr.X)
+			sides := rec.Sides()
+			if len(sides) == 0 {
+				stall++
+				break
+			}
+			stall = 0
+			for _, s := range sides {
+				covered[s] = true
+				rep.Covered = append(rep.Covered, s)
+				in := make([]float64, len(sr.X))
+				copy(in, sr.X)
+				rep.Inputs[s] = in
+			}
+			break // covered set changed: remaining slots are stale
 		}
 	}
 	sort.Slice(rep.Covered, func(i, j int) bool {

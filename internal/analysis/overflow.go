@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/instrument"
@@ -29,6 +30,13 @@ type OverflowOptions struct {
 	// case that failing to find a minimum 0 is due to incompleteness");
 	// zero selects 3.
 	RetriesPerTarget int
+	// Workers sets the parallelism: 0 selects runtime.NumCPU(), 1
+	// forces the serial loop. Rounds depend on the tracked set L built
+	// by earlier rounds, so parallelism is speculative: Workers rounds
+	// run concurrently against a snapshot of L, and speculative results
+	// are discarded as soon as a consumed round changes L. The report is
+	// identical for every Workers value.
+	Workers int
 }
 
 func (o OverflowOptions) evalsPerRound() int {
@@ -52,6 +60,13 @@ func (o OverflowOptions) retries() int {
 	return 3
 }
 
+func (o OverflowOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
 // OverflowFinding is one detected overflow: the operation site and an
 // input triggering it (a row of Table 4).
 type OverflowFinding struct {
@@ -71,7 +86,7 @@ type OverflowReport struct {
 	// Ops is the total number of operation sites (|Op| of Table 3).
 	Ops int
 	// Rounds counts minimization rounds; Evals total weak-distance
-	// evaluations.
+	// evaluations. Discarded speculative rounds are not charged.
 	Rounds int
 	Evals  int
 	// Duration is the wall-clock analysis time (Table 3's T column).
@@ -95,8 +110,7 @@ func (r *OverflowReport) Found(site int) bool {
 // terminates when every site is tracked.
 func DetectOverflows(p *rt.Program, o OverflowOptions) *OverflowReport {
 	start := time.Now()
-	mon := instrument.NewOverflow()
-	w := p.WeakDistance(mon)
+	L := map[int]bool{}
 	rep := &OverflowReport{Ops: len(p.Ops)}
 	labels := map[int]string{}
 	for _, op := range p.Ops {
@@ -109,54 +123,100 @@ func DetectOverflows(p *rt.Program, o OverflowOptions) *OverflowReport {
 	}
 	backend := o.backend()
 	retriesLeft := o.retries()
+	// replayMon identifies each round's targeted instruction (step 7) by
+	// replaying the round's minimum point against the round's tracked
+	// set. It is only ever used single-threaded, during the merge.
+	replayMon := instrument.NewOverflow()
 
-	for rep.Rounds = 0; rep.Rounds < maxRounds && len(mon.L) < len(p.Ops); rep.Rounds++ {
-		// Steps 4-5: minimize from a fresh random starting point.
-		cfg := opt.Config{
+	gaveUp := false
+	for !gaveUp && rep.Rounds < maxRounds && len(L) < len(p.Ops) {
+		// Launch speculative rounds against a read-only snapshot of L.
+		// Slot j corresponds to serial round rep.Rounds+j and uses that
+		// round's historical seed.
+		snapshot := make(map[int]bool, len(L))
+		for id := range L {
+			snapshot[id] = true
+		}
+		batchSize := o.workers()
+		if rem := maxRounds - rep.Rounds; batchSize > rem {
+			batchSize = rem
+		}
+		batch := opt.ParallelStarts(backend, func(int) opt.Objective {
+			inst := p.Instance()
+			mon := &instrument.Overflow{L: snapshot}
+			return opt.Objective(inst.WeakDistance(mon))
+		}, p.Dim, opt.ParallelConfig{
+			Starts:     batchSize,
+			Workers:    o.Workers,
 			Seed:       o.Seed + int64(rep.Rounds)*104729,
+			SeedStride: 104729,
 			MaxEvals:   o.evalsPerRound(),
 			Bounds:     o.Bounds,
 			StopAtZero: true,
-		}
-		r := backend.Minimize(opt.Objective(w), p.Dim, cfg)
-		rep.Evals += r.Evals
+		})
 
-		// Step 7: replay the minimum point to identify the targeted
-		// instruction (the last untracked site the execution reached).
-		w(r.X)
-		target := mon.LastSite()
-
-		if r.FoundZero && target >= 0 {
-			// Step 6: a genuine overflow at the target.
-			rep.Findings = append(rep.Findings, OverflowFinding{
-				Site:  target,
-				Label: labels[target],
-				Input: r.X,
-			})
-			mon.L[target] = true
-			retriesLeft = o.retries()
-			continue
-		}
-
-		if target < 0 {
-			// Every site the execution reaches is already tracked; a
-			// fresh random start may reach others, but if the whole
-			// round made no progress repeatedly, stop early.
-			if retriesLeft--; retriesLeft < 0 {
+		// Consume slots in round order, replaying Algorithm 3's state
+		// machine; the first slot that mutates L invalidates the rest
+		// (their weak distances were built over the stale snapshot).
+		for _, sr := range batch {
+			if sr.Skipped {
 				break
 			}
-			continue
-		}
+			rep.Rounds++
+			rep.Evals += sr.Evals
 
-		// Positive minimum: possibly incompleteness. Retry the same
-		// target from other starting points before giving it up
-		// (adding it to L per the Algorithm 3 termination argument).
-		if retriesLeft > 0 {
-			retriesLeft--
-			continue
+			// Step 7: replay the minimum point to identify the targeted
+			// instruction (the last untracked site the execution
+			// reached). The snapshot equals L for every consumed slot.
+			replayMon.L = snapshot
+			p.Execute(replayMon, sr.X)
+			target := replayMon.LastSite()
+
+			if sr.FoundZero && target >= 0 {
+				// Step 6: a genuine overflow at the target.
+				rep.Findings = append(rep.Findings, OverflowFinding{
+					Site:  target,
+					Label: labels[target],
+					Input: sr.X,
+				})
+				L[target] = true
+				retriesLeft = o.retries()
+				break // L changed: remaining slots are stale
+			}
+
+			if target < 0 {
+				// Every site the execution reaches is already tracked; a
+				// fresh random start may reach others, but if the whole
+				// round made no progress repeatedly, stop early. The
+				// serial loop broke before counting the give-up round
+				// (its post-increment never ran), so uncount it here.
+				if retriesLeft--; retriesLeft < 0 {
+					rep.Rounds--
+					gaveUp = true
+					break
+				}
+				if sr.FoundZero {
+					// Defensive: a zero whose replay targets nothing
+					// means search and replay disagree. Later slots may
+					// have been cancelled when this zero landed, so end
+					// the batch; the next batch re-runs them with their
+					// positional seeds.
+					break
+				}
+				continue
+			}
+
+			// Positive minimum: possibly incompleteness. Retry the same
+			// target from other starting points before giving it up
+			// (adding it to L per the Algorithm 3 termination argument).
+			if retriesLeft > 0 {
+				retriesLeft--
+				continue
+			}
+			L[target] = true
+			retriesLeft = o.retries()
+			break // L changed: remaining slots are stale
 		}
-		mon.L[target] = true
-		retriesLeft = o.retries()
 	}
 
 	for _, op := range p.Ops {

@@ -23,6 +23,11 @@ type ReachOptions struct {
 	// ULP selects ULP branch distances (Limitation-2 mitigation; makes
 	// equality-guarded paths like `if (x == 0)` soundly reachable).
 	ULP bool
+	// Workers sets multi-start parallelism: 0 selects runtime.NumCPU(),
+	// 1 forces the serial loop. The result is identical for every
+	// value — the solver reports the lowest-index restart that reaches
+	// the path, exactly as the serial loop does.
+	Workers int
 }
 
 // ReachPath searches for an input driving the program along the target
@@ -31,13 +36,21 @@ type ReachOptions struct {
 // membership guard).
 func ReachPath(p *rt.Program, target []instrument.Decision, o ReachOptions) core.Result {
 	mon := &instrument.Path{Target: target, ULP: o.ULP}
-	wit := &instrument.PathWitness{}
 	prob := core.Problem{
 		Name: p.Name + "-reach",
 		Dim:  p.Dim,
 		W:    p.WeakDistance(mon),
+		// Each parallel restart minimizes its own weak-distance instance
+		// (own monitor, own program instance for interpreter-backed
+		// programs), so no execution state is shared across workers.
+		NewW: func() core.WeakDistance {
+			inst := p.Instance()
+			return inst.WeakDistance(&instrument.Path{Target: target, ULP: o.ULP})
+		},
 		Member: func(x []float64) bool {
-			p.Execute(wit, x)
+			inst := p.Instance()
+			wit := &instrument.PathWitness{}
+			inst.Execute(wit, x)
 			return wit.Matches(target)
 		},
 	}
@@ -47,6 +60,7 @@ func ReachPath(p *rt.Program, target []instrument.Decision, o ReachOptions) core
 		EvalsPerStart: o.EvalsPerStart,
 		Seed:          o.Seed,
 		Bounds:        o.Bounds,
+		Workers:       o.Workers,
 	})
 }
 

@@ -41,8 +41,16 @@ type Problem struct {
 	// Member, when non-nil, decides x ∈ S by concrete execution. It is
 	// the soundness guard of §5.2: a zero of W whose membership check
 	// fails is rejected instead of being reported as a spurious
-	// solution.
+	// solution. Under parallel solving Member calls are serialized by
+	// the multi-start driver, but Member must still be safe to run
+	// while weak-distance instances execute on other goroutines —
+	// construct it over its own program instance.
 	Member func(x []float64) bool
+	// NewW, when non-nil, returns an independent weak-distance instance
+	// (own monitor, own program instance) for one start. It is required
+	// for parallel solving: the shared W is used by at most one
+	// goroutine at a time only in the serial path.
+	NewW func() WeakDistance
 }
 
 // Options configures the Solve driver.
@@ -58,8 +66,14 @@ type Options struct {
 	Seed int64
 	// Bounds optionally restricts the search space per dimension.
 	Bounds []opt.Bound
-	// Trace records every W evaluation across all restarts.
+	// Trace records every W evaluation across all restarts. A non-nil
+	// Trace forces the serial path (the shared trace is not
+	// synchronized).
 	Trace *opt.Trace
+	// Workers sets the multi-start parallelism: 0 selects
+	// runtime.NumCPU(), 1 forces the serial loop. Results are identical
+	// for every value — parallelism only changes wall-clock time.
+	Workers int
 }
 
 func (o Options) backend() opt.Minimizer {
@@ -122,6 +136,9 @@ func Solve(p Problem, o Options) Result {
 	if p.Dim < 1 {
 		return Result{W: math.Inf(1)}
 	}
+	if o.Workers != 1 && p.NewW != nil && o.Trace == nil {
+		return solveParallel(p, o)
+	}
 	backend := o.backend()
 	res := Result{W: math.Inf(1)}
 
@@ -148,6 +165,47 @@ func Solve(p Problem, o Options) Result {
 			}
 			res.Found = true
 			res.X = r.X
+			res.W = 0
+			return res
+		}
+	}
+	return res
+}
+
+// solveParallel distributes the restarts of Algorithm 2 over a worker
+// pool and folds the per-start results in start order, stopping at the
+// first membership-accepted zero — exactly the serial loop's semantics,
+// so Solve returns identical Results for every worker count.
+func solveParallel(p Problem, o Options) Result {
+	starts := opt.ParallelStarts(o.backend(), func(int) opt.Objective {
+		return opt.Objective(p.NewW())
+	}, p.Dim, opt.ParallelConfig{
+		Starts:     o.starts(),
+		Workers:    o.Workers,
+		Seed:       o.Seed,
+		SeedStride: 1000003,
+		MaxEvals:   o.evalsPerStart(p.Dim),
+		Bounds:     o.Bounds,
+		StopAtZero: true,
+		Accept: func(_ int, r opt.Result) bool {
+			return p.Member == nil || p.Member(r.X)
+		},
+	})
+
+	res := Result{W: math.Inf(1)}
+	for _, sr := range starts {
+		res.Evals += sr.Evals
+		res.Restarts++
+		if sr.F < res.W {
+			res.W = sr.F
+		}
+		if sr.FoundZero {
+			if !sr.ZeroAccepted {
+				res.Rejected++
+				continue
+			}
+			res.Found = true
+			res.X = sr.X
 			res.W = 0
 			return res
 		}

@@ -69,6 +69,20 @@ func (it *Interp) Program(fnName string) (*rt.Program, error) {
 		Run: func(ctx *rt.Ctx, x []float64) {
 			it.run(ctx, fn, x)
 		},
+		// The module is immutable after compilation, but the interpreter
+		// is not (step counter, input snapshot, failure log), so a
+		// concurrent-safe instance wraps a fresh interpreter over the
+		// same module. Failures recorded during parallel searches land
+		// on the instance and are discarded with it.
+		NewInstance: func() *rt.Program {
+			fork := New(it.Mod)
+			fork.MaxSteps = it.MaxSteps
+			p, err := fork.Program(fnName)
+			if err != nil {
+				panic(err) // unreachable: fnName was just resolved above
+			}
+			return p
+		},
 	}, nil
 }
 

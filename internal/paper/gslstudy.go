@@ -100,8 +100,15 @@ type GSLStudyResult struct {
 
 // GSLStudy runs the full §6.3 pipeline: Algorithm 3 per benchmark,
 // inconsistency replay of every generated input, and confirmed-bug
-// replay.
+// replay. Minimization rounds and replays run on all CPUs;
+// GSLStudyWorkers takes an explicit worker count.
 func GSLStudy(seed int64, evalsPerRound int) *GSLStudyResult {
+	return GSLStudyWorkers(seed, evalsPerRound, 0)
+}
+
+// GSLStudyWorkers is GSLStudy with an explicit worker count (0 = all
+// CPUs, 1 = serial); the result is identical for every value.
+func GSLStudyWorkers(seed int64, evalsPerRound, workers int) *GSLStudyResult {
 	res := &GSLStudyResult{
 		OverflowReports: map[string]*analysis.OverflowReport{},
 		Inconsistencies: map[string][]analysis.Inconsistency{},
@@ -111,6 +118,7 @@ func GSLStudy(seed int64, evalsPerRound int) *GSLStudyResult {
 		rep := analysis.DetectOverflows(b.Program, analysis.OverflowOptions{
 			Seed:          seed + int64(bi)*1_000_003,
 			EvalsPerRound: evalsPerRound,
+			Workers:       workers,
 		})
 		res.OverflowReports[b.File] = rep
 
@@ -118,7 +126,7 @@ func GSLStudy(seed int64, evalsPerRound int) *GSLStudyResult {
 		for _, f := range rep.Findings {
 			inputs = append(inputs, f.Input)
 		}
-		incs := analysis.CheckInconsistencies(b.Eval, inputs)
+		incs := analysis.CheckInconsistenciesWorkers(b.Eval, inputs, workers)
 		res.Inconsistencies[b.File] = incs
 
 		var bugs []KnownBug

@@ -18,7 +18,16 @@ type SinStudy struct {
 // port. starts/evals control the search effort (the paper used 6.4M
 // samples; the defaults here reach all 8 reachable conditions far
 // cheaper because the integer dispatch key gives a clean gradient).
+// Restarts run on all CPUs; SinBoundaryStudyWorkers takes an explicit
+// worker count.
 func SinBoundaryStudy(seed int64, starts, evals int) *SinStudy {
+	return SinBoundaryStudyWorkers(seed, starts, evals, 0)
+}
+
+// SinBoundaryStudyWorkers is SinBoundaryStudy with an explicit
+// multi-start worker count (0 = all CPUs, 1 = serial); the report is
+// identical for every value.
+func SinBoundaryStudyWorkers(seed int64, starts, evals, workers int) *SinStudy {
 	if starts <= 0 {
 		starts = 64
 	}
@@ -29,6 +38,7 @@ func SinBoundaryStudy(seed int64, starts, evals int) *SinStudy {
 		Seed:          seed,
 		Starts:        starts,
 		EvalsPerStart: evals,
+		Workers:       workers,
 	})
 	return &SinStudy{Report: rep}
 }

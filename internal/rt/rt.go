@@ -71,6 +71,24 @@ type Program struct {
 	Ops      []OpInfo
 	Branches []BranchInfo
 	Run      func(ctx *Ctx, x []float64)
+
+	// NewInstance, when non-nil, returns an independent copy of the
+	// program that is safe to Execute concurrently with the original.
+	// Native ports are pure functions of (ctx, x) and leave it nil;
+	// interpreter-backed programs carry per-execution mutable state
+	// (step budgets, failure logs) and set it so the parallel
+	// multi-start engine can give every worker its own instance.
+	NewInstance func() *Program
+}
+
+// Instance returns a program safe for concurrent execution alongside
+// every other Instance result: the program itself when it is stateless,
+// or a fresh independent copy otherwise.
+func (p *Program) Instance() *Program {
+	if p.NewInstance != nil {
+		return p.NewInstance()
+	}
+	return p
 }
 
 // Execute runs the program on x under the monitor and returns the

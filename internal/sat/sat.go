@@ -252,6 +252,10 @@ type Options struct {
 	// RealDist selects real-valued |l-r| distances instead of the
 	// default ULP metric (for the Limitation-2 ablation).
 	RealDist bool
+	// Workers sets multi-start parallelism: 0 selects runtime.NumCPU(),
+	// 1 forces the serial loop. The result is identical for every
+	// value.
+	Workers int
 }
 
 // Verdict is a satisfiability answer.
@@ -288,10 +292,14 @@ func Solve(f *Formula, o Options) Result {
 		}
 		return Result{Verdict: Unknown, MinDistance: math.Inf(1)}
 	}
+	w := f.WeakDistance(!o.RealDist)
 	prob := core.Problem{
-		Name:   "xsat",
-		Dim:    dim,
-		W:      f.WeakDistance(!o.RealDist),
+		Name: "xsat",
+		Dim:  dim,
+		W:    w,
+		// R is a pure function of x (no monitor state), so every start
+		// can share the one instance.
+		NewW:   func() core.WeakDistance { return w },
 		Member: f.Eval,
 	}
 	r := core.Solve(prob, core.Options{
@@ -300,6 +308,7 @@ func Solve(f *Formula, o Options) Result {
 		EvalsPerStart: o.EvalsPerStart,
 		Seed:          o.Seed,
 		Bounds:        o.Bounds,
+		Workers:       o.Workers,
 	})
 	if r.Found {
 		return Result{Verdict: Sat, Model: r.X, MinDistance: 0, Evals: r.Evals}
