@@ -12,7 +12,10 @@ package repro
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/analysis"
@@ -272,6 +275,52 @@ func BenchmarkWeakDistanceEval(b *testing.B) {
 				c.w(c.x)
 			}
 		})
+	}
+}
+
+// BenchmarkEvalEngine measures one instrumented objective evaluation of
+// each FPL fixture under both execution engines: the compiled flat-code
+// VM (the default) against the tree-walking reference interpreter. This
+// is the unit every analysis budget is denominated in; the VM side must
+// report 0 allocs/op. Run with
+//
+//	go test -bench=BenchmarkEvalEngine -benchmem
+func BenchmarkEvalEngine(b *testing.B) {
+	cases := []struct {
+		file string // testdata fixture
+		fn   string // entry function ("" = first)
+		x    []float64
+	}{
+		{"fig2.fpl", "prog", []float64{0.5}},
+		{"newton.fpl", "newton_sqrt", []float64{2.0}},
+		{"sum3.fpl", "prog", []float64{0.1, 0.2, 0.3}},
+		{"sin_fig8.fpl", "sin_dispatch", []float64{0.5}},
+	}
+	for _, c := range cases {
+		src, err := os.ReadFile(filepath.Join("testdata", c.file))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod, err := ir.Compile(string(src))
+		if err != nil {
+			b.Fatalf("%s: %v", c.file, err)
+		}
+		for _, engine := range []interp.Engine{interp.EngineVM, interp.EngineTree} {
+			it := interp.New(mod)
+			it.Engine = engine
+			p, err := it.Program(c.fn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mon := &instrument.Boundary{}
+			name := strings.TrimSuffix(c.file, ".fpl") + "/" + engine.String()
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					p.Execute(mon, c.x)
+				}
+			})
+		}
 	}
 }
 

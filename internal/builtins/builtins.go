@@ -1,0 +1,72 @@
+// Package builtins is the single registry of the math builtins callable
+// from FPL. The checker (internal/lang) takes arities from it, lowering
+// (internal/ir) resolves names to the function pointers stored here, and
+// both execution engines (the internal/interp tree-walker and the
+// internal/compile flat-code VM) call through those pointers — so adding
+// a builtin is one entry in one table, and an unknown builtin is a
+// compile-time error instead of a runtime panic.
+package builtins
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unary maps each 1-argument builtin to its implementation.
+var Unary = map[string]func(float64) float64{
+	"sin":   math.Sin,
+	"cos":   math.Cos,
+	"tan":   math.Tan,
+	"sqrt":  math.Sqrt,
+	"fabs":  math.Abs,
+	"exp":   math.Exp,
+	"log":   math.Log,
+	"floor": math.Floor,
+	"ceil":  math.Ceil,
+	// highword(x) returns float64(high32(bits(x)) & 0x7fffffff): the
+	// sign-masked upper half of x's IEEE-754 representation — glibc's
+	// branch dispatch key (the paper's Fig. 8), exactly representable
+	// as a double. It lets FPL clients express bit-pattern range
+	// dispatch like the GNU sin case study.
+	"highword": Highword,
+}
+
+// Binary maps each 2-argument builtin to its implementation.
+var Binary = map[string]func(float64, float64) float64{
+	"pow":  math.Pow,
+	"fmin": math.Min,
+	"fmax": math.Max,
+}
+
+// Highword implements the highword builtin.
+func Highword(x float64) float64 {
+	return float64(uint32(math.Float64bits(x)>>32) & 0x7fffffff)
+}
+
+// Resolve returns the implementation of the named builtin at the given
+// arity: exactly one of the returned functions is non-nil on success.
+func Resolve(name string, arity int) (func(float64) float64, func(float64, float64) float64, error) {
+	switch arity {
+	case 1:
+		if fn, ok := Unary[name]; ok {
+			return fn, nil, nil
+		}
+	case 2:
+		if fn, ok := Binary[name]; ok {
+			return nil, fn, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("unknown builtin %s/%d", name, arity)
+}
+
+// Arities returns the name → arity table the type checker consumes.
+func Arities() map[string]int {
+	m := make(map[string]int, len(Unary)+len(Binary))
+	for name := range Unary {
+		m[name] = 1
+	}
+	for name := range Binary {
+		m[name] = 2
+	}
+	return m
+}

@@ -1,0 +1,101 @@
+package compile_test
+
+import (
+	"testing"
+
+	"repro/internal/instrument"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/rt"
+)
+
+// Engine microbenchmarks at three program shapes: trivial (harness
+// floor), straight-line arithmetic (dispatch cost), and a loop with a
+// user call per iteration (frame churn). Run with
+//
+//	go test -bench=. -benchmem ./internal/compile
+func benchProgram(b *testing.B, src, fn string, x []float64) {
+	b.Helper()
+	mod, err := ir.Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, engine := range []interp.Engine{interp.EngineVM, interp.EngineTree} {
+		it := interp.New(mod)
+		it.Engine = engine
+		p, err := it.Program(fn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon := &instrument.Boundary{}
+		b.Run(engine.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Execute(mon, x)
+			}
+		})
+	}
+}
+
+func BenchmarkTrivial(b *testing.B) {
+	benchProgram(b, "func f(x double) double { return x; }", "f", []float64{1.5})
+}
+
+func BenchmarkStraightline(b *testing.B) {
+	benchProgram(b, `
+func f(x double) double {
+    var a double = x * x + 1.0;
+    var c double = a * x - 2.0;
+    var d double = c / a + x;
+    return d * d - a * c;
+}`, "f", []float64{1.5})
+}
+
+func BenchmarkLoopCalls(b *testing.B) {
+	benchProgram(b, `
+func step(acc double, x double) double {
+    return acc * x + 1.0;
+}
+func f(x double) double {
+    var acc double = 0.0;
+    var i double = 0.0;
+    while (i < 20.0) {
+        acc = step(acc, x);
+        i = i + 1.0;
+    }
+    return acc;
+}`, "f", []float64{0.5})
+}
+
+// BenchmarkUninstrumented measures the pure dispatch loop with a nop
+// monitor (no observation cost at all).
+func BenchmarkUninstrumented(b *testing.B) {
+	mod, err := ir.Compile(`
+func f(x double) double {
+    var acc double = 0.0;
+    var i double = 0.0;
+    while (i < 50.0) {
+        acc = acc + x * x;
+        i = i + 1.0;
+    }
+    return acc;
+}`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, engine := range []interp.Engine{interp.EngineVM, interp.EngineTree} {
+		it := interp.New(mod)
+		it.Engine = engine
+		p, err := it.Program("f")
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := []float64{0.5}
+		b.Run(engine.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Execute(rt.NopMonitor{}, x)
+			}
+		})
+	}
+}

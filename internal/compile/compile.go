@@ -1,0 +1,465 @@
+// Package compile is the flat-code execution engine for IR modules: the
+// compile-once / run-many half of the Reduction Kernel (§5.3). Every
+// weak-distance analysis reduces to millions of black-box objective
+// evaluations of one fixed program, so the per-execution path must be as
+// cheap as possible. Compile translates an ir.Module once into linear
+// code — basic blocks fused into a single instruction array with
+// precomputed jump offsets, Call targets resolved to compiled-function
+// pointers, builtins resolved to function pointers, and common
+// instruction pairs fused into superinstructions with exact step
+// accounting — and Machine executes that code over a reusable frame
+// arena, making the steady-state execution path allocation-free with no
+// map lookups, no string switches, and no defer/recover.
+//
+// The tree-walking interpreter in internal/interp remains the reference
+// semantics: a Machine run produces bit-identical results, monitor
+// observation sequences, and step-budget aborts (the differential tests
+// in this package enforce it).
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/builtins"
+	"repro/internal/fp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+// DefaultMaxSteps bounds execution so that non-terminating loops cannot
+// hang an analysis; it matches the tree-walker's budget exactly.
+const DefaultMaxSteps = 1_000_000
+
+// opcode enumerates flat-code instructions. Relative to ir.Opcode, the
+// kind dispatch that the tree-walker performs at run time (Mov to a
+// float or bool register, Call capturing a float or bool result, Ret of
+// either kind) is resolved at compile time into distinct opcodes, and
+// frequent instruction pairs are fused:
+//
+//   - op*C{L,R}: a use-once constant load folded into the following
+//     arithmetic or comparison (L/R records which operand the constant
+//     was, preserving exact operand order);
+//   - op*Jmp: a comparison whose use-once result feeds the immediately
+//     following conditional jump;
+//   - any value producer whose use-once result feeds an immediately
+//     following mov is retargeted at the mov's destination (recorded in
+//     instr.extra, there is no separate opcode).
+//
+// Every fusion charges the steps of the instructions it replaced, with
+// budget checks placed so aborts are indistinguishable from the
+// tree-walker's (see Machine.exec).
+type opcode uint8
+
+const (
+	opConstF opcode = iota
+	opConstB
+	opMovF
+	opMovB
+	opFAdd
+	opFSub
+	opFMul
+	opFDiv
+	opAddCL // dst = K + a
+	opAddCR // dst = a + K
+	opSubCL // dst = K - a
+	opSubCR // dst = a - K
+	opMulCL // dst = K * a
+	opMulCR // dst = a * K
+	opDivCL // dst = K / a
+	opDivCR // dst = a / K
+	opFNeg
+	opFCmp
+	opCmpCL    // dst = K pred a
+	opCmpCR    // dst = a pred K
+	opFCmpJmp  // branch on a pred b
+	opCmpCLJmp // branch on K pred a
+	opCmpCRJmp // branch on a pred K
+	opNot
+	opCallF    // call capturing a float result
+	opCallB    // call capturing a bool result
+	opCallVoid // call discarding the result
+	opBuiltin1 // unary builtin through a function pointer
+	opBuiltin2 // binary builtin through a function pointer
+	opJmp
+	opCondJmp
+	opRetF
+	opRetB
+	opRetVoid
+	opAssert
+)
+
+// instr is one flat-code instruction, kept to 28 bytes (no pointers, no
+// 8-byte fields) so the dispatch loop streams through the code array
+// with minimal cache traffic. Wide or cold operands live in per-function
+// side tables, addressed through the integer fields:
+//
+//	opConstF            a = constant-pool index
+//	opConstB            a = 0/1 immediate
+//	op*C{L,R}(Jmp)      a = register operand, b = constant-pool index
+//	opCall*             a = call-info index
+//	opBuiltin1          a = argument register, target = builtin index
+//	opBuiltin2          a, b = argument registers, target = builtin index
+//	opJmp/opCondJmp/*Jmp  target/els = flat instruction indices
+//	opAssert            site = assert-info index (module table)
+type instr struct {
+	op     opcode
+	pred   fp.CmpOp // comparison predicate of the cmp families
+	extra  uint8    // deferred step charge of a fused post-observation mov
+	dst    int32
+	a, b   int32
+	site   int32
+	target int32
+	els    int32
+}
+
+// callInfo is the resolved target and argument registers of one user
+// call site.
+type callInfo struct {
+	fn   *Func
+	args []int32
+}
+
+// Func is one compiled function: its blocks fused into a single
+// instruction array, entry at index 0, with the frame size precomputed.
+type Func struct {
+	Name    string
+	NParams int
+	idx     int32 // index in the module's function list
+	nregs   int
+	code    []instr
+	consts  []float64                        // constant pool
+	calls   []callInfo                       // opCall* sites
+	b1      []func(float64) float64          // opBuiltin1 implementations
+	b2      []func(float64, float64) float64 // opBuiltin2 implementations
+	// zeroFrame is set when the def-before-use analysis could not prove
+	// that every register is written before it is read; only then does
+	// the machine zero the activation frame (matching the tree-walker's
+	// freshly made register slices).
+	zeroFrame bool
+}
+
+// assertInfo carries the cold source metadata of an assert instruction,
+// kept out of the instruction array so the hot path stays compact.
+type assertInfo struct {
+	pos   lang.Pos
+	label string
+}
+
+// Module is a compiled ir.Module. It is immutable after Compile and
+// safe to share between any number of Machines.
+type Module struct {
+	funcs   map[string]*Func
+	list    []*Func // indexed by Func.idx (frame stack entries are pointer-free)
+	asserts []assertInfo
+}
+
+// Func returns the named compiled function, or nil.
+func (cm *Module) Func(name string) *Func { return cm.funcs[name] }
+
+// Compile translates the module into flat code. Modules produced by
+// ir.Lower always compile; errors surface only for hand-built modules
+// with unresolved calls or unknown builtins.
+func Compile(m *ir.Module) (*Module, error) {
+	cm := &Module{funcs: make(map[string]*Func, len(m.Funcs))}
+	// Shells first, so calls resolve regardless of declaration order.
+	for _, name := range m.Order {
+		f := m.Funcs[name]
+		if f == nil {
+			return nil, fmt.Errorf("compile: order lists unknown function %s", name)
+		}
+		cf := &Func{Name: name, NParams: f.NParams, idx: int32(len(cm.list)), nregs: f.NumRegs()}
+		cm.funcs[name] = cf
+		cm.list = append(cm.list, cf)
+	}
+	for _, name := range m.Order {
+		if err := cm.compileFunc(cm.funcs[name], m.Funcs[name]); err != nil {
+			return nil, fmt.Errorf("compile: function %s: %w", name, err)
+		}
+	}
+	return cm, nil
+}
+
+// elsNone marks an unused els field on non-jump instructions.
+const elsNone = -1
+
+func (cm *Module) compileFunc(cf *Func, f *ir.Func) error {
+	// Pass 1: translate each block, jump targets still block indices.
+	blocks := make([][]instr, len(f.Blocks))
+	for bi := range f.Blocks {
+		code, err := cm.translateBlock(cf, f, &f.Blocks[bi])
+		if err != nil {
+			return err
+		}
+		blocks[bi] = code
+	}
+
+	// Pass 2: peephole fusion within each block. Fusions only ever
+	// remove non-initial instructions, so block entry points survive.
+	reads, writes := regCounts(f)
+	fusable := func(r int32) bool {
+		return reads[r] == 1 && writes[r] == 1
+	}
+	for bi := range blocks {
+		b := fuseConsts(blocks[bi], fusable)
+		b = fuseMovs(b, fusable)
+		blocks[bi] = fuseJmp(b, fusable)
+	}
+
+	// Pass 3: flatten and rewrite block targets to flat offsets.
+	blockStart := make([]int32, len(blocks))
+	total := 0
+	for bi, b := range blocks {
+		blockStart[bi] = int32(total)
+		total += len(b)
+	}
+	code := make([]instr, 0, total)
+	for _, b := range blocks {
+		code = append(code, b...)
+	}
+	for i := range code {
+		switch code[i].op {
+		case opJmp:
+			code[i].target = blockStart[code[i].target]
+		case opCondJmp, opFCmpJmp, opCmpCLJmp, opCmpCRJmp:
+			code[i].target = blockStart[code[i].target]
+			code[i].els = blockStart[code[i].els]
+		}
+	}
+	cf.code = code
+	cf.zeroFrame = !defBeforeUse(f)
+	return nil
+}
+
+// translateBlock maps one IR block to flat instructions 1:1 (fusion
+// happens afterwards).
+func (cm *Module) translateBlock(cf *Func, f *ir.Func, b *ir.Block) ([]instr, error) {
+	code := make([]instr, 0, len(b.Instrs))
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		out := instr{
+			dst: int32(in.Dst), a: int32(in.A), b: int32(in.B),
+			site: int32(in.Site), els: elsNone,
+		}
+		switch in.Op {
+		case ir.ConstF:
+			out.op, out.a = opConstF, int32(len(cf.consts))
+			cf.consts = append(cf.consts, in.Val)
+		case ir.ConstB:
+			out.op, out.a = opConstB, 0
+			if in.BVal {
+				out.a = 1
+			}
+		case ir.Mov:
+			if f.Kinds[in.Dst] == ir.RegB {
+				out.op = opMovB
+			} else {
+				out.op = opMovF
+			}
+		case ir.FAdd:
+			out.op = opFAdd
+		case ir.FSub:
+			out.op = opFSub
+		case ir.FMul:
+			out.op = opFMul
+		case ir.FDiv:
+			out.op = opFDiv
+		case ir.FNeg:
+			out.op = opFNeg
+		case ir.FCmp:
+			out.op, out.pred = opFCmp, in.Pred
+		case ir.Not:
+			out.op = opNot
+		case ir.Call:
+			callee := cm.funcs[in.Name]
+			if callee == nil {
+				return nil, fmt.Errorf("call to unknown function %s", in.Name)
+			}
+			switch {
+			case in.Dst < 0:
+				out.op = opCallVoid
+			case f.Kinds[in.Dst] == ir.RegB:
+				out.op = opCallB
+			default:
+				out.op = opCallF
+			}
+			args := make([]int32, len(in.Args))
+			for ai, a := range in.Args {
+				args[ai] = int32(a)
+			}
+			out.a = int32(len(cf.calls))
+			cf.calls = append(cf.calls, callInfo{fn: callee, args: args})
+		case ir.CallBuiltin:
+			fn1, fn2 := in.Fn1, in.Fn2
+			if fn1 == nil && fn2 == nil {
+				// Unlinked hand-built module: resolve here, still
+				// strictly before execution.
+				var err error
+				fn1, fn2, err = builtins.Resolve(in.Name, len(in.Args))
+				if err != nil {
+					return nil, err
+				}
+			}
+			if fn1 != nil {
+				out.op, out.a = opBuiltin1, int32(in.Args[0])
+				out.target = int32(len(cf.b1))
+				cf.b1 = append(cf.b1, fn1)
+			} else {
+				out.op = opBuiltin2
+				out.a, out.b = int32(in.Args[0]), int32(in.Args[1])
+				out.target = int32(len(cf.b2))
+				cf.b2 = append(cf.b2, fn2)
+			}
+		case ir.Jmp:
+			out.op, out.target = opJmp, int32(in.Target)
+		case ir.CondJmp:
+			out.op, out.target, out.els = opCondJmp, int32(in.Target), int32(in.Else)
+		case ir.Ret:
+			switch {
+			case in.A < 0:
+				out.op = opRetVoid
+			case f.Kinds[in.A] == ir.RegB:
+				out.op = opRetB
+			default:
+				out.op = opRetF
+			}
+			out.a = int32(in.A)
+		case ir.Assert:
+			out.op = opAssert
+			out.site = int32(len(cm.asserts))
+			cm.asserts = append(cm.asserts, assertInfo{pos: in.Pos, label: in.Label})
+		default:
+			return nil, fmt.Errorf("unknown opcode %s", in.Op)
+		}
+		code = append(code, out)
+	}
+	return code, nil
+}
+
+// constFusion maps a plain binary opcode to its (constant-left,
+// constant-right) fused variants.
+var constFusion = map[opcode][2]opcode{
+	opFAdd: {opAddCL, opAddCR},
+	opFSub: {opSubCL, opSubCR},
+	opFMul: {opMulCL, opMulCR},
+	opFDiv: {opDivCL, opDivCR},
+	opFCmp: {opCmpCL, opCmpCR},
+}
+
+// fuseConsts folds a use-once opConstF into an immediately following
+// binary arithmetic or comparison that consumes it. The constant's
+// register write is elided (nothing else reads it); the fused opcode
+// charges both steps.
+func fuseConsts(code []instr, fusable func(int32) bool) []instr {
+	out := code[:0]
+	for i := 0; i < len(code); i++ {
+		cur := code[i]
+		if cur.op == opConstF && i+1 < len(code) && fusable(cur.dst) {
+			next := code[i+1]
+			if variants, ok := constFusion[next.op]; ok && (next.a == cur.dst) != (next.b == cur.dst) {
+				fused := next
+				fused.b = cur.a // constant-pool index
+				if next.a == cur.dst {
+					fused.op, fused.a = variants[0], next.b // constant was the left operand
+				} else {
+					fused.op = variants[1] // constant was the right operand
+				}
+				out = append(out, fused)
+				i++
+				continue
+			}
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// movProducersF and movProducersB list the opcodes whose result can be
+// retargeted at a following mov's destination.
+func movProducer(op opcode) (isF, isB bool) {
+	switch op {
+	case opConstF, opFNeg, opFAdd, opFSub, opFMul, opFDiv,
+		opAddCL, opAddCR, opSubCL, opSubCR, opMulCL, opMulCR, opDivCL, opDivCR,
+		opBuiltin1, opBuiltin2, opCallF:
+		return true, false
+	case opConstB, opNot, opFCmp, opCmpCL, opCmpCR, opCallB:
+		return false, true
+	}
+	return false, false
+}
+
+// fuseMovs retargets a value producer at the destination of an
+// immediately following mov of its use-once result, charging the mov's
+// step via extra (deferred, post-observation — see Machine.exec).
+func fuseMovs(code []instr, fusable func(int32) bool) []instr {
+	out := code[:0]
+	for i := 0; i < len(code); i++ {
+		cur := code[i]
+		if i+1 < len(code) {
+			next := code[i+1]
+			isF, isB := movProducer(cur.op)
+			if ((isF && next.op == opMovF) || (isB && next.op == opMovB)) &&
+				next.a == cur.dst && fusable(cur.dst) {
+				cur.dst = next.dst
+				cur.extra++
+				out = append(out, cur)
+				i++
+				continue
+			}
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// fuseJmp folds a block-terminating (comparison, conditional jump) pair
+// into one branching comparison when the jump is the only reader of the
+// comparison's result.
+func fuseJmp(code []instr, fusable func(int32) bool) []instr {
+	n := len(code)
+	if n < 2 || code[n-1].op != opCondJmp {
+		return code
+	}
+	cmp, jmp := code[n-2], code[n-1]
+	if jmp.a != cmp.dst || !fusable(cmp.dst) || cmp.extra != 0 {
+		return code
+	}
+	var fusedOp opcode
+	switch cmp.op {
+	case opFCmp:
+		fusedOp = opFCmpJmp
+	case opCmpCL:
+		fusedOp = opCmpCLJmp
+	case opCmpCR:
+		fusedOp = opCmpCRJmp
+	default:
+		return code
+	}
+	fused := cmp
+	fused.op = fusedOp
+	fused.target, fused.els = jmp.target, jmp.els
+	return append(code[:n-2], fused)
+}
+
+// regCounts tallies static read and write counts per register
+// (parameters count as written at entry).
+func regCounts(f *ir.Func) (reads, writes []int) {
+	reads = make([]int, f.NumRegs())
+	writes = make([]int, f.NumRegs())
+	for p := 0; p < f.NParams; p++ {
+		writes[p]++
+	}
+	count := func(r ir.Reg) bool {
+		reads[r]++
+		return true
+	}
+	for bi := range f.Blocks {
+		for ii := range f.Blocks[bi].Instrs {
+			in := &f.Blocks[bi].Instrs[ii]
+			readsOK(in, count)
+			if d := writtenReg(in); d >= 0 {
+				writes[d]++
+			}
+		}
+	}
+	return reads, writes
+}

@@ -1,0 +1,141 @@
+package compile
+
+import "repro/internal/ir"
+
+// defBeforeUse reports whether every register of f is provably written
+// before it is read on every path from entry. When it holds, activation
+// frames need no zeroing: stale arena contents can never be observed,
+// so the machine skips the per-call memclr entirely. IR produced by
+// ir.Lower satisfies the property by construction (variables are
+// initialized at declaration); the analysis proves it per function so
+// hand-built modules stay correct.
+//
+// The analysis is a forward must-write dataflow over the block graph:
+// IN[b] is the set of registers written on *every* path reaching b,
+// OUT[b] = IN[b] ∪ written(b); a block's reads are then checked in
+// instruction order against IN[b] plus the writes preceding them within
+// the block. Unreachable blocks trivially pass (they never execute, so
+// their IN stays the universal set).
+func defBeforeUse(f *ir.Func) bool {
+	n := f.NumRegs()
+	nb := len(f.Blocks)
+	words := (n + 63) / 64
+
+	full := make([]uint64, words)
+	for i := range full {
+		full[i] = ^uint64(0)
+	}
+
+	// IN sets: entry has its parameters written; everything else starts
+	// at the universal set (⊤ of the meet semilattice).
+	in := make([][]uint64, nb)
+	for b := range in {
+		in[b] = make([]uint64, words)
+		copy(in[b], full)
+	}
+	for i := range in[0] {
+		in[0][i] = 0
+	}
+	for p := 0; p < f.NParams; p++ {
+		in[0][p/64] |= 1 << (p % 64)
+	}
+
+	// def[b]: registers written anywhere in block b.
+	def := make([][]uint64, nb)
+	for b := range def {
+		def[b] = make([]uint64, words)
+		for i := range f.Blocks[b].Instrs {
+			if d := writtenReg(&f.Blocks[b].Instrs[i]); d >= 0 {
+				def[b][d/64] |= 1 << (d % 64)
+			}
+		}
+	}
+
+	// Fixpoint: propagate OUT[b] = IN[b] ∪ def[b] into successors by
+	// intersection. The sets only shrink, so iteration terminates.
+	out := make([]uint64, words)
+	changed := true
+	for changed {
+		changed = false
+		for b := 0; b < nb; b++ {
+			for i := range out {
+				out[i] = in[b][i] | def[b][i]
+			}
+			for _, s := range successors(f, b) {
+				for i := range out {
+					if old := in[s][i]; old&out[i] != old {
+						in[s][i] &= out[i]
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Check every read against the must-written set at that point.
+	cur := make([]uint64, words)
+	has := func(r ir.Reg) bool { return cur[int(r)/64]&(1<<(int(r)%64)) != 0 }
+	for b := 0; b < nb; b++ {
+		copy(cur, in[b])
+		for i := range f.Blocks[b].Instrs {
+			ins := &f.Blocks[b].Instrs[i]
+			if !readsOK(ins, has) {
+				return false
+			}
+			if d := writtenReg(ins); d >= 0 {
+				cur[d/64] |= 1 << (d % 64)
+			}
+		}
+	}
+	return true
+}
+
+// writtenReg returns the register an instruction writes, or -1.
+func writtenReg(in *ir.Instr) int {
+	switch in.Op {
+	case ir.ConstF, ir.ConstB, ir.Mov, ir.FAdd, ir.FSub, ir.FMul, ir.FDiv,
+		ir.FNeg, ir.FCmp, ir.Not, ir.CallBuiltin:
+		return int(in.Dst)
+	case ir.Call:
+		if in.Dst >= 0 {
+			return int(in.Dst)
+		}
+	}
+	return -1
+}
+
+// readsOK reports whether every register the instruction reads
+// satisfies has.
+func readsOK(in *ir.Instr, has func(ir.Reg) bool) bool {
+	switch in.Op {
+	case ir.Mov, ir.FNeg, ir.Not, ir.CondJmp, ir.Assert:
+		return has(in.A)
+	case ir.FAdd, ir.FSub, ir.FMul, ir.FDiv, ir.FCmp:
+		return has(in.A) && has(in.B)
+	case ir.Call, ir.CallBuiltin:
+		for _, a := range in.Args {
+			if !has(a) {
+				return false
+			}
+		}
+		return true
+	case ir.Ret:
+		return in.A < 0 || has(in.A)
+	}
+	return true
+}
+
+// successors returns the block indices a block can transfer to.
+func successors(f *ir.Func, b int) []int {
+	instrs := f.Blocks[b].Instrs
+	if len(instrs) == 0 {
+		return nil
+	}
+	switch t := instrs[len(instrs)-1]; t.Op {
+	case ir.Jmp:
+		return []int{t.Target}
+	case ir.CondJmp:
+		return []int{t.Target, t.Else}
+	}
+	return nil
+}

@@ -1,0 +1,468 @@
+package compile_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fp"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/rt"
+)
+
+// The differential suite holds the flat-code VM to the tree-walking
+// interpreter, which is the reference semantics: identical results,
+// identical monitor observation sequences (order, site IDs, predicates,
+// operand bits), identical assertion failures, identical step-budget
+// aborts at every budget, and identical early-stop behavior. Any
+// divergence in block fusion, jump offsets, instruction fusion, or step
+// accounting shows up here.
+
+// obs is one recorded monitor observation.
+type obs struct {
+	branch bool
+	site   int
+	pred   fp.CmpOp
+	a, b   uint64 // operand/result bits
+}
+
+// tracer records every observation; it can optionally request an early
+// stop after a fixed number of FP-op observations.
+type tracer struct {
+	recs    []obs
+	ops     int
+	stopAt  int // stop when ops reaches stopAt (0 = never)
+	stopped bool
+}
+
+func (t *tracer) Reset() {
+	t.recs = t.recs[:0]
+	t.ops = 0
+	t.stopped = false
+}
+
+func (t *tracer) Branch(site int, op fp.CmpOp, a, b float64) {
+	t.recs = append(t.recs, obs{branch: true, site: site, pred: op,
+		a: math.Float64bits(a), b: math.Float64bits(b)})
+}
+
+func (t *tracer) FPOp(site int, v float64) bool {
+	t.recs = append(t.recs, obs{site: site, a: math.Float64bits(v)})
+	t.ops++
+	if t.stopAt > 0 && t.ops >= t.stopAt {
+		t.stopped = true
+		return true
+	}
+	return false
+}
+
+func (t *tracer) Value() float64 { return float64(len(t.recs)) }
+
+func sameTrace(a, b []obs) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// engines compiles src once and returns (tree, vm) interpreters over
+// the same module.
+func engines(t testing.TB, src string) (*interp.Interp, *interp.Interp) {
+	t.Helper()
+	mod, err := ir.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	tree := interp.New(mod)
+	tree.Engine = interp.EngineTree
+	vm := interp.New(mod)
+	vm.Engine = interp.EngineVM
+	return tree, vm
+}
+
+// checkProgram runs the full differential battery for one entry
+// function on one input.
+func checkProgram(t *testing.T, src, fn string, tree, vm *interp.Interp, x []float64) {
+	t.Helper()
+
+	// Result bits (uninstrumented run).
+	tree.MaxSteps, vm.MaxSteps = 0, 0
+	rt1, err := tree.Run(fn, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := vm.Run(fn, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(rt1) != math.Float64bits(rt2) &&
+		!(math.IsNaN(rt1) && math.IsNaN(rt2)) {
+		t.Fatalf("%s(%v): tree=%v vm=%v\n%s", fn, x, rt1, rt2, src)
+	}
+
+	// Assertion failures.
+	if len(tree.Failures) != len(vm.Failures) {
+		t.Fatalf("%s(%v): tree recorded %d failures, vm %d\n%s",
+			fn, x, len(tree.Failures), len(vm.Failures), src)
+	}
+	for i := range tree.Failures {
+		tf, vf := tree.Failures[i], vm.Failures[i]
+		if tf.Pos != vf.Pos || tf.Label != vf.Label || fmt.Sprint(tf.Input) != fmt.Sprint(vf.Input) {
+			t.Fatalf("%s(%v): failure %d differs: tree=%v vm=%v", fn, x, i, tf, vf)
+		}
+	}
+	tree.ClearFailures()
+	vm.ClearFailures()
+
+	pt, err := tree.Program(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := vm.Program(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full observation traces.
+	mt, mv := &tracer{}, &tracer{}
+	wt := pt.Execute(mt, x)
+	wv := pv.Execute(mv, x)
+	if wt != wv || !sameTrace(mt.recs, mv.recs) {
+		t.Fatalf("%s(%v): trace diverges (tree %d obs w=%v, vm %d obs w=%v)\n%s",
+			fn, x, len(mt.recs), wt, len(mv.recs), wv, src)
+	}
+	nOps := mt.ops
+
+	// Step-budget aborts: every small budget, plus a band around the
+	// run's own step count, must abort at the same point with the same
+	// observation prefix and the same NaN marker.
+	for budget := 1; budget <= 48; budget++ {
+		tree.MaxSteps, vm.MaxSteps = budget, budget
+		r1, _ := tree.Run(fn, x)
+		r2, _ := vm.Run(fn, x)
+		if math.Float64bits(r1) != math.Float64bits(r2) &&
+			!(math.IsNaN(r1) && math.IsNaN(r2)) {
+			t.Fatalf("%s(%v) budget=%d: tree=%v vm=%v\n%s", fn, x, budget, r1, r2, src)
+		}
+		mt.Reset()
+		mv.Reset()
+		pt.Execute(mt, x)
+		pv.Execute(mv, x)
+		if !sameTrace(mt.recs, mv.recs) {
+			t.Fatalf("%s(%v) budget=%d: abort trace diverges (tree %d obs, vm %d obs)\n%s",
+				fn, x, budget, len(mt.recs), len(mv.recs), src)
+		}
+	}
+	tree.MaxSteps, vm.MaxSteps = 0, 0
+	tree.ClearFailures()
+	vm.ClearFailures()
+
+	// Monitor early stops after each of the first FP-op observations:
+	// both engines must deliver the identical truncated trace.
+	maxStop := nOps
+	if maxStop > 12 {
+		maxStop = 12
+	}
+	for stop := 1; stop <= maxStop; stop++ {
+		st, sv := &tracer{stopAt: stop}, &tracer{stopAt: stop}
+		w1 := pt.Execute(st, x)
+		w2 := pv.Execute(sv, x)
+		if w1 != w2 || st.stopped != sv.stopped || !sameTrace(st.recs, sv.recs) {
+			t.Fatalf("%s(%v) stopAt=%d: early-stop diverges\n%s", fn, x, stop, src)
+		}
+	}
+	tree.ClearFailures()
+	vm.ClearFailures()
+}
+
+func defaultInputs(rng *rand.Rand, dim int) [][]float64 {
+	seeds := []float64{0, 1, -1, 0.5, 2, -3.25, 1e-8, 1e8, 1e300, -1e300,
+		0.9999999999999999, math.SmallestNonzeroFloat64}
+	var out [][]float64
+	for _, s := range seeds {
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = s
+			if i > 0 {
+				x[i] = s * float64(i+1)
+			}
+		}
+		out = append(out, x)
+	}
+	for k := 0; k < 6; k++ {
+		x := make([]float64, dim)
+		for i := range x {
+			for {
+				v := math.Float64frombits(rng.Uint64())
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					x[i] = v
+					break
+				}
+			}
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// TestDifferentialFixtures runs the battery over every testdata FPL
+// fixture, on every function it declares.
+func TestDifferentialFixtures(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fpl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata fixtures found: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := ir.Compile(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		tree, vm := engines(t, string(src))
+		for _, fn := range mod.Order {
+			dim := mod.Funcs[fn].NParams
+			if dim == 0 {
+				continue
+			}
+			for _, x := range defaultInputs(rng, dim) {
+				checkProgram(t, string(src), fn, tree, vm, x)
+			}
+		}
+	}
+}
+
+// --- Randomized program generation ---
+//
+// Unlike the interp-vs-Go-reference differential test, the tree-walker
+// itself is the oracle here, so the generator is free to produce any
+// well-typed terminating program: nested control flow, short-circuit
+// booleans, builtins, user calls (the VM threads these through its
+// explicit frame stack), and asserts.
+
+type gen struct {
+	rng    *rand.Rand
+	nv     int
+	funcs  []string // helper function names, arity 1
+	lines  []string
+	indent string
+}
+
+func (g *gen) expr(vars []string, depth int) string {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		if len(vars) > 0 && g.rng.Intn(3) != 0 {
+			return vars[g.rng.Intn(len(vars))]
+		}
+		return []string{"0.0", "1.0", "2.0", "0.5", "3.25", "1e-8", "1e8", "7.0", "1e300"}[g.rng.Intn(9)]
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		return "(" + g.expr(vars, depth-1) + " + " + g.expr(vars, depth-1) + ")"
+	case 2:
+		return "(" + g.expr(vars, depth-1) + " - " + g.expr(vars, depth-1) + ")"
+	case 3:
+		return "(" + g.expr(vars, depth-1) + " * " + g.expr(vars, depth-1) + ")"
+	case 4:
+		return "(" + g.expr(vars, depth-1) + " / " + g.expr(vars, depth-1) + ")"
+	case 5:
+		return "(-" + g.expr(vars, depth-1) + ")"
+	case 6:
+		name := []string{"fabs", "sqrt", "sin", "floor", "exp"}[g.rng.Intn(5)]
+		return name + "(" + g.expr(vars, depth-1) + ")"
+	case 7:
+		name := []string{"fmin", "fmax", "pow"}[g.rng.Intn(3)]
+		return name + "(" + g.expr(vars, depth-1) + ", " + g.expr(vars, depth-1) + ")"
+	case 8:
+		if len(g.funcs) > 0 {
+			f := g.funcs[g.rng.Intn(len(g.funcs))]
+			return f + "(" + g.expr(vars, depth-1) + ")"
+		}
+		return g.expr(vars, depth-1)
+	default:
+		return "(" + g.expr(vars, depth-1) + " + " + g.expr(vars, depth-1) + ")"
+	}
+}
+
+func (g *gen) cond(vars []string, depth int) string {
+	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+	c := "(" + g.expr(vars, depth) + " " + op + " " + g.expr(vars, depth) + ")"
+	if depth > 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			c = "(" + c + " && " + g.cond(vars, depth-1) + ")"
+		case 1:
+			c = "(" + c + " || " + g.cond(vars, depth-1) + ")"
+		case 2:
+			c = "(!" + c + ")"
+		}
+	}
+	return c
+}
+
+func (g *gen) stmt(vars *[]string, depth int) {
+	ind := g.indent
+	switch k := g.rng.Intn(7); {
+	case k <= 1 || len(*vars) == 0:
+		name := fmt.Sprintf("v%d", g.nv)
+		g.nv++
+		g.lines = append(g.lines, ind+"var "+name+" double = "+g.expr(*vars, 2)+";")
+		*vars = append(*vars, name)
+	case k == 2 && depth < 2:
+		g.lines = append(g.lines, ind+"if "+g.cond(*vars, 1)+" {")
+		g.block(vars, depth+1, 1+g.rng.Intn(2))
+		if g.rng.Intn(2) == 0 {
+			g.lines = append(g.lines, ind+"} else {")
+			g.block(vars, depth+1, 1+g.rng.Intn(2))
+		}
+		g.lines = append(g.lines, ind+"}")
+	case k == 3 && depth < 2:
+		// Bounded counting loop.
+		i := fmt.Sprintf("i%d", g.nv)
+		g.nv++
+		bound := fmt.Sprintf("%d.0", 1+g.rng.Intn(5))
+		g.lines = append(g.lines, ind+"var "+i+" double = 0.0;")
+		g.lines = append(g.lines, ind+"while ("+i+" < "+bound+") {")
+		g.block(vars, depth+1, 1+g.rng.Intn(2))
+		g.lines = append(g.lines, ind+"    "+i+" = "+i+" + 1.0;")
+		g.lines = append(g.lines, ind+"}")
+	case k == 4:
+		g.lines = append(g.lines, ind+"assert"+g.cond(*vars, 0)+";")
+	default:
+		name := (*vars)[g.rng.Intn(len(*vars))]
+		g.lines = append(g.lines, ind+name+" = "+g.expr(*vars, 2)+";")
+	}
+}
+
+func (g *gen) block(vars *[]string, depth, n int) {
+	saved := g.indent
+	g.indent += "    "
+	local := append([]string(nil), *vars...)
+	for i := 0; i < n; i++ {
+		g.stmt(&local, depth)
+	}
+	g.indent = saved
+}
+
+// genModule produces a module with helper functions and a main entry
+// "f" of one parameter.
+func genModule(rng *rand.Rand) string {
+	g := &gen{rng: rng}
+	var sb strings.Builder
+	// Helpers first (callable from f and from each other, earlier ones
+	// only, so call graphs stay acyclic and terminating).
+	nh := 1 + rng.Intn(2)
+	for h := 0; h < nh; h++ {
+		name := fmt.Sprintf("h%d", h)
+		g.lines = nil
+		g.indent = ""
+		vars := []string{"a"}
+		g.block(&vars, 1, 1+rng.Intn(2))
+		sb.WriteString("func " + name + "(a double) double {\n")
+		for _, l := range g.lines {
+			sb.WriteString(l + "\n")
+		}
+		sb.WriteString("    return " + g.expr(vars, 2) + ";\n}\n")
+		g.funcs = append(g.funcs, name)
+	}
+	g.lines = nil
+	g.indent = ""
+	vars := []string{"x"}
+	g.block(&vars, 0, 2+rng.Intn(4))
+	sb.WriteString("func f(x double) double {\n")
+	for _, l := range g.lines {
+		sb.WriteString(l + "\n")
+	}
+	sb.WriteString("    return " + g.expr(vars, 2) + ";\n}\n")
+	return sb.String()
+}
+
+// TestDifferentialRandom holds both engines to each other over randomly
+// generated modules and random inputs.
+func TestDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20190622))
+	n := 150
+	if testing.Short() {
+		n = 30
+	}
+	for pi := 0; pi < n; pi++ {
+		src := genModule(rng)
+		tree, vm := engines(t, src)
+		inputs := defaultInputs(rng, 1)[:8]
+		for _, x := range inputs {
+			checkProgram(t, src, "f", tree, vm, x)
+		}
+	}
+}
+
+// TestDifferentialAnalysisFindings re-runs a full boundary analysis
+// under both engines and asserts the findings are bit-identical: same
+// seed, same weak distance values, same sampled minima.
+func TestDifferentialAnalysisFindings(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", "fig2.fpl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][2]float64, 2)
+	for ei, engine := range []interp.Engine{interp.EngineTree, interp.EngineVM} {
+		mod, err := ir.Compile(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		it := interp.New(mod)
+		it.Engine = engine
+		p, err := it.Program("prog")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A deterministic sampling loop over the weak distance stands in
+		// for a full backend run without importing internal/opt (kept
+		// light; the analysis-level equivalence is covered by the
+		// package tests running entirely on the VM engine).
+		mon := &countingBoundary{}
+		rng := rand.New(rand.NewSource(7))
+		var sum float64
+		var zeros int
+		for i := 0; i < 5000; i++ {
+			x := []float64{rng.NormFloat64() * 10}
+			w := p.Execute(mon, x)
+			sum += w
+			if w == 0 {
+				zeros++
+			}
+		}
+		results[ei] = [2]float64{sum, float64(zeros)}
+	}
+	if results[0] != results[1] {
+		t.Fatalf("analysis findings diverge: tree=%v vm=%v", results[0], results[1])
+	}
+}
+
+// countingBoundary is a minimal boundary-style monitor (product of
+// |a-b|) implemented locally to keep this package's dependencies lean.
+type countingBoundary struct{ w float64 }
+
+func (m *countingBoundary) Reset() { m.w = 1 }
+func (m *countingBoundary) Branch(site int, op fp.CmpOp, a, b float64) {
+	d := math.Abs(a - b)
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		d = math.MaxFloat64
+	}
+	m.w *= d
+}
+func (m *countingBoundary) FPOp(int, float64) bool { return false }
+func (m *countingBoundary) Value() float64         { return m.w }
+
+var _ rt.Monitor = (*tracer)(nil)

@@ -1,0 +1,45 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+)
+
+var opNames = map[opcode]string{
+	opConstF: "constf", opConstB: "constb", opMovF: "movf", opMovB: "movb",
+	opFAdd: "fadd", opFSub: "fsub", opFMul: "fmul", opFDiv: "fdiv",
+	opAddCL: "addcl", opAddCR: "addcr", opSubCL: "subcl", opSubCR: "subcr",
+	opMulCL: "mulcl", opMulCR: "mulcr", opDivCL: "divcl", opDivCR: "divcr",
+	opFNeg: "fneg", opFCmp: "fcmp", opCmpCL: "cmpcl", opCmpCR: "cmpcr",
+	opFCmpJmp: "fcmpjmp", opCmpCLJmp: "cmpcljmp", opCmpCRJmp: "cmpcrjmp",
+	opNot: "not", opCallF: "callf", opCallB: "callb", opCallVoid: "callv",
+	opBuiltin1: "b1", opBuiltin2: "b2", opJmp: "jmp", opCondJmp: "condjmp",
+	opRetF: "retf", opRetB: "retb", opRetVoid: "retv", opAssert: "assert",
+}
+
+// Disasm renders a compiled function's flat code for debugging and
+// fusion inspection.
+func (cm *Module) Disasm(name string) string {
+	f := cm.funcs[name]
+	if f == nil {
+		return "<no function " + name + ">"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (params=%d regs=%d zero=%v)\n", f.Name, f.NParams, f.nregs, f.zeroFrame)
+	for i := range f.code {
+		in := &f.code[i]
+		fmt.Fprintf(&sb, "  %3d: %-9s dst=%-3d a=%-3d b=%-3d site=%-3d tgt=%-3d els=%-3d extra=%d",
+			i, opNames[in.op], in.dst, in.a, in.b, in.site, in.target, in.els, in.extra)
+		switch in.op {
+		case opConstF:
+			fmt.Fprintf(&sb, "  ; K=%g", f.consts[in.a])
+		case opAddCL, opAddCR, opSubCL, opSubCR, opMulCL, opMulCR, opDivCL, opDivCR,
+			opCmpCL, opCmpCR, opCmpCLJmp, opCmpCRJmp:
+			fmt.Fprintf(&sb, "  ; K=%g", f.consts[in.b])
+		case opCallF, opCallB, opCallVoid:
+			fmt.Fprintf(&sb, "  ; call %s%v", f.calls[in.a].fn.Name, f.calls[in.a].args)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

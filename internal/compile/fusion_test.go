@@ -1,0 +1,53 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/ir"
+)
+
+// TestFusionShapes pins the peephole results on the canonical Fig. 2
+// program: constant loads fold into compares and arithmetic, movs
+// retarget producers, compares fuse with their conditional jumps, and
+// the frame needs no zeroing. 17 tree-walker steps become 8 flat
+// instructions (with identical step accounting, enforced by the
+// differential suite).
+func TestFusionShapes(t *testing.T) {
+	mod, err := ir.Compile(`
+func prog(x double) {
+    if (x <= 1.0) {
+        x = x + 1.0;
+    }
+    var y double = x * x;
+    if (y <= 4.0) {
+        x = x - 1.0;
+    }
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := compile.Compile(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := cm.Disasm("prog")
+	for _, want := range []string{
+		"cmpcrjmp", // const + compare + conditional jump fused
+		"addcr",    // const + add fused, mov retargeted (extra=1)
+		"subcr",    // const + sub fused
+		"fmul",     // x*x stays a plain op (no constant operand)
+		"zero=false",
+	} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+	if n := strings.Count(dis, "\n") - 1; n != 8 {
+		t.Errorf("fig2 compiled to %d instructions, want 8:\n%s", n, dis)
+	}
+	if strings.Contains(dis, "constf") {
+		t.Errorf("unfused constant load remains:\n%s", dis)
+	}
+}

@@ -277,6 +277,20 @@ func BranchDistULP(op CmpOp, a, b float64) float64 {
 // value analysis weak distance (paper §4.2: `w = w * abs(x - 1.0)`), with
 // NaN saturating to +Inf.
 func BoundaryDist(a, b float64) float64 {
+	// Fast path: a finite difference means both operands are finite
+	// non-NaN, which is the overwhelming case on the per-branch hot
+	// path. Keeping this function tiny lets it inline into every
+	// monitor's Branch method.
+	d := Abs(a - b)
+	if d <= MaxFloat {
+		return d
+	}
+	return boundaryDistSlow(a, b)
+}
+
+// boundaryDistSlow resolves the NaN, infinite-operand, and overflowing
+// |a-b| cases, preserving the exact values of the original definition.
+func boundaryDistSlow(a, b float64) float64 {
 	if math.IsNaN(a) || math.IsNaN(b) {
 		return math.Inf(1)
 	}
@@ -286,11 +300,8 @@ func BoundaryDist(a, b float64) float64 {
 		}
 		return math.Inf(1)
 	}
-	d := Abs(a - b)
-	if math.IsInf(d, 0) {
-		return MaxFloat
-	}
-	return d
+	// Finite operands whose difference overflowed.
+	return MaxFloat
 }
 
 // OverflowDist implements the per-instruction distance of Algorithm 3

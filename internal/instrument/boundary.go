@@ -67,6 +67,23 @@ func (m *Boundary) Reset() {
 
 // Branch implements rt.Monitor.
 func (m *Boundary) Branch(site int, op fp.CmpOp, a, b float64) {
+	if m.Sites == nil && !m.ULP && !m.HighPrecision {
+		// Default configuration, on the per-branch hot path of every
+		// boundary analysis: plain |a-b| product with saturation,
+		// written so the finite case stays fully inlined. The factors
+		// are nonnegative, so w stays nonnegative and the IsInf(w)
+		// clamp reduces to a one-sided compare.
+		d := fp.Abs(a - b)
+		if !(d <= fp.MaxFloat) {
+			d = fp.BoundaryDist(a, b) // NaN/Inf operands: cold path
+		}
+		w := m.w * d
+		if w > fp.MaxFloat {
+			w = fp.MaxFloat
+		}
+		m.w = w
+		return
+	}
 	if m.Sites != nil && !m.Sites[site] {
 		return
 	}

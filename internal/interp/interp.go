@@ -4,14 +4,30 @@
 // operation and branch condition is observed by a pluggable monitor —
 // the same interface the native GSL/libm ports use, so all weak-distance
 // constructions work identically over both substrates.
+//
+// Two execution engines back the returned programs:
+//
+//   - EngineVM (the default): internal/compile's flat-code register VM.
+//     The module is compiled once into linear code with precomputed
+//     jump offsets, resolved call targets and builtin function
+//     pointers, and executed over a reusable frame arena — the
+//     allocation-free hot path every analysis's evaluation budget is
+//     spent on.
+//   - EngineTree: the original tree-walking interpreter, kept as the
+//     reference semantics and differential-testing oracle.
+//
+// The engines are observationally identical: same results, same monitor
+// observation sequences, same step-budget aborts (enforced by the
+// differential tests in internal/compile).
 package interp
 
 import (
 	"fmt"
 	"math"
 
+	"repro/internal/builtins"
+	"repro/internal/compile"
 	"repro/internal/ir"
-	"repro/internal/lang"
 	"repro/internal/rt"
 )
 
@@ -19,18 +35,47 @@ import (
 // (reachable under adversarial optimizer inputs) cannot hang an
 // analysis. A run that exceeds the bound is abandoned; the monitor
 // reports the weak distance accumulated so far.
-const DefaultMaxSteps = 1_000_000
+const DefaultMaxSteps = compile.DefaultMaxSteps
 
 // AssertFailure records a violated assert statement during a run.
-type AssertFailure struct {
-	Pos   lang.Pos
-	Label string
-	Input []float64
+type AssertFailure = compile.AssertFailure
+
+// Engine selects the execution engine backing an Interp.
+type Engine uint8
+
+const (
+	// EngineVM executes compiled flat code (internal/compile): the
+	// fast, allocation-free default.
+	EngineVM Engine = iota
+	// EngineTree walks the block-structured IR directly: the reference
+	// implementation and differential-testing oracle.
+	EngineTree
+)
+
+// ParseEngine resolves an engine name ("vm" or "tree"), for -engine
+// style command-line flags.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "", "vm", "compiled":
+		return EngineVM, nil
+	case "tree", "walker", "interp":
+		return EngineTree, nil
+	}
+	return EngineVM, fmt.Errorf("unknown engine %q (want vm or tree)", name)
 }
 
-func (a AssertFailure) String() string {
-	return fmt.Sprintf("%s: assertion %q violated with input %v", a.Pos, a.Label, a.Input)
+// String returns the flag spelling of the engine.
+func (e Engine) String() string {
+	if e == EngineTree {
+		return "tree"
+	}
+	return "vm"
 }
+
+// DefaultEngine is the engine New installs on fresh interpreters. Tools
+// expose it via -engine flags for A/B timing; tests pin it per Interp
+// instead.
+var DefaultEngine = EngineVM
 
 // Interp drives interpretation of one module.
 type Interp struct {
@@ -39,20 +84,40 @@ type Interp struct {
 	// MaxSteps bounds instructions per execution; zero selects
 	// DefaultMaxSteps.
 	MaxSteps int
+	// Engine selects the execution engine. The zero value is EngineVM;
+	// New installs DefaultEngine.
+	Engine Engine
 
 	// Failures collects assertion violations across runs (reset by
 	// ClearFailures). Useful for the Fig. 1 style analyses.
 	Failures []AssertFailure
 
+	compiled *compile.Module  // lazily compiled flat code, shared by forks
+	vm       *compile.Machine // reusable machine for uninstrumented Run
+
 	steps int
 	input []float64
+	cargs []float64 // tree-walker call-argument scratch
 }
 
-// New returns an interpreter for the module.
-func New(m *ir.Module) *Interp { return &Interp{Mod: m} }
+// New returns an interpreter for the module using DefaultEngine.
+func New(m *ir.Module) *Interp { return &Interp{Mod: m, Engine: DefaultEngine} }
 
 // ClearFailures discards recorded assertion failures.
 func (it *Interp) ClearFailures() { it.Failures = nil }
+
+// compiledModule compiles the module to flat code once, caching the
+// result. Forks share the cache: compiled code is immutable.
+func (it *Interp) compiledModule() (*compile.Module, error) {
+	if it.compiled == nil {
+		cm, err := compile.Compile(it.Mod)
+		if err != nil {
+			return nil, err
+		}
+		it.compiled = cm
+	}
+	return it.compiled, nil
+}
 
 // Program wraps the named function as an instrumentable rt.Program.
 // The returned program shares the interpreter (and its failure log).
@@ -61,22 +126,49 @@ func (it *Interp) Program(fnName string) (*rt.Program, error) {
 	if fn == nil {
 		return nil, fmt.Errorf("interp: no function %q in module", fnName)
 	}
+	var run func(ctx *rt.Ctx, x []float64)
+	if it.Engine == EngineTree {
+		run = func(ctx *rt.Ctx, x []float64) {
+			it.run(ctx, fn, x)
+		}
+	} else {
+		cm, err := it.compiledModule()
+		if err != nil {
+			return nil, err
+		}
+		cfn := cm.Func(fnName)
+		vm := cm.NewMachine()
+		vm.OnAssertFailure = func(f AssertFailure) {
+			it.Failures = append(it.Failures, f)
+		}
+		run = func(ctx *rt.Ctx, x []float64) {
+			// MaxSteps is read per run, matching the tree-walker's
+			// late binding of the budget.
+			vm.MaxSteps = it.MaxSteps
+			vm.Run(ctx, cfn, x)
+		}
+	}
 	return &rt.Program{
 		Name:     fnName,
 		Dim:      fn.NParams,
 		Ops:      it.Mod.OpSites,
 		Branches: it.Mod.BranchSites,
-		Run: func(ctx *rt.Ctx, x []float64) {
-			it.run(ctx, fn, x)
-		},
-		// The module is immutable after compilation, but the interpreter
-		// is not (step counter, input snapshot, failure log), so a
-		// concurrent-safe instance wraps a fresh interpreter over the
-		// same module. Failures recorded during parallel searches land
-		// on the instance and are discarded with it.
+		Run:      run,
+		// The VM unwinds monitor stops through ordinary returns; only
+		// the tree-walker needs the panic-based protocol.
+		NoPanicStop: it.Engine != EngineTree,
+		// The module (and its compiled flat code) is immutable, but the
+		// executing machinery is not (frame arena, step counter, failure
+		// log), so a concurrent-safe instance wraps a fresh interpreter
+		// over the same module. Failures recorded during parallel
+		// searches land on the instance and are discarded with it.
 		NewInstance: func() *rt.Program {
-			fork := New(it.Mod)
-			fork.MaxSteps = it.MaxSteps
+			fork := &Interp{
+				Mod:      it.Mod,
+				MaxSteps: it.MaxSteps,
+				Engine:   it.Engine,
+				compiled: it.compiled,
+			}
 			p, err := fork.Program(fnName)
 			if err != nil {
 				panic(err) // unreachable: fnName was just resolved above
@@ -94,13 +186,28 @@ func (it *Interp) Run(fnName string, x []float64) (float64, error) {
 	if fn == nil {
 		return 0, fmt.Errorf("interp: no function %q in module", fnName)
 	}
-	return it.run(rt.NewCtx(rt.NopMonitor{}), fn, x), nil
+	if it.Engine == EngineTree {
+		return it.run(rt.NewCtx(rt.NopMonitor{}), fn, x), nil
+	}
+	cm, err := it.compiledModule()
+	if err != nil {
+		return 0, err
+	}
+	if it.vm == nil {
+		it.vm = cm.NewMachine()
+		it.vm.OnAssertFailure = func(f AssertFailure) {
+			it.Failures = append(it.Failures, f)
+		}
+	}
+	it.vm.MaxSteps = it.MaxSteps
+	return it.vm.Run(rt.NewCtx(rt.NopMonitor{}), cm.Func(fnName), x), nil
 }
 
 // budgetExceeded is the internal control panic for step-limit aborts.
 type budgetExceeded struct{}
 
-// run executes fn on x under ctx, returning its result (0 for void).
+// run executes fn on x under ctx with the tree-walking engine,
+// returning its result (0 for void).
 func (it *Interp) run(ctx *rt.Ctx, fn *ir.Func, x []float64) float64 {
 	if len(x) != fn.NParams {
 		panic(fmt.Sprintf("interp: %s expects %d inputs, got %d", fn.Name, fn.NParams, len(x)))
@@ -168,8 +275,20 @@ func (it *Interp) call(ctx *rt.Ctx, fn *ir.Func, args []float64, max int) float6
 		case ir.Not:
 			bregs[in.Dst] = !bregs[in.A]
 		case ir.Call:
-			callee := it.Mod.Funcs[in.Name]
-			cargs := make([]float64, len(in.Args))
+			// The callee pointer is cached at lowering time (Module.Link);
+			// the map lookup survives only as a fallback for hand-built
+			// modules that skipped Link.
+			callee := in.Callee
+			if callee == nil {
+				callee = it.Mod.Funcs[in.Name]
+			}
+			// The argument scratch buffer is reusable even under
+			// recursion: the callee copies it into its own frame at entry,
+			// before any nested call can clobber it.
+			if cap(it.cargs) < len(in.Args) {
+				it.cargs = make([]float64, len(in.Args))
+			}
+			cargs := it.cargs[:len(in.Args)]
 			for i, a := range in.Args {
 				cargs[i] = fregs[a]
 			}
@@ -182,14 +301,24 @@ func (it *Interp) call(ctx *rt.Ctx, fn *ir.Func, args []float64, max int) float6
 				}
 			}
 		case ir.CallBuiltin:
+			// Builtins are resolved to function pointers at lowering
+			// time (Module.Link); the name-based lookup survives only as
+			// a fallback for hand-built modules that skipped Link,
+			// mirroring the Call fallback above. (No caching here: the
+			// module may be shared across concurrent instances.)
 			var v float64
-			switch len(in.Args) {
-			case 1:
-				v = builtin1(in.Name, fregs[in.Args[0]])
-			case 2:
-				v = builtin2(in.Name, fregs[in.Args[0]], fregs[in.Args[1]])
-			default:
-				panic("interp: builtin arity")
+			fn1, fn2 := in.Fn1, in.Fn2
+			if fn1 == nil && fn2 == nil {
+				var err error
+				fn1, fn2, err = builtins.Resolve(in.Name, len(in.Args))
+				if err != nil {
+					panic(fmt.Sprintf("interp: %v", err))
+				}
+			}
+			if fn1 != nil {
+				v = fn1(fregs[in.Args[0]])
+			} else {
+				v = fn2(fregs[in.Args[0]], fregs[in.Args[1]])
 			}
 			fregs[in.Dst] = ctx.Op(in.Site, v)
 		case ir.Jmp:
@@ -223,42 +352,4 @@ func (it *Interp) call(ctx *rt.Ctx, fn *ir.Func, args []float64, max int) float6
 			panic(fmt.Sprintf("interp: unknown opcode %s", in.Op))
 		}
 	}
-}
-
-func builtin1(name string, a float64) float64 {
-	switch name {
-	case "sin":
-		return math.Sin(a)
-	case "cos":
-		return math.Cos(a)
-	case "tan":
-		return math.Tan(a)
-	case "sqrt":
-		return math.Sqrt(a)
-	case "fabs":
-		return math.Abs(a)
-	case "exp":
-		return math.Exp(a)
-	case "log":
-		return math.Log(a)
-	case "floor":
-		return math.Floor(a)
-	case "ceil":
-		return math.Ceil(a)
-	case "highword":
-		return float64(uint32(math.Float64bits(a)>>32) & 0x7fffffff)
-	}
-	panic(fmt.Sprintf("interp: unknown builtin %s/1", name))
-}
-
-func builtin2(name string, a, b float64) float64 {
-	switch name {
-	case "pow":
-		return math.Pow(a, b)
-	case "fmin":
-		return math.Min(a, b)
-	case "fmax":
-		return math.Max(a, b)
-	}
-	panic(fmt.Sprintf("interp: unknown builtin %s/2", name))
 }

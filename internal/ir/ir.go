@@ -16,6 +16,7 @@ package ir
 import (
 	"fmt"
 
+	"repro/internal/builtins"
 	"repro/internal/fp"
 	"repro/internal/lang"
 	"repro/internal/rt"
@@ -120,6 +121,17 @@ type Instr struct {
 	// NoSite otherwise.
 	Site int
 
+	// Callee caches the resolved *Func for Call instructions so
+	// execution engines never pay a map lookup per call. Lower fills it
+	// via Module.Link; hand-built modules should call Link themselves.
+	Callee *Func
+	// Fn1 and Fn2 cache the resolved implementation for CallBuiltin
+	// instructions (exactly one is non-nil, matching the arity).
+	// Resolution happens at lowering time, making an unknown builtin a
+	// compile-time error rather than a runtime panic.
+	Fn1 func(float64) float64
+	Fn2 func(float64, float64) float64
+
 	// Target and Else are block indices for Jmp/CondJmp.
 	Target, Else int
 
@@ -177,6 +189,40 @@ type Module struct {
 // Func returns the named function, or nil.
 func (m *Module) Func(name string) *Func {
 	return m.Funcs[name]
+}
+
+// Link resolves the cached execution pointers of every instruction:
+// Call instructions get their Callee, CallBuiltin instructions their
+// Fn1/Fn2 implementation. Lower calls Link automatically; modules built
+// by hand must call it before execution. Unknown callees or builtins
+// are reported as errors.
+func (m *Module) Link() error {
+	for _, name := range m.Order {
+		f := m.Funcs[name]
+		if f == nil {
+			return fmt.Errorf("ir: order lists unknown function %s", name)
+		}
+		for bi := range f.Blocks {
+			instrs := f.Blocks[bi].Instrs
+			for ii := range instrs {
+				in := &instrs[ii]
+				switch in.Op {
+				case Call:
+					in.Callee = m.Funcs[in.Name]
+					if in.Callee == nil {
+						return fmt.Errorf("ir: %s calls unknown function %s", name, in.Name)
+					}
+				case CallBuiltin:
+					fn1, fn2, err := builtins.Resolve(in.Name, len(in.Args))
+					if err != nil {
+						return fmt.Errorf("ir: %s: %w", name, err)
+					}
+					in.Fn1, in.Fn2 = fn1, fn2
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // Verify checks structural invariants of the module: blocks terminate

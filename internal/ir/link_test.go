@@ -1,0 +1,65 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLowerResolvesExecutionPointers checks the compile-time resolution
+// satellite: lowered modules carry cached callee pointers and builtin
+// implementations, so neither engine resolves names at run time.
+func TestLowerResolvesExecutionPointers(t *testing.T) {
+	mod, err := Compile(`
+func helper(a double) double { return sqrt(a) + pow(a, 2.0); }
+func f(x double) double { return helper(x); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, name := range mod.Order {
+		f := mod.Funcs[name]
+		for bi := range f.Blocks {
+			for ii := range f.Blocks[bi].Instrs {
+				in := &f.Blocks[bi].Instrs[ii]
+				switch in.Op {
+				case Call:
+					if in.Callee == nil || in.Callee != mod.Funcs[in.Name] {
+						t.Errorf("%s: Call %s has unresolved Callee", name, in.Name)
+					}
+					checked++
+				case CallBuiltin:
+					if (in.Fn1 == nil) == (in.Fn2 == nil) {
+						t.Errorf("%s: CallBuiltin %s/%d not resolved to exactly one pointer",
+							name, in.Name, len(in.Args))
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked != 3 {
+		t.Errorf("resolved %d call instructions, want 3", checked)
+	}
+}
+
+// TestLinkRejectsUnknownBuiltin checks that an unknown builtin in a
+// hand-built module is a link-time (compile-time) error, not a runtime
+// panic.
+func TestLinkRejectsUnknownBuiltin(t *testing.T) {
+	f := &Func{
+		Name:    "f",
+		NParams: 1,
+		Ret:     RetF,
+		Kinds:   []RegKind{RegF, RegF},
+		Blocks: []Block{{Instrs: []Instr{
+			{Op: CallBuiltin, Dst: 1, Name: "nope", Args: []Reg{0}, Site: 0},
+			{Op: Ret, A: 1},
+		}}},
+	}
+	mod := &Module{Funcs: map[string]*Func{"f": f}, Order: []string{"f"}}
+	err := mod.Link()
+	if err == nil || !strings.Contains(err.Error(), "unknown builtin") {
+		t.Fatalf("Link() = %v, want unknown-builtin error", err)
+	}
+}

@@ -26,6 +26,13 @@ func Lower(file *lang.File) (*Module, error) {
 	if err := m.Verify(); err != nil {
 		return nil, fmt.Errorf("lowering produced invalid IR: %w", err)
 	}
+	// Resolve call targets and builtin implementations once, at compile
+	// time, so neither execution engine pays name resolution per call —
+	// and so an unknown builtin fails compilation here instead of
+	// panicking mid-analysis.
+	if err := m.Link(); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 

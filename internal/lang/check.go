@@ -1,18 +1,11 @@
 package lang
 
+import "repro/internal/builtins"
+
 // Builtins lists the math builtins callable from FPL, with their arity.
-// All builtins take and return double.
-var Builtins = map[string]int{
-	"sin": 1, "cos": 1, "tan": 1, "sqrt": 1, "fabs": 1,
-	"exp": 1, "log": 1, "floor": 1, "ceil": 1,
-	"pow": 2, "fmin": 2, "fmax": 2,
-	// highword(x) returns float64(high32(bits(x)) & 0x7fffffff): the
-	// sign-masked upper half of x's IEEE-754 representation — glibc's
-	// branch dispatch key (the paper's Fig. 8), exactly representable
-	// as a double. It lets FPL clients express bit-pattern range
-	// dispatch like the GNU sin case study.
-	"highword": 1,
-}
+// All builtins take and return double. The implementations (and the
+// authoritative registry) live in repro/internal/builtins.
+var Builtins = builtins.Arities()
 
 // Check type-checks the file in place, resolving identifier and call
 // types. It returns the first error found.

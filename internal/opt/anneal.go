@@ -60,6 +60,7 @@ func (sa *SimulatedAnnealing) Minimize(obj Objective, dim int, cfg Config) Resul
 		perRestart = 1
 	}
 	iters := 0
+	cand := make([]float64, dim) // proposal buffer, ping-ponged with cur
 	for r := 0; r < restarts && !e.done() && e.evals < searchBudget; r++ {
 		restartCap := e.evals + perRestart
 		cur := randPoint(rng, dim, cfg)
@@ -72,14 +73,15 @@ func (sa *SimulatedAnnealing) Minimize(obj Objective, dim int, cfg Config) Resul
 			spread := 0.0
 			probes := 0
 			for i := 0; i < 8 && !e.done(); i++ {
-				p := moves.perturb(rng, cur, cfg)
-				f := e.eval(p)
+				moves.perturb(rng, cur, cfg, cand)
+				f := e.eval(cand)
 				if !math.IsInf(f, 0) && !math.IsInf(curF, 0) {
 					spread += math.Abs(f - curF)
 					probes++
 				}
 				if f < curF {
-					cur, curF = p, f
+					cur, cand = cand, cur
+					curF = f
 				}
 			}
 			if probes > 0 {
@@ -93,10 +95,11 @@ func (sa *SimulatedAnnealing) Minimize(obj Objective, dim int, cfg Config) Resul
 		cool := sa.cooling()
 		for !e.done() && e.evals < restartCap {
 			iters++
-			cand := moves.perturb(rng, cur, cfg)
+			moves.perturb(rng, cur, cfg, cand)
 			f := e.eval(cand)
 			if f <= curF || rng.Float64() < math.Exp(-(f-curF)/T) {
-				cur, curF = cand, f
+				cur, cand = cand, cur
+				curF = f
 			}
 			T *= cool
 			if T < 1e-300 {

@@ -78,12 +78,19 @@ func (b *Basinhopping) MinimizeFrom(obj Objective, x0 []float64, cfg Config) Res
 		hopEvals = 250 * dim
 	}
 	nm, isNM := b.local().(*NelderMead)
+	var scr *nmScratch
+	if isNM {
+		scr = newNMScratch(dim)
+	}
 
-	// localSearch refines x under the shared evaluator budget.
-	localSearch := func(x []float64) ([]float64, float64) {
+	// localSearch refines x under the shared evaluator budget, leaving
+	// the refined point in dst (so the hop loop can ping-pong two
+	// persistent buffers instead of allocating per hop).
+	localSearch := func(x, dst []float64) float64 {
 		remaining := e.max - e.evals
 		if remaining <= 0 {
-			return x, math.Inf(1)
+			copy(dst, x)
+			return math.Inf(1)
 		}
 		budget := hopEvals
 		if budget > remaining {
@@ -91,14 +98,13 @@ func (b *Basinhopping) MinimizeFrom(obj Objective, x0 []float64, cfg Config) Res
 		}
 		if isNM {
 			// Run Nelder–Mead against the shared evaluator directly so
-			// the trace and budget stay unified.
+			// the trace, budget, and scratch stay unified.
 			saved := e.max
 			e.max = e.evals + budget
-			nm.run(e, x, cfg)
+			nm.run(e, x, cfg, scr)
 			e.max = saved
-			xr := make([]float64, dim)
-			copy(xr, e.bestX)
-			return xr, e.bestF
+			copy(dst, e.bestX)
+			return e.bestF
 		}
 		sub := cfg
 		sub.MaxEvals = budget
@@ -106,36 +112,38 @@ func (b *Basinhopping) MinimizeFrom(obj Objective, x0 []float64, cfg Config) Res
 		r := b.local().MinimizeFrom(func(y []float64) float64 {
 			return e.eval(y)
 		}, x, sub)
-		return r.X, r.F
+		copy(dst, r.X)
+		return r.F
 	}
 
 	cur := make([]float64, dim)
 	copy(cur, x0)
 	clampInto(cur, cfg)
-	curX, curF := localSearch(cur)
-	cur = curX
+	candX := make([]float64, dim)
+	pert := make([]float64, dim)
+	curF := localSearch(cur, candX)
+	cur, candX = candX, cur
 
 	T := b.temperature()
 	hops := 0
 	for !e.done() {
 		hops++
-		cand := b.perturb(rng, cur, cfg)
-		candX, candF := localSearch(cand)
+		b.perturb(rng, cur, cfg, pert)
+		candF := localSearch(pert, candX)
 		if e.hitZero {
 			break
 		}
 		// Metropolis acceptance over local minima.
 		if candF <= curF || rng.Float64() < math.Exp(-(candF-curF)/T) {
-			cur, curF = candX, candF
+			cur, candX = candX, cur
+			curF = candF
 		}
 	}
 	return e.result(hops)
 }
 
-// perturb produces the next MCMC proposal from x.
-func (b *Basinhopping) perturb(rng *rand.Rand, x []float64, cfg Config) []float64 {
-	dim := len(x)
-	out := make([]float64, dim)
+// perturb writes the next MCMC proposal from x into out.
+func (b *Basinhopping) perturb(rng *rand.Rand, x []float64, cfg Config, out []float64) {
 	copy(out, x)
 	scale := b.stepScale()
 	for i := range out {
@@ -174,5 +182,4 @@ func (b *Basinhopping) perturb(rng *rand.Rand, x []float64, cfg Config) []float6
 		}
 	}
 	clampInto(out, cfg)
-	return out
 }

@@ -3,7 +3,6 @@ package opt
 import (
 	"math"
 	"math/rand"
-	"sort"
 )
 
 // NelderMead is the derivative-free downhill-simplex local minimizer
@@ -59,39 +58,70 @@ type vertex struct {
 	f float64
 }
 
+// nmScratch holds every working vector of one simplex search so that
+// repeated runs (Basinhopping performs one per hop) and the iterations
+// within a run allocate nothing: steady-state minimization performs
+// zero heap allocations per objective evaluation.
+type nmScratch struct {
+	simplex  []vertex  // dim+1 vertices with preallocated coordinate slices
+	seed     []float64 // perturbed start point during simplex seeding
+	centroid []float64
+	xr       []float64 // reflection point
+	xe       []float64 // expansion point
+	xc       []float64 // contraction point
+}
+
+func newNMScratch(dim int) *nmScratch {
+	s := &nmScratch{
+		simplex:  make([]vertex, dim+1),
+		seed:     make([]float64, dim),
+		centroid: make([]float64, dim),
+		xr:       make([]float64, dim),
+		xe:       make([]float64, dim),
+		xc:       make([]float64, dim),
+	}
+	for i := range s.simplex {
+		s.simplex[i].x = make([]float64, dim)
+	}
+	return s
+}
+
 // MinimizeFrom implements LocalMinimizer.
 func (nm *NelderMead) MinimizeFrom(obj Objective, x0 []float64, cfg Config) Result {
 	e := newEvaluator(obj, cfg, 200*len(x0)+400)
-	r := nm.run(e, x0, cfg)
+	r := nm.run(e, x0, cfg, newNMScratch(len(x0)))
 	return r
 }
 
 // run performs the simplex iteration against a shared evaluator so that
-// Basinhopping can chain multiple local searches under one budget. It
-// returns the evaluator result snapshot after this local search.
-func (nm *NelderMead) run(e *evaluator, x0 []float64, cfg Config) Result {
+// Basinhopping can chain multiple local searches under one budget (and
+// one reusable scratch). It returns the evaluator result snapshot after
+// this local search.
+func (nm *NelderMead) run(e *evaluator, x0 []float64, cfg Config, scr *nmScratch) Result {
 	alpha, gamma, rho, sigma, step, ftol := nm.coeffs()
 	dim := len(x0)
 
-	// Initial simplex: x0 plus dim perturbed vertices. Perturbation is
-	// relative so the simplex is meaningful at any magnitude (1e-300 or
-	// 1e300 alike).
-	simplex := make([]vertex, 0, dim+1)
+	// Initial simplex: x0 plus dim perturbed vertices, re-seeded into
+	// the scratch vertices. Perturbation is relative so the simplex is
+	// meaningful at any magnitude (1e-300 or 1e300 alike).
+	simplex := scr.simplex
+	nverts := 0
 	add := func(x []float64) bool {
 		if e.done() {
 			return false
 		}
-		xc := make([]float64, dim)
-		copy(xc, x)
-		clampInto(xc, cfg)
-		simplex = append(simplex, vertex{x: xc, f: e.eval(xc)})
+		v := &simplex[nverts]
+		copy(v.x, x)
+		clampInto(v.x, cfg)
+		v.f = e.eval(v.x)
+		nverts++
 		return true
 	}
 	if !add(x0) {
 		return e.result(0)
 	}
 	for i := 0; i < dim; i++ {
-		xi := make([]float64, dim)
+		xi := scr.seed
 		copy(xi, x0)
 		h := step * math.Abs(xi[i])
 		if h == 0 {
@@ -103,15 +133,12 @@ func (nm *NelderMead) run(e *evaluator, x0 []float64, cfg Config) Result {
 		}
 	}
 
-	centroid := make([]float64, dim)
-	xr := make([]float64, dim)
-	xe := make([]float64, dim)
-	xc := make([]float64, dim)
+	centroid, xr, xe, xc := scr.centroid, scr.xr, scr.xe, scr.xc
 
 	iters := 0
 	for !e.done() {
 		iters++
-		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		sortSimplex(simplex)
 		best, worst := simplex[0], simplex[dim]
 		spread := worst.f - best.f
 		// Relative termination: keep refining while the spread is large
@@ -191,6 +218,21 @@ func (nm *NelderMead) run(e *evaluator, x0 []float64, cfg Config) Result {
 	// distances have exact zeros on F^N).
 	latticePolish(e, cfg)
 	return e.result(iters)
+}
+
+// sortSimplex orders vertices by ascending f. Insertion sort over the
+// dim+1 entries: allocation-free (sort.Slice is not) and fastest at the
+// tiny sizes simplices have.
+func sortSimplex(s []vertex) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j].f > v.f {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
 }
 
 func copyVertex(v *vertex, x []float64, f float64) {

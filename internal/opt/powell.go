@@ -50,20 +50,28 @@ func (p *Powell) Minimize(obj Objective, dim int, cfg Config) Result {
 
 func (p *Powell) run(e *evaluator, x0 []float64, cfg Config) Result {
 	dim := len(x0)
+	// All working vectors are allocated once here and reused by every
+	// outer iteration and line minimization: steady-state search
+	// performs zero heap allocations per objective evaluation.
 	x := make([]float64, dim)
 	copy(x, x0)
 	clampInto(x, cfg)
 	fx := e.eval(x)
 
-	// Direction set starts as the coordinate axes.
+	// Direction set starts as the coordinate axes, carved out of one
+	// backing array; newDir is the spare row that direction replacement
+	// rotates through the set.
+	backing := make([]float64, dim*dim)
 	dirs := make([][]float64, dim)
 	for i := range dirs {
-		dirs[i] = make([]float64, dim)
+		dirs[i] = backing[i*dim : (i+1)*dim : (i+1)*dim]
 		dirs[i][i] = 1
 	}
+	newDir := make([]float64, dim)
 
 	xt := make([]float64, dim)
 	xPrev := make([]float64, dim)
+	probe := make([]float64, dim)
 	iters := 0
 	for !e.done() {
 		iters++
@@ -74,7 +82,7 @@ func (p *Powell) run(e *evaluator, x0 []float64, cfg Config) Result {
 
 		for i := 0; i < dim && !e.done(); i++ {
 			fBefore := fx
-			fx = p.lineMin(e, x, dirs[i], fx, cfg)
+			fx = p.lineMin(e, x, dirs[i], fx, cfg, probe)
 			clampInto(x, cfg)
 			if drop := fBefore - fx; drop > biggestDrop {
 				biggestDrop = drop
@@ -91,7 +99,6 @@ func (p *Powell) run(e *evaluator, x0 []float64, cfg Config) Result {
 		}
 
 		// Extrapolated point along the overall displacement.
-		newDir := make([]float64, dim)
 		anyMove := false
 		for j := 0; j < dim; j++ {
 			newDir[j] = x[j] - xPrev[j]
@@ -110,10 +117,14 @@ func (p *Powell) run(e *evaluator, x0 []float64, cfg Config) Result {
 			// overall displacement direction.
 			t := 2*(fPrev-2*fx+ft)*sq(fPrev-fx-biggestDrop) - biggestDrop*sq(fPrev-ft)
 			if t < 0 {
-				fx = p.lineMin(e, x, newDir, fx, cfg)
+				fx = p.lineMin(e, x, newDir, fx, cfg, probe)
 				clampInto(x, cfg)
+				// Rotate: the displaced row becomes the next newDir
+				// buffer (its contents are rewritten before use).
+				spare := dirs[biggestIdx]
 				dirs[biggestIdx] = dirs[dim-1]
 				dirs[dim-1] = newDir
+				newDir = spare
 			}
 		}
 	}
@@ -128,9 +139,9 @@ func sq(v float64) float64 { return v * v }
 // returning the new function value. It brackets a minimum by geometric
 // expansion and then refines with golden-section search — robust for the
 // discontinuous, plateau-riddled objectives weak distances produce.
-func (p *Powell) lineMin(e *evaluator, x, dir []float64, fx float64, cfg Config) float64 {
+// probe is caller-provided scratch for the candidate points.
+func (p *Powell) lineMin(e *evaluator, x, dir []float64, fx float64, cfg Config, probe []float64) float64 {
 	dim := len(x)
-	probe := make([]float64, dim)
 	at := func(t float64) float64 {
 		for j := 0; j < dim; j++ {
 			probe[j] = x[j] + t*dir[j]

@@ -12,6 +12,8 @@
 package rt
 
 import (
+	"sync"
+
 	"repro/internal/fp"
 )
 
@@ -79,6 +81,18 @@ type Program struct {
 	// (step budgets, failure logs) and set it so the parallel
 	// multi-start engine can give every worker its own instance.
 	NewInstance func() *Program
+
+	// NoPanicStop declares that Run honors monitor early-stop requests
+	// through ordinary control flow and never raises the stop panic
+	// (true for the compiled flat-code engine). Execute then skips its
+	// recover wrapper on the per-evaluation path.
+	NoPanicStop bool
+
+	// ctx is the reusable execution context of a stateful program.
+	// Programs with NewInstance set carry per-execution mutable state,
+	// so each instance is executed by one goroutine at a time and can
+	// own its context outright — no pool round-trip per evaluation.
+	ctx *Ctx
 }
 
 // Instance returns a program safe for concurrent execution alongside
@@ -91,23 +105,51 @@ func (p *Program) Instance() *Program {
 	return p
 }
 
+// ctxPool recycles execution contexts across Execute calls. A Ctx is
+// tiny, but the per-evaluation path must be allocation-free: analyses
+// spend their entire budget calling Execute millions of times.
+var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
+
 // Execute runs the program on x under the monitor and returns the
 // accumulated weak distance. Early stops requested by the monitor are
 // honored via panic-based unwinding confined to this call.
 func (p *Program) Execute(m Monitor, x []float64) float64 {
 	m.Reset()
-	ctx := &Ctx{mon: m}
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(stopExecution); !ok {
-					panic(r)
-				}
-			}
-		}()
-		p.Run(ctx, x)
-	}()
+	if p.NewInstance != nil {
+		// Stateful program: single-goroutine by contract, owns its
+		// context.
+		if p.ctx == nil {
+			p.ctx = new(Ctx)
+		}
+		p.ctx.mon = m
+		if p.NoPanicStop {
+			p.Run(p.ctx, x)
+		} else {
+			p.runProtected(p.ctx, x)
+		}
+		p.ctx.mon = nil
+		return m.Value()
+	}
+	ctx := ctxPool.Get().(*Ctx)
+	ctx.mon = m
+	p.runProtected(ctx, x)
+	ctx.mon = nil
+	ctxPool.Put(ctx)
 	return m.Value()
+}
+
+// runProtected confines the early-stop unwinding to one frame. (If Run
+// panics with anything else, the context is deliberately not returned
+// to the pool.)
+func (p *Program) runProtected(ctx *Ctx, x []float64) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopExecution); !ok {
+				panic(r)
+			}
+		}
+	}()
+	p.Run(ctx, x)
 }
 
 // WeakDistance returns the weak-distance objective W(x) induced by the
@@ -136,6 +178,11 @@ type Ctx struct {
 // NewCtx exists for direct execution (e.g. extracting a port's return
 // value with a NopMonitor).
 func NewCtx(m Monitor) *Ctx { return &Ctx{mon: m} }
+
+// Monitor returns the monitor the context forwards to. Execution
+// engines that dispatch observations themselves (internal/compile) use
+// it to call the monitor directly instead of going through Op/Cmp.
+func (c *Ctx) Monitor() Monitor { return c.mon }
 
 // Op reports the result of the FP operation at the given site and returns
 // it, so ports can wrap expressions inline:
