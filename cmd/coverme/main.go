@@ -1,78 +1,16 @@
 // Command coverme runs branch-coverage-based testing (paper §2
 // Instance 4, the CoverMe construction): it generates inputs covering
-// as many branch sides of the program as possible.
+// as many branch sides of the program as possible. It is a thin wrapper
+// over the "coverage" entry of the analysis registry.
 //
 // Usage:
 //
 //	coverme -builtin fig2 -bounds -1000:1000
-//	coverme prog.fpl -func prog
+//	coverme -func prog prog.fpl
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-
-	"repro/internal/analysis"
-	"repro/internal/cli"
-)
+import "repro/internal/cli"
 
 func main() {
-	var (
-		builtin = flag.String("builtin", "", "built-in program name")
-		fn      = flag.String("func", "", "function to analyze (FPL files)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		evals   = flag.Int("evals", 4000, "evaluations per round")
-		stall   = flag.Int("stall", 6, "give up after this many rounds without progress")
-		bounds  = flag.String("bounds", "", "search bounds lo:hi[,lo:hi...]")
-		ulp     = flag.Bool("ulp", false, "use ULP branch distances")
-		backend = flag.String("backend", "basinhopping", "MO backend")
-		workers = flag.Int("workers", 0, "speculative parallel rounds (0 = all CPUs, 1 = serial)")
-	)
-	flag.Parse()
-
-	file := ""
-	if flag.NArg() > 0 {
-		file = flag.Arg(0)
-	}
-	p, err := cli.Resolve(*builtin, file, *fn)
-	if err != nil {
-		fatal(err)
-	}
-	bs, err := cli.ParseBounds(*bounds, p.Dim)
-	if err != nil {
-		fatal(err)
-	}
-	be, err := cli.Backend(*backend)
-	if err != nil {
-		fatal(err)
-	}
-
-	rep := analysis.Cover(p, analysis.CoverOptions{
-		Seed:          *seed,
-		EvalsPerRound: *evals,
-		MaxStall:      *stall,
-		Backend:       be,
-		Bounds:        bs,
-		ULP:           *ulp,
-		Workers:       *workers,
-	})
-	fmt.Printf("program %s: covered %d/%d branch sides (%.1f%%) in %d rounds, %d evals\n",
-		p.Name, len(rep.Covered), rep.Total, 100*rep.Ratio(), rep.Rounds, rep.Evals)
-	labels := map[int]string{}
-	for _, b := range p.Branches {
-		labels[b.ID] = b.Label
-	}
-	for _, s := range rep.Covered {
-		outcome := "false"
-		if s.Taken {
-			outcome = "true"
-		}
-		fmt.Printf("  site %d (%s) %s side: input %v\n", s.Site, labels[s.Site], outcome, rep.Inputs[s])
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "coverme:", err)
-	os.Exit(1)
+	cli.Main("coverme", "coverage")
 }

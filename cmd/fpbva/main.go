@@ -1,86 +1,17 @@
 // Command fpbva runs boundary value analysis (paper §4.2, §6.2) on an
-// FPL source file or a built-in benchmark program.
+// FPL source file or a built-in benchmark program. It is a thin wrapper
+// over the "bva" entry of the analysis registry; flags, execution, and
+// report formatting all come from the shared registry-driven CLI.
 //
 // Usage:
 //
 //	fpbva -builtin sin
 //	fpbva -builtin fig2 -bounds -100:100
-//	fpbva prog.fpl -func prog -starts 16
+//	fpbva -func prog -starts 16 prog.fpl
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-
-	"repro/internal/analysis"
-	"repro/internal/cli"
-)
+import "repro/internal/cli"
 
 func main() {
-	var (
-		builtin = flag.String("builtin", "", "built-in program name")
-		fn      = flag.String("func", "", "function to analyze (FPL files)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		starts  = flag.Int("starts", 32, "minimization restarts")
-		evals   = flag.Int("evals", 4000, "weak-distance evaluations per restart")
-		bounds  = flag.String("bounds", "", "search bounds lo:hi[,lo:hi...]")
-		ulp     = flag.Bool("ulp", false, "use ULP boundary distances")
-		backend = flag.String("backend", "basinhopping", "MO backend")
-		workers = flag.Int("workers", 0, "parallel restarts (0 = all CPUs, 1 = serial)")
-	)
-	flag.Parse()
-
-	file := ""
-	if flag.NArg() > 0 {
-		file = flag.Arg(0)
-	}
-	p, err := cli.Resolve(*builtin, file, *fn)
-	if err != nil {
-		fatal(err)
-	}
-	bs, err := cli.ParseBounds(*bounds, p.Dim)
-	if err != nil {
-		fatal(err)
-	}
-	be, err := cli.Backend(*backend)
-	if err != nil {
-		fatal(err)
-	}
-
-	rep := analysis.BoundaryValues(p, analysis.BoundaryOptions{
-		Seed:          *seed,
-		Starts:        *starts,
-		EvalsPerStart: *evals,
-		Backend:       be,
-		Bounds:        bs,
-		ULP:           *ulp,
-		Workers:       *workers,
-	})
-
-	fmt.Printf("program %s: %d samples, %d boundary values, %d conditions triggered\n",
-		p.Name, rep.Samples, rep.BoundaryValues, len(rep.Conditions))
-	if rep.SoundnessViolations > 0 {
-		fmt.Printf("WARNING: %d soundness violations (defective weak distance?)\n",
-			rep.SoundnessViolations)
-	}
-	for _, c := range rep.Conditions {
-		sign := "+"
-		if c.Key.Negative {
-			sign = "-"
-		}
-		fmt.Printf("  [%s] site %d (%s): hits=%d min=%.17g max=%.17g\n",
-			sign, c.Key.Site, c.Label, c.Hits, c.Min, c.Max)
-		for i, x := range c.Examples {
-			if i >= 3 {
-				break
-			}
-			fmt.Printf("      example: %v\n", x)
-		}
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fpbva:", err)
-	os.Exit(1)
+	cli.Main("fpbva", "bva")
 }

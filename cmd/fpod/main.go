@@ -1,103 +1,18 @@
 // Command fpod is the paper's floating-point overflow detector
 // (Algorithm 3, §6.3): it generates inputs that trigger overflow on as
 // many floating-point operations of the program as possible, then
-// replays GSL-convention benchmarks for inconsistencies.
+// replays GSL-convention benchmarks for inconsistencies (§6.3.2). It is
+// a thin wrapper over the "overflow" entry of the analysis registry.
 //
 // Usage:
 //
 //	fpod -builtin bessel
 //	fpod -builtin airy -evals 8000
-//	fpod prog.fpl -func prog
+//	fpod -func prog prog.fpl
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-
-	"repro/internal/analysis"
-	"repro/internal/cli"
-	"repro/internal/gsl"
-)
+import "repro/internal/cli"
 
 func main() {
-	var (
-		builtin = flag.String("builtin", "", "built-in program name")
-		fn      = flag.String("func", "", "function to analyze (FPL files)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		evals   = flag.Int("evals", 6000, "evaluations per minimization round")
-		rounds  = flag.Int("rounds", 0, "max rounds (0 = 3x ops)")
-		bounds  = flag.String("bounds", "", "search bounds lo:hi[,lo:hi...]")
-		backend = flag.String("backend", "basinhopping", "MO backend")
-		workers = flag.Int("workers", 0, "speculative parallel rounds (0 = all CPUs, 1 = serial)")
-	)
-	flag.Parse()
-
-	file := ""
-	if flag.NArg() > 0 {
-		file = flag.Arg(0)
-	}
-	p, err := cli.Resolve(*builtin, file, *fn)
-	if err != nil {
-		fatal(err)
-	}
-	bs, err := cli.ParseBounds(*bounds, p.Dim)
-	if err != nil {
-		fatal(err)
-	}
-	be, err := cli.Backend(*backend)
-	if err != nil {
-		fatal(err)
-	}
-
-	rep := analysis.DetectOverflows(p, analysis.OverflowOptions{
-		Seed:          *seed,
-		EvalsPerRound: *evals,
-		MaxRounds:     *rounds,
-		Backend:       be,
-		Bounds:        bs,
-		Workers:       *workers,
-	})
-
-	fmt.Printf("program %s: %d/%d operations overflowed (%d rounds, %d evals, %.2fs)\n",
-		p.Name, len(rep.Findings), rep.Ops, rep.Rounds, rep.Evals, rep.Duration.Seconds())
-	for _, f := range rep.Findings {
-		fmt.Printf("  overflow at op %d: %s\n      input %v\n", f.Site, f.Label, f.Input)
-	}
-	for _, m := range rep.Missed {
-		label := ""
-		for _, op := range p.Ops {
-			if op.ID == m {
-				label = op.Label
-			}
-		}
-		fmt.Printf("  missed  at op %d: %s\n", m, label)
-	}
-
-	// Inconsistency replay for the GSL-convention builtins (§6.3.2).
-	var evalFn analysis.SFFunc
-	switch *builtin {
-	case "bessel":
-		evalFn = func(x []float64) (gsl.Result, gsl.Status) { return gsl.BesselKnuScaledAsympx(x[0], x[1]) }
-	case "hyperg":
-		evalFn = func(x []float64) (gsl.Result, gsl.Status) { return gsl.Hyperg2F0(x[0], x[1], x[2]) }
-	case "airy":
-		evalFn = func(x []float64) (gsl.Result, gsl.Status) { return gsl.AiryAi(x[0]) }
-	}
-	if evalFn != nil {
-		var inputs [][]float64
-		for _, f := range rep.Findings {
-			inputs = append(inputs, f.Input)
-		}
-		incs := analysis.CheckInconsistenciesWorkers(evalFn, inputs, *workers)
-		fmt.Printf("inconsistencies (status GSL_SUCCESS with non-finite result): %d\n", len(incs))
-		for _, inc := range incs {
-			fmt.Printf("  input %v: val=%g err=%g — %s\n", inc.Input, inc.Val, inc.Err, inc.Cause)
-		}
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fpod:", err)
-	os.Exit(1)
+	cli.Main("fpod", "overflow")
 }

@@ -1,78 +1,19 @@
 // Command fpreach solves path reachability (paper §4.3): it searches
 // for an input that drives the program along a target sequence of
-// branch decisions.
+// branch decisions. It is a thin wrapper over the "reach" entry of the
+// analysis registry; exit code 2 means the path was not reached.
 //
 // Usage:
 //
 //	fpreach -builtin fig2 -path 0:t,1:t -bounds -1000:1000
-//	fpreach prog.fpl -func prog -path 0:t,1:f
+//	fpreach -func prog -path 0:t,1:f prog.fpl
 //
 // Branch sites are printed by `fpc -sites prog.fpl` or are documented
 // per built-in program.
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-
-	"repro/internal/analysis"
-	"repro/internal/cli"
-)
+import "repro/internal/cli"
 
 func main() {
-	var (
-		builtin = flag.String("builtin", "", "built-in program name")
-		fn      = flag.String("func", "", "function to analyze (FPL files)")
-		path    = flag.String("path", "", "target path, e.g. 0:t,1:f")
-		seed    = flag.Int64("seed", 1, "random seed")
-		starts  = flag.Int("starts", 8, "restarts")
-		evals   = flag.Int("evals", 0, "evaluations per restart (0 = default)")
-		bounds  = flag.String("bounds", "", "search bounds lo:hi[,lo:hi...]")
-		ulp     = flag.Bool("ulp", false, "use ULP branch distances")
-		backend = flag.String("backend", "basinhopping", "MO backend")
-		workers = flag.Int("workers", 0, "parallel restarts (0 = all CPUs, 1 = serial)")
-	)
-	flag.Parse()
-
-	file := ""
-	if flag.NArg() > 0 {
-		file = flag.Arg(0)
-	}
-	p, err := cli.Resolve(*builtin, file, *fn)
-	if err != nil {
-		fatal(err)
-	}
-	target, err := cli.ParsePath(*path)
-	if err != nil {
-		fatal(err)
-	}
-	bs, err := cli.ParseBounds(*bounds, p.Dim)
-	if err != nil {
-		fatal(err)
-	}
-	be, err := cli.Backend(*backend)
-	if err != nil {
-		fatal(err)
-	}
-
-	r := analysis.ReachPath(p, target, analysis.ReachOptions{
-		Seed:          *seed,
-		Starts:        *starts,
-		EvalsPerStart: *evals,
-		Backend:       be,
-		Bounds:        bs,
-		ULP:           *ulp,
-		Workers:       *workers,
-	})
-	fmt.Printf("program %s, target %v\n", p.Name, target)
-	fmt.Println(r)
-	if !r.Found {
-		os.Exit(2)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "fpreach:", err)
-	os.Exit(1)
+	cli.Main("fpreach", "reach")
 }

@@ -1,0 +1,59 @@
+// Command fpserve is the batched analysis service: an HTTP front end
+// over the analysis registry and job pipeline. Clients POST FPL source
+// (or a built-in name) plus a list of analysis specs and receive
+// streamed JSON results; concurrent requests share one compiled-module
+// cache, so resubmitting the same source never recompiles it.
+//
+// Usage:
+//
+//	fpserve -addr :8035 -jobs 8
+//
+//	curl -s http://localhost:8035/analyses
+//	curl -s -X POST http://localhost:8035/analyze -d '{
+//	    "source": "func prog(x double) { if (x < 1.0) { x = x * x; } }",
+//	    "specs": [
+//	        {"analysis": "coverage", "seed": 1, "bounds": [{"lo": -100, "hi": 100}]},
+//	        {"analysis": "overflow", "seed": 1}
+//	    ]}'
+//
+// Endpoints: POST /analyze (NDJSON results in job order), GET
+// /analyses, GET /stats, GET /healthz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8035", "listen address")
+		jobs = flag.Int("jobs", 0, "concurrent analysis jobs across all requests (0 = all CPUs)")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintln(os.Stderr, "fpserve: unexpected arguments:", flag.Args())
+		os.Exit(1)
+	}
+
+	srv := pipeline.NewServer(*jobs)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slow-header connections must not pin goroutines forever on a
+		// long-running service. (No WriteTimeout: analyze responses
+		// stream for as long as the batch runs.)
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+	}
+	log.Printf("fpserve listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil {
+		log.Fatalf("fpserve: %v", err)
+	}
+}

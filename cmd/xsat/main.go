@@ -1,5 +1,7 @@
 // Command xsat decides quantifier-free floating-point CNF constraints
-// by weak-distance minimization (paper §2 Instance 5; the XSat lineage).
+// by weak-distance minimization (paper §2 Instance 5; the XSat
+// lineage). It is a thin wrapper over the "xsat" entry of the analysis
+// registry; exit code 2 means the formula could not be decided.
 //
 // Usage:
 //
@@ -8,76 +10,8 @@
 //	echo 'a*a + b*b == 25 && a > b' | xsat -
 package main
 
-import (
-	"flag"
-	"fmt"
-	"io"
-	"os"
-	"strings"
-
-	"repro/internal/cli"
-	"repro/internal/sat"
-)
+import "repro/internal/cli"
 
 func main() {
-	var (
-		seed    = flag.Int64("seed", 1, "random seed")
-		starts  = flag.Int("starts", 8, "restarts")
-		evals   = flag.Int("evals", 0, "evaluations per restart (0 = default)")
-		bounds  = flag.String("bounds", "", "search bounds lo:hi (broadcast over variables)")
-		real    = flag.Bool("real", false, "use real-valued |l-r| atom distances instead of ULP")
-		backend = flag.String("backend", "basinhopping", "MO backend")
-		workers = flag.Int("workers", 0, "parallel restarts (0 = all CPUs, 1 = serial)")
-	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fatal(fmt.Errorf("usage: xsat [flags] 'formula' (or - for stdin)"))
-	}
-	src := flag.Arg(0)
-	if src == "-" {
-		data, err := io.ReadAll(os.Stdin)
-		if err != nil {
-			fatal(err)
-		}
-		src = strings.TrimSpace(string(data))
-	}
-
-	f, vars, err := sat.Parse(src)
-	if err != nil {
-		fatal(err)
-	}
-	bs, err := cli.ParseBounds(*bounds, f.Dim())
-	if err != nil {
-		fatal(err)
-	}
-	be, err := cli.Backend(*backend)
-	if err != nil {
-		fatal(err)
-	}
-
-	r := sat.Solve(f, sat.Options{
-		Seed:          *seed,
-		Starts:        *starts,
-		EvalsPerStart: *evals,
-		Backend:       be,
-		Bounds:        bs,
-		RealDist:      *real,
-		Workers:       *workers,
-	})
-	switch r.Verdict {
-	case sat.Sat:
-		fmt.Println("sat")
-		for _, name := range sat.VarNames(vars) {
-			fmt.Printf("  %s = %.17g\n", name, r.Model[vars[name]])
-		}
-	default:
-		fmt.Printf("unknown (min weak distance %.6g after %d evaluations)\n", r.MinDistance, r.Evals)
-		fmt.Println("note: a positive minimum proves nothing by itself; the search is incomplete (Limitation 3)")
-		os.Exit(2)
-	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xsat:", err)
-	os.Exit(1)
+	cli.Main("xsat", "xsat")
 }

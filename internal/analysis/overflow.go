@@ -67,30 +67,51 @@ func (o OverflowOptions) workers() int {
 	return runtime.NumCPU()
 }
 
+func (o OverflowOptions) maxRounds(p *rt.Program) int {
+	if o.MaxRounds > 0 {
+		return o.MaxRounds
+	}
+	return 3 * len(p.Ops)
+}
+
+func (o OverflowOptions) huntConfig(p *rt.Program, mk func(tracked map[int]bool) siteMonitor) siteHuntConfig {
+	return siteHuntConfig{
+		seed:          o.Seed,
+		evalsPerRound: o.evalsPerRound(),
+		maxRounds:     o.maxRounds(p),
+		retries:       o.retries(),
+		workers:       o.Workers,
+		batchSize:     o.workers(),
+		backend:       o.backend(),
+		bounds:        o.Bounds,
+		monitor:       mk,
+	}
+}
+
 // OverflowFinding is one detected overflow: the operation site and an
 // input triggering it (a row of Table 4).
 type OverflowFinding struct {
-	Site  int
-	Label string
-	Input []float64
+	Site  int       `json:"site"`
+	Label string    `json:"label"`
+	Input []float64 `json:"input"`
 }
 
 // OverflowReport is the result of Algorithm 3.
 type OverflowReport struct {
 	// Findings lists one overflow per detected site, in detection
 	// order.
-	Findings []OverflowFinding
+	Findings []OverflowFinding `json:"findings"`
 	// Missed lists operation sites for which no overflow was found
 	// (unreachable overflows or incompleteness — Table 4's "missed").
-	Missed []int
+	Missed []int `json:"missed"`
 	// Ops is the total number of operation sites (|Op| of Table 3).
-	Ops int
+	Ops int `json:"ops"`
 	// Rounds counts minimization rounds; Evals total weak-distance
 	// evaluations. Discarded speculative rounds are not charged.
-	Rounds int
-	Evals  int
+	Rounds int `json:"rounds"`
+	Evals  int `json:"evals"`
 	// Duration is the wall-clock analysis time (Table 3's T column).
-	Duration time.Duration
+	Duration time.Duration `json:"duration"`
 }
 
 // Found reports whether the site has a detected overflow.
@@ -110,48 +131,112 @@ func (r *OverflowReport) Found(site int) bool {
 // terminates when every site is tracked.
 func DetectOverflows(p *rt.Program, o OverflowOptions) *OverflowReport {
 	start := time.Now()
-	L := map[int]bool{}
-	rep := &OverflowReport{Ops: len(p.Ops)}
+	hunt := runSiteHunt(p, o.huntConfig(p, func(tracked map[int]bool) siteMonitor {
+		return &instrument.Overflow{L: tracked}
+	}))
+
+	rep := &OverflowReport{Ops: len(p.Ops), Rounds: hunt.rounds, Evals: hunt.evals}
 	labels := map[int]string{}
 	for _, op := range p.Ops {
 		labels[op.ID] = op.Label
 	}
-
-	maxRounds := o.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = 3 * len(p.Ops)
+	for _, f := range hunt.findings {
+		rep.Findings = append(rep.Findings, OverflowFinding{
+			Site:  f.site,
+			Label: labels[f.site],
+			Input: f.input,
+		})
 	}
-	backend := o.backend()
-	retriesLeft := o.retries()
-	// replayMon identifies each round's targeted instruction (step 7) by
-	// replaying the round's minimum point against the round's tracked
-	// set. It is only ever used single-threaded, during the merge.
-	replayMon := instrument.NewOverflow()
+	for _, op := range p.Ops {
+		if !rep.Found(op.ID) {
+			rep.Missed = append(rep.Missed, op.ID)
+		}
+	}
+	rep.Duration = time.Since(start)
+	return rep
+}
+
+// siteMonitor is the weak-distance shape shared by the per-instruction
+// hunts (overflow detection, the non-finite/domain-error finder): a
+// monitor whose distance targets the last executed operation site
+// outside a tracked set.
+type siteMonitor interface {
+	rt.Monitor
+	// LastSite returns the operation site the previous execution
+	// effectively targeted; -1 when every executed site was tracked.
+	LastSite() int
+}
+
+// siteHuntConfig parameterizes runSiteHunt; see OverflowOptions for the
+// field semantics. The monitor factory builds a fresh weak-distance
+// monitor over a (possibly shared, read-only) tracked-set snapshot.
+type siteHuntConfig struct {
+	seed          int64
+	evalsPerRound int
+	maxRounds     int
+	retries       int
+	workers       int
+	batchSize     int
+	backend       opt.Minimizer
+	bounds        []opt.Bound
+	monitor       func(tracked map[int]bool) siteMonitor
+}
+
+// siteFinding is one site driven to its target, with the triggering
+// input.
+type siteFinding struct {
+	site  int
+	input []float64
+}
+
+// siteHunt is the raw outcome of the Algorithm 3 driver.
+type siteHunt struct {
+	findings []siteFinding
+	rounds   int
+	evals    int
+}
+
+// runSiteHunt is the Algorithm 3 state machine, generic over the
+// per-instruction weak distance: it tracks the set L of handled
+// operation sites, repeatedly minimizes the monitor's distance (which
+// targets the last executed site outside L), records an input for every
+// site driven to its target, and terminates when every site is tracked,
+// the round budget is spent, or repeated rounds make no progress.
+//
+// Rounds have a sequential dependency through L, so parallelism is
+// speculative: batchSize rounds run concurrently against a read-only
+// snapshot of L, and speculative results are discarded as soon as a
+// consumed round changes L. The outcome is identical for every worker
+// count.
+func runSiteHunt(p *rt.Program, c siteHuntConfig) siteHunt {
+	L := map[int]bool{}
+	var hunt siteHunt
+	retriesLeft := c.retries
 
 	gaveUp := false
-	for !gaveUp && rep.Rounds < maxRounds && len(L) < len(p.Ops) {
+	for !gaveUp && hunt.rounds < c.maxRounds && len(L) < len(p.Ops) {
 		// Launch speculative rounds against a read-only snapshot of L.
-		// Slot j corresponds to serial round rep.Rounds+j and uses that
+		// Slot j corresponds to serial round hunt.rounds+j and uses that
 		// round's historical seed.
 		snapshot := make(map[int]bool, len(L))
 		for id := range L {
 			snapshot[id] = true
 		}
-		batchSize := o.workers()
-		if rem := maxRounds - rep.Rounds; batchSize > rem {
+		batchSize := c.batchSize
+		if rem := c.maxRounds - hunt.rounds; batchSize > rem {
 			batchSize = rem
 		}
-		batch := opt.ParallelStarts(backend, func(int) opt.Objective {
+		batch := opt.ParallelStarts(c.backend, func(int) opt.Objective {
 			inst := p.Instance()
-			mon := &instrument.Overflow{L: snapshot}
+			mon := c.monitor(snapshot)
 			return opt.Objective(inst.WeakDistance(mon))
 		}, p.Dim, opt.ParallelConfig{
 			Starts:     batchSize,
-			Workers:    o.Workers,
-			Seed:       o.Seed + int64(rep.Rounds)*104729,
+			Workers:    c.workers,
+			Seed:       c.seed + int64(hunt.rounds)*104729,
 			SeedStride: 104729,
-			MaxEvals:   o.evalsPerRound(),
-			Bounds:     o.Bounds,
+			MaxEvals:   c.evalsPerRound,
+			Bounds:     c.bounds,
 			StopAtZero: true,
 		})
 
@@ -162,25 +247,24 @@ func DetectOverflows(p *rt.Program, o OverflowOptions) *OverflowReport {
 			if sr.Skipped {
 				break
 			}
-			rep.Rounds++
-			rep.Evals += sr.Evals
+			hunt.rounds++
+			hunt.evals += sr.Evals
 
 			// Step 7: replay the minimum point to identify the targeted
 			// instruction (the last untracked site the execution
 			// reached). The snapshot equals L for every consumed slot.
-			replayMon.L = snapshot
+			replayMon := c.monitor(snapshot)
 			p.Execute(replayMon, sr.X)
 			target := replayMon.LastSite()
 
 			if sr.FoundZero && target >= 0 {
-				// Step 6: a genuine overflow at the target.
-				rep.Findings = append(rep.Findings, OverflowFinding{
-					Site:  target,
-					Label: labels[target],
-					Input: sr.X,
+				// Step 6: a genuine hit at the target.
+				hunt.findings = append(hunt.findings, siteFinding{
+					site:  target,
+					input: sr.X,
 				})
 				L[target] = true
-				retriesLeft = o.retries()
+				retriesLeft = c.retries
 				break // L changed: remaining slots are stale
 			}
 
@@ -191,7 +275,7 @@ func DetectOverflows(p *rt.Program, o OverflowOptions) *OverflowReport {
 				// serial loop broke before counting the give-up round
 				// (its post-increment never ran), so uncount it here.
 				if retriesLeft--; retriesLeft < 0 {
-					rep.Rounds--
+					hunt.rounds--
 					gaveUp = true
 					break
 				}
@@ -214,16 +298,9 @@ func DetectOverflows(p *rt.Program, o OverflowOptions) *OverflowReport {
 				continue
 			}
 			L[target] = true
-			retriesLeft = o.retries()
+			retriesLeft = c.retries
 			break // L changed: remaining slots are stale
 		}
 	}
-
-	for _, op := range p.Ops {
-		if !rep.Found(op.ID) {
-			rep.Missed = append(rep.Missed, op.ID)
-		}
-	}
-	rep.Duration = time.Since(start)
-	return rep
+	return hunt
 }

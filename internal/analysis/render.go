@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sat"
+)
+
+// This file implements the Report interface for the typed analysis
+// reports. Render output is byte-identical to the historical
+// per-analysis CLI output (fpbva, coverme, fpod, fpreach, xsat), which
+// the thin command wrappers rely on.
+
+// --- BoundaryReport ---
+
+// Summary implements Report.
+func (r *BoundaryReport) Summary() string {
+	return fmt.Sprintf("%d samples, %d boundary values, %d conditions triggered",
+		r.Samples, r.BoundaryValues, len(r.Conditions))
+}
+
+// Failed implements Report.
+func (r *BoundaryReport) Failed() bool { return false }
+
+// Render implements Report (the historical fpbva output).
+func (r *BoundaryReport) Render(w io.Writer, in Input) {
+	fmt.Fprintf(w, "program %s: %d samples, %d boundary values, %d conditions triggered\n",
+		in.Program.Name, r.Samples, r.BoundaryValues, len(r.Conditions))
+	if r.SoundnessViolations > 0 {
+		fmt.Fprintf(w, "WARNING: %d soundness violations (defective weak distance?)\n",
+			r.SoundnessViolations)
+	}
+	for _, c := range r.Conditions {
+		sign := "+"
+		if c.Key.Negative {
+			sign = "-"
+		}
+		fmt.Fprintf(w, "  [%s] site %d (%s): hits=%d min=%.17g max=%.17g\n",
+			sign, c.Key.Site, c.Label, c.Hits, c.Min, c.Max)
+		for i, x := range c.Examples {
+			if i >= 3 {
+				break
+			}
+			fmt.Fprintf(w, "      example: %v\n", x)
+		}
+	}
+}
+
+// --- CoverReport ---
+
+// Summary implements Report.
+func (r *CoverReport) Summary() string {
+	return fmt.Sprintf("covered %d/%d branch sides (%.1f%%) in %d rounds, %d evals",
+		len(r.Covered), r.Total, 100*r.Ratio(), r.Rounds, r.Evals)
+}
+
+// Failed implements Report.
+func (r *CoverReport) Failed() bool { return false }
+
+// Render implements Report (the historical coverme output).
+func (r *CoverReport) Render(w io.Writer, in Input) {
+	fmt.Fprintf(w, "program %s: covered %d/%d branch sides (%.1f%%) in %d rounds, %d evals\n",
+		in.Program.Name, len(r.Covered), r.Total, 100*r.Ratio(), r.Rounds, r.Evals)
+	labels := map[int]string{}
+	for _, b := range in.Program.Branches {
+		labels[b.ID] = b.Label
+	}
+	for _, s := range r.Covered {
+		outcome := "false"
+		if s.Taken {
+			outcome = "true"
+		}
+		fmt.Fprintf(w, "  site %d (%s) %s side: input %v\n", s.Site, labels[s.Site], outcome, r.Inputs[s])
+	}
+}
+
+// --- OverflowRun ---
+
+// Summary implements Report.
+func (r *OverflowRun) Summary() string {
+	s := fmt.Sprintf("%d/%d operations overflowed (%d rounds, %d evals)",
+		len(r.Findings), r.Ops, r.Rounds, r.Evals)
+	if r.SFChecked {
+		s += fmt.Sprintf(", %d inconsistencies", len(r.Inconsistencies))
+	}
+	return s
+}
+
+// Failed implements Report.
+func (r *OverflowRun) Failed() bool { return false }
+
+// Render implements Report (the historical fpod output).
+func (r *OverflowRun) Render(w io.Writer, in Input) {
+	p := in.Program
+	fmt.Fprintf(w, "program %s: %d/%d operations overflowed (%d rounds, %d evals, %.2fs)\n",
+		p.Name, len(r.Findings), r.Ops, r.Rounds, r.Evals, r.Duration.Seconds())
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "  overflow at op %d: %s\n      input %v\n", f.Site, f.Label, f.Input)
+	}
+	for _, m := range r.Missed {
+		label := ""
+		for _, op := range p.Ops {
+			if op.ID == m {
+				label = op.Label
+			}
+		}
+		fmt.Fprintf(w, "  missed  at op %d: %s\n", m, label)
+	}
+	if r.SFChecked {
+		fmt.Fprintf(w, "inconsistencies (status GSL_SUCCESS with non-finite result): %d\n", len(r.Inconsistencies))
+		for _, inc := range r.Inconsistencies {
+			fmt.Fprintf(w, "  input %v: val=%g err=%g — %s\n", inc.Input, inc.Val, inc.Err, inc.Cause)
+		}
+	}
+}
+
+// --- ReachRun ---
+
+// Summary implements Report.
+func (r *ReachRun) Summary() string { return r.Result.String() }
+
+// Failed implements Report: path not reached (the historical fpreach
+// exit 2).
+func (r *ReachRun) Failed() bool { return !r.Found }
+
+// Render implements Report (the historical fpreach output).
+func (r *ReachRun) Render(w io.Writer, in Input) {
+	fmt.Fprintf(w, "program %s, target %v\n", r.Program, r.Target)
+	fmt.Fprintln(w, r.Result)
+}
+
+// --- SatRun ---
+
+// Summary implements Report.
+func (r *SatRun) Summary() string {
+	if r.Verdict == sat.Sat {
+		return "sat"
+	}
+	return fmt.Sprintf("unknown (min weak distance %.6g after %d evaluations)", r.MinDistance, r.Evals)
+}
+
+// Failed implements Report: formula not decided (the historical xsat
+// exit 2).
+func (r *SatRun) Failed() bool { return r.Verdict != sat.Sat }
+
+// Render implements Report (the historical xsat output).
+func (r *SatRun) Render(w io.Writer, in Input) {
+	switch r.Verdict {
+	case sat.Sat:
+		fmt.Fprintln(w, "sat")
+		for _, name := range sat.VarNames(r.Vars) {
+			fmt.Fprintf(w, "  %s = %.17g\n", name, r.Model[r.Vars[name]])
+		}
+	default:
+		fmt.Fprintf(w, "unknown (min weak distance %.6g after %d evaluations)\n", r.MinDistance, r.Evals)
+		fmt.Fprintln(w, "note: a positive minimum proves nothing by itself; the search is incomplete (Limitation 3)")
+	}
+}
+
+// --- NonFiniteReport ---
+
+// Summary implements Report.
+func (r *NonFiniteReport) Summary() string {
+	return fmt.Sprintf("%d/%d operations produced non-finite values (%d rounds, %d evals)",
+		len(r.Findings), r.Ops, r.Rounds, r.Evals)
+}
+
+// Failed implements Report.
+func (r *NonFiniteReport) Failed() bool { return false }
+
+// Render implements Report.
+func (r *NonFiniteReport) Render(w io.Writer, in Input) {
+	p := in.Program
+	fmt.Fprintf(w, "program %s: %d/%d operations produced non-finite values (%d rounds, %d evals, %.2fs)\n",
+		p.Name, len(r.Findings), r.Ops, r.Rounds, r.Evals, r.Duration.Seconds())
+	for _, f := range r.Findings {
+		fmt.Fprintf(w, "  %s at op %d: %s\n      input %v\n", f.Class, f.Site, f.Label, f.Input)
+	}
+	for _, m := range r.Missed {
+		label := ""
+		for _, op := range p.Ops {
+			if op.ID == m {
+				label = op.Label
+			}
+		}
+		fmt.Fprintf(w, "  missed   at op %d: %s\n", m, label)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/gsl"
 	"repro/internal/instrument"
 	"repro/internal/interp"
@@ -55,6 +56,11 @@ func Builtin(name string) (*rt.Program, error) {
 // LoadFPL compiles an FPL source file and wraps the named function
 // (empty = sole or first function) as an instrumentable program.
 func LoadFPL(path, fn string) (*interp.Interp, *rt.Program, error) {
+	return LoadFPLEngine(path, fn, interp.DefaultEngine)
+}
+
+// LoadFPLEngine is LoadFPL with an explicit execution engine.
+func LoadFPLEngine(path, fn string, eng interp.Engine) (*interp.Interp, *rt.Program, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
@@ -67,6 +73,7 @@ func LoadFPL(path, fn string) (*interp.Interp, *rt.Program, error) {
 		fn = mod.Order[0]
 	}
 	it := interp.New(mod)
+	it.Engine = eng
 	p, err := it.Program(fn)
 	if err != nil {
 		return nil, nil, err
@@ -76,42 +83,64 @@ func LoadFPL(path, fn string) (*interp.Interp, *rt.Program, error) {
 
 // Resolve loads either a built-in (-builtin name) or an FPL file.
 func Resolve(builtin, file, fn string) (*rt.Program, error) {
+	return ResolveEngine(builtin, file, fn, interp.DefaultEngine)
+}
+
+// ResolveEngine is Resolve with an explicit execution engine for FPL
+// files (built-ins are native ports and ignore it).
+func ResolveEngine(builtin, file, fn string, eng interp.Engine) (*rt.Program, error) {
 	switch {
 	case builtin != "" && file != "":
 		return nil, fmt.Errorf("use either -builtin or a source file, not both")
 	case builtin != "":
 		return Builtin(builtin)
 	case file != "":
-		_, p, err := LoadFPL(file, fn)
+		_, p, err := LoadFPLEngine(file, fn, eng)
 		return p, err
 	}
 	return nil, fmt.Errorf("no program: pass -builtin NAME or a source file (builtins: %s)",
 		strings.Join(BuiltinNames(), ", "))
 }
 
+// SFForBuiltin returns the concrete GSL-convention special function
+// behind a built-in program, or nil. It powers the §6.3.2 inconsistency
+// replay of the overflow analysis.
+func SFForBuiltin(name string) analysis.SFFunc {
+	switch name {
+	case "bessel":
+		return func(x []float64) (gsl.Result, gsl.Status) { return gsl.BesselKnuScaledAsympx(x[0], x[1]) }
+	case "hyperg":
+		return func(x []float64) (gsl.Result, gsl.Status) { return gsl.Hyperg2F0(x[0], x[1], x[2]) }
+	case "airy":
+		return func(x []float64) (gsl.Result, gsl.Status) { return gsl.AiryAi(x[0]) }
+	}
+	return nil
+}
+
 // ParseBounds reads "lo:hi[,lo:hi...]" into per-dimension bounds; a
-// single pair is broadcast over dim dimensions.
+// single pair is broadcast over dim dimensions. Errors name the
+// offending token and its position within the spec.
 func ParseBounds(spec string, dim int) ([]opt.Bound, error) {
 	if spec == "" {
 		return nil, nil
 	}
 	parts := strings.Split(spec, ",")
 	var bs []opt.Bound
-	for _, part := range parts {
+	for i, part := range parts {
 		lohi := strings.Split(part, ":")
 		if len(lohi) != 2 {
-			return nil, fmt.Errorf("bad bound %q, want lo:hi", part)
+			return nil, fmt.Errorf("bad bound %q (pair %d of %q), want lo:hi", part, i+1, spec)
 		}
 		lo, err := strconv.ParseFloat(strings.TrimSpace(lohi[0]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad bound %q: %v", part, err)
+			return nil, fmt.Errorf("bad bound %q (pair %d of %q): lower bound %q is not a number", part, i+1, spec, strings.TrimSpace(lohi[0]))
 		}
 		hi, err := strconv.ParseFloat(strings.TrimSpace(lohi[1]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad bound %q: %v", part, err)
+			return nil, fmt.Errorf("bad bound %q (pair %d of %q): upper bound %q is not a number", part, i+1, spec, strings.TrimSpace(lohi[1]))
 		}
 		if lo > hi {
-			return nil, fmt.Errorf("bad bound %q: lo > hi", part)
+			return nil, fmt.Errorf("bad bound %q (pair %d of %q): lo > hi", part, i+1, spec)
 		}
 		bs = append(bs, opt.Bound{Lo: lo, Hi: hi})
 	}
@@ -121,7 +150,7 @@ func ParseBounds(spec string, dim int) ([]opt.Bound, error) {
 		}
 	}
 	if len(bs) != dim {
-		return nil, fmt.Errorf("%d bounds for %d dimensions", len(bs), dim)
+		return nil, fmt.Errorf("bounds %q: %d bounds for %d dimensions", spec, len(bs), dim)
 	}
 	return bs, nil
 }
@@ -155,21 +184,7 @@ func ParsePath(spec string) ([]instrument.Decision, error) {
 	return ds, nil
 }
 
-// Backend resolves a backend name.
+// Backend resolves a backend name through the opt registry.
 func Backend(name string) (opt.Minimizer, error) {
-	switch strings.ToLower(name) {
-	case "", "basinhopping", "bh":
-		return &opt.Basinhopping{}, nil
-	case "de", "differentialevolution":
-		return &opt.DifferentialEvolution{}, nil
-	case "powell":
-		return &opt.Powell{}, nil
-	case "random", "randomsearch":
-		return &opt.RandomSearch{}, nil
-	case "neldermead", "nm":
-		return &opt.NelderMead{}, nil
-	case "anneal", "sa", "simulatedannealing":
-		return &opt.SimulatedAnnealing{}, nil
-	}
-	return nil, fmt.Errorf("unknown backend %q (basinhopping, de, powell, random, neldermead, anneal)", name)
+	return opt.BackendByName(name)
 }

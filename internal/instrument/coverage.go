@@ -1,7 +1,10 @@
 package instrument
 
 import (
+	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"repro/internal/fp"
 )
@@ -10,6 +13,40 @@ import (
 type Side struct {
 	Site  int
 	Taken bool
+}
+
+// MarshalText encodes the side as "site:t" / "site:f", making
+// Side-keyed maps (coverage reports) JSON-serializable.
+func (s Side) MarshalText() ([]byte, error) {
+	out := strconv.AppendInt(nil, int64(s.Site), 10)
+	if s.Taken {
+		return append(out, ":t"...), nil
+	}
+	return append(out, ":f"...), nil
+}
+
+// UnmarshalText decodes the MarshalText form.
+func (s *Side) UnmarshalText(text []byte) error {
+	str := string(text)
+	i := strings.IndexByte(str, ':')
+	if i < 0 {
+		return fmt.Errorf("bad side %q, want site:t or site:f", str)
+	}
+	site, err := strconv.Atoi(str[:i])
+	if err != nil {
+		return fmt.Errorf("bad side %q: %v", str, err)
+	}
+	var taken bool
+	switch str[i+1:] {
+	case "t":
+		taken = true
+	case "f":
+		taken = false
+	default:
+		return fmt.Errorf("bad side %q, want site:t or site:f", str)
+	}
+	s.Site, s.Taken = site, taken
+	return nil
 }
 
 // Coverage accumulates the branch-coverage weak distance (§2 Instance 4,

@@ -30,7 +30,8 @@ type Objective func(x []float64) float64
 
 // Bound is an inclusive search interval for one input dimension.
 type Bound struct {
-	Lo, Hi float64
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
 }
 
 // FullRange is the default bound: the entire finite binary64 line.

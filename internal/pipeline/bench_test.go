@@ -1,0 +1,88 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/instrument"
+	"repro/internal/opt"
+	"repro/internal/pipeline"
+)
+
+// benchJobs is a representative mixed batch over one FPL source: the
+// shape an fpserve request takes. Spec budgets are small so the
+// benchmark measures pipeline overhead + steady-state analysis work,
+// not one long minimization.
+func benchJobs(b *testing.B, src string) []pipeline.Job {
+	b.Helper()
+	bounds := []opt.Bound{{Lo: -100, Hi: 100}}
+	specs := []analysis.Spec{
+		{Analysis: "coverage", Seed: 2, Evals: 300, Stall: 2, Workers: 1, Bounds: bounds},
+		{Analysis: "bva", Seed: 1, Starts: 2, Evals: 200, Workers: 1, Bounds: bounds},
+		{Analysis: "overflow", Seed: 3, Evals: 300, Rounds: 4, Workers: 1},
+		{Analysis: "nan", Seed: 5, Evals: 300, Rounds: 4, Workers: 1},
+		{Analysis: "reach", Seed: 4, Starts: 2, Evals: 300, Workers: 1, Bounds: bounds,
+			Path: []instrument.Decision{{Site: 0, Taken: true}}},
+	}
+	var jobs []pipeline.Job
+	for i := 0; i < 16; i++ {
+		spec := specs[i%len(specs)]
+		spec.Seed += int64(i) // vary the work across the batch
+		jobs = append(jobs, pipeline.Job{Source: src, Func: "prog", Spec: spec})
+	}
+	return jobs
+}
+
+// BenchmarkPipelineBatch measures batch throughput (jobs/sec) through
+// the full registry + cache + scheduler stack, at 1 worker and at all
+// CPUs. The module is compiled once on the first iteration and cached
+// for the rest — the fpserve steady state.
+func BenchmarkPipelineBatch(b *testing.B) {
+	src := loadFixtures(b)["fig2.fpl"]
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"allcpus", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			jobs := benchJobs(b, src)
+			pl := pipeline.New(cfg.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := pl.RunBatch(jobs)
+				for _, r := range results {
+					if r.Error != "" {
+						b.Fatal(r.Error)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*len(jobs))/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}
+
+// BenchmarkModuleCache measures what the source-hash cache saves: a
+// cold Program call pays lex/parse/lower + flat-code compilation, a hot
+// one only hashes and forks an instance.
+func BenchmarkModuleCache(b *testing.B) {
+	src := loadFixtures(b)["sin_fig8.fpl"]
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := pipeline.NewModuleCache()
+			if _, _, err := c.Program(src, "sin_dispatch", 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		c := pipeline.NewModuleCache()
+		if _, _, err := c.Program(src, "sin_dispatch", 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Program(src, "sin_dispatch", 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/rt"
+)
+
+// ModuleCache caches compiled FPL modules keyed by source hash (and
+// execution engine), so repeated requests for the same source skip
+// lex/parse/lower and flat-code compilation entirely. It is safe for
+// concurrent use; every Program call returns a fresh concurrency-safe
+// program instance over the shared immutable compiled module.
+//
+// The cache is bounded: beyond MaxModules entries the least recently
+// used module is evicted (in-flight instances keep referencing the
+// shared immutable module; only the cache slot is reclaimed), and
+// failed compilations are never retained, so a long-running fpserve
+// sweeping many distinct sources stays at a bounded footprint.
+type ModuleCache struct {
+	// MaxModules bounds retained modules; 0 selects DefaultMaxModules.
+	MaxModules int
+
+	mu      sync.Mutex
+	entries map[moduleKey]*moduleEntry
+	tick    int64
+
+	compiles atomic.Int64
+	hits     atomic.Int64
+}
+
+// DefaultMaxModules is the default cache capacity.
+const DefaultMaxModules = 128
+
+// NewModuleCache returns an empty cache with the default capacity.
+func NewModuleCache() *ModuleCache {
+	return &ModuleCache{entries: map[moduleKey]*moduleEntry{}}
+}
+
+type moduleKey struct {
+	hash   [sha256.Size]byte
+	engine interp.Engine
+}
+
+type moduleEntry struct {
+	once sync.Once
+	it   *interp.Interp
+	err  error
+
+	lastUse int64 // guarded by ModuleCache.mu
+
+	mu    sync.Mutex
+	progs map[string]*rt.Program
+}
+
+// CacheStats is a snapshot of the cache counters.
+type CacheStats struct {
+	// Modules is the number of distinct cached modules.
+	Modules int `json:"modules"`
+	// Compiles counts source compilations actually performed.
+	Compiles int64 `json:"compiles"`
+	// Hits counts Program calls served without compiling.
+	Hits int64 `json:"hits"`
+}
+
+// Stats returns the cache counters.
+func (c *ModuleCache) Stats() CacheStats {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.mu.Unlock()
+	return CacheStats{Modules: n, Compiles: c.compiles.Load(), Hits: c.hits.Load()}
+}
+
+// Program compiles src (or reuses the cached module with the same
+// hash), wraps fn (empty = first declared) and returns an independent
+// program instance safe to execute concurrently with every other
+// returned instance. The second result reports whether the module was
+// already cached.
+func (c *ModuleCache) Program(src, fn string, eng interp.Engine) (*rt.Program, bool, error) {
+	k := moduleKey{hash: sha256.Sum256([]byte(src)), engine: eng}
+	c.mu.Lock()
+	e, hit := c.entries[k]
+	if !hit {
+		e = &moduleEntry{progs: map[string]*rt.Program{}}
+		c.entries[k] = e
+		c.evictLocked(k)
+	}
+	c.tick++
+	e.lastUse = c.tick
+	c.mu.Unlock()
+	if hit {
+		c.hits.Add(1)
+	}
+
+	e.once.Do(func() {
+		c.compiles.Add(1)
+		mod, err := ir.Compile(src)
+		if err != nil {
+			e.err = err
+			return
+		}
+		it := interp.New(mod)
+		it.Engine = eng
+		e.it = it
+	})
+	if e.err != nil {
+		// Failed compilations buy nothing: drop the slot so broken
+		// sources never pin memory. (A retry recompiles — acceptable
+		// for an error path.)
+		c.mu.Lock()
+		if c.entries[k] == e {
+			delete(c.entries, k)
+		}
+		c.mu.Unlock()
+		return nil, hit, e.err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if fn == "" {
+		fn = e.it.Mod.Order[0]
+	}
+	proto, ok := e.progs[fn]
+	if !ok {
+		p, err := e.it.Program(fn)
+		if err != nil {
+			return nil, hit, err
+		}
+		e.progs[fn] = p
+		proto = p
+	}
+	// The prototype shares the entry's interpreter (mutable machine,
+	// failure log); hand every caller its own fork.
+	return proto.Instance(), hit, nil
+}
+
+// evictLocked drops least-recently-used entries (other than keep) until
+// the cache fits its capacity. Callers hold c.mu.
+func (c *ModuleCache) evictLocked(keep moduleKey) {
+	max := c.MaxModules
+	if max <= 0 {
+		max = DefaultMaxModules
+	}
+	for len(c.entries) > max {
+		var oldest moduleKey
+		var oldestUse int64 = -1
+		for k, e := range c.entries {
+			if k == keep {
+				continue
+			}
+			if oldestUse < 0 || e.lastUse < oldestUse {
+				oldest, oldestUse = k, e.lastUse
+			}
+		}
+		if oldestUse < 0 {
+			return
+		}
+		delete(c.entries, oldest)
+	}
+}

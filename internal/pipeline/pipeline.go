@@ -1,0 +1,243 @@
+// Package pipeline is the batched analysis layer on top of the
+// analysis registry: it fans a batch of ⟨program, analysis, spec⟩ jobs
+// over a worker pool, with a compiled-module cache keyed by source hash
+// so repeated requests for the same FPL source skip compilation
+// entirely. Jobs are independent — each runs over its own program
+// instance with its own spec-level parallelism (reusing the
+// opt.ParallelStarts determinism contract) — so batch results are
+// bit-identical for every worker count. The package also hosts the
+// fpserve HTTP handler (server.go).
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/cli"
+	"repro/internal/interp"
+	"repro/internal/opt"
+)
+
+// Job is one unit of batch work: a program (built-in name or inline FPL
+// source) plus the spec of the analysis to run on it.
+type Job struct {
+	// Builtin names a built-in benchmark program.
+	Builtin string `json:"builtin,omitempty"`
+	// Source is inline FPL source (compiled through the module cache).
+	Source string `json:"source,omitempty"`
+	// Func selects the function within Source (empty = first declared).
+	Func string `json:"func,omitempty"`
+	// Spec selects and configures the analysis. Formula-based analyses
+	// (xsat) need no program fields.
+	Spec analysis.Spec `json:"spec"`
+}
+
+// JobResult is the outcome of one job. Report is the typed analysis
+// report; it serializes under its concrete type's JSON shape.
+type JobResult struct {
+	// Index is the job's position in the batch; results are delivered
+	// in index order.
+	Index int `json:"index"`
+	// Analysis is the canonical analysis name.
+	Analysis string `json:"analysis"`
+	// Program is the resolved program name, when the analysis ran on
+	// one.
+	Program string `json:"program,omitempty"`
+	// CacheHit reports that the job's module came from the cache. It
+	// depends on scheduling order under concurrency, so it is excluded
+	// from the wire format — streamed batch output stays bit-identical
+	// for every worker count; cache effectiveness is served by /stats.
+	CacheHit bool `json:"-"`
+	// Summary is the report's one-line outcome.
+	Summary string `json:"summary,omitempty"`
+	// Failed mirrors Report.Failed (path unreached, formula undecided).
+	Failed bool `json:"failed,omitempty"`
+	// Error is set when the job could not run.
+	Error string `json:"error,omitempty"`
+	// Report is the typed analysis report.
+	Report analysis.Report `json:"report,omitempty"`
+}
+
+// MarshalResult encodes a result as JSON. Reports containing
+// non-finite floats (a possibility for analyses hunting overflow) are
+// not representable in JSON; such results degrade to summary-only
+// rather than failing the batch.
+func MarshalResult(r JobResult) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		r.Report = nil
+		if r.Error == "" {
+			r.Error = "report not JSON-serializable: " + err.Error()
+		}
+		b, _ = json.Marshal(r)
+	}
+	return b
+}
+
+// Pipeline schedules batches of analysis jobs over a worker pool with a
+// shared module cache. The pool is shared by every Stream/RunBatch call
+// (and, under fpserve, every in-flight request), so Workers is a global
+// concurrency bound. The zero value is not ready; use New.
+type Pipeline struct {
+	// Workers bounds concurrently running jobs; 0 selects
+	// runtime.NumCPU(). Worker count never changes results, only
+	// wall-clock time.
+	Workers int
+	// Cache is the compiled-module cache, shared by every batch (and,
+	// under fpserve, every request).
+	Cache *ModuleCache
+
+	semOnce sync.Once
+	sem     chan struct{}
+}
+
+// New returns a pipeline with a fresh module cache.
+func New(workers int) *Pipeline {
+	return &Pipeline{Workers: workers, Cache: NewModuleCache()}
+}
+
+// slots returns the shared job-concurrency semaphore.
+func (pl *Pipeline) slots() chan struct{} {
+	pl.semOnce.Do(func() {
+		w := pl.Workers
+		if w <= 0 {
+			w = runtime.NumCPU()
+		}
+		pl.sem = make(chan struct{}, w)
+	})
+	return pl.sem
+}
+
+// RunJob executes one job.
+func (pl *Pipeline) RunJob(idx int, j Job) JobResult {
+	res := JobResult{Index: idx, Analysis: j.Spec.Analysis}
+	a, err := analysis.Lookup(j.Spec.Analysis)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Analysis = a.Name()
+
+	var in analysis.Input
+	spec := j.Spec
+	if a.Knobs().Program {
+		switch {
+		case j.Builtin != "" && j.Source != "":
+			res.Error = "use either builtin or source, not both"
+			return res
+		case j.Builtin != "":
+			p, err := cli.Builtin(j.Builtin)
+			if err != nil {
+				res.Error = err.Error()
+				return res
+			}
+			in.Program = p
+			in.SF = cli.SFForBuiltin(j.Builtin)
+		case j.Source != "":
+			eng, err := interp.ParseEngine(spec.Engine)
+			if err != nil {
+				res.Error = err.Error()
+				return res
+			}
+			p, hit, err := pl.Cache.Program(j.Source, j.Func, eng)
+			if err != nil {
+				res.Error = err.Error()
+				return res
+			}
+			in.Program = p
+			res.CacheHit = hit
+		default:
+			res.Error = fmt.Sprintf("analysis %q needs a program: set builtin or source", a.Name())
+			return res
+		}
+		res.Program = in.Program.Name
+		spec.Bounds, err = opt.BroadcastBounds(spec.Bounds, in.Program.Dim)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+	}
+
+	rep, err := a.Run(in, spec)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	res.Report = rep
+	res.Summary = rep.Summary()
+	res.Failed = rep.Failed()
+	return res
+}
+
+// Stream runs the batch over the worker pool and delivers results to
+// emit in job order, each as soon as it (and all its predecessors) is
+// done. Results are bit-identical for every Workers value.
+func (pl *Pipeline) Stream(jobs []Job, emit func(JobResult)) {
+	pl.StreamCtx(context.Background(), jobs, emit)
+}
+
+// StreamCtx is Stream with cancellation: once ctx is done, jobs not yet
+// dispatched are reported as canceled instead of run, so an abandoned
+// request (fpserve client disconnect) stops occupying the shared worker
+// pool. Already-running jobs complete normally.
+func (pl *Pipeline) StreamCtx(ctx context.Context, jobs []Job, emit func(JobResult)) {
+	n := len(jobs)
+	if n == 0 {
+		return
+	}
+	sem := pl.slots()
+	done := make([]chan JobResult, n)
+	for i := range done {
+		done[i] = make(chan JobResult, 1)
+	}
+	queue := make(chan int, n)
+	for i := 0; i < n; i++ {
+		queue <- i
+	}
+	close(queue)
+	// A bounded set of runner goroutines pulls job indices; each job
+	// additionally holds a slot of the pipeline-wide semaphore, so
+	// concurrency is bounded both per call and across calls.
+	runners := cap(sem)
+	if runners > n {
+		runners = n
+	}
+	for w := 0; w < runners; w++ {
+		go func() {
+			for i := range queue {
+				// Acquire a pool slot or observe cancellation, whichever
+				// comes first: a dead request must not consume a slot
+				// that frees up later.
+				select {
+				case sem <- struct{}{}:
+				case <-ctx.Done():
+					done[i] <- JobResult{Index: i, Analysis: jobs[i].Spec.Analysis,
+						Error: "canceled: " + ctx.Err().Error()}
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					<-sem
+					done[i] <- JobResult{Index: i, Analysis: jobs[i].Spec.Analysis,
+						Error: "canceled: " + err.Error()}
+					continue
+				}
+				done[i] <- pl.RunJob(i, jobs[i])
+				<-sem
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		emit(<-done[i])
+	}
+}
+
+// RunBatch runs the batch and returns all results in job order.
+func (pl *Pipeline) RunBatch(jobs []Job) []JobResult {
+	out := make([]JobResult, 0, len(jobs))
+	pl.Stream(jobs, func(r JobResult) { out = append(out, r) })
+	return out
+}

@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+)
+
+// Request is the fpserve analyze payload: either a fully explicit job
+// list, or the shorthand of one program (builtin or inline FPL source)
+// fanned over a list of specs.
+type Request struct {
+	// Jobs is the explicit form; when set the shorthand fields are
+	// ignored.
+	Jobs []Job `json:"jobs,omitempty"`
+	// Builtin / Source / Func name one program (see Job).
+	Builtin string `json:"builtin,omitempty"`
+	Source  string `json:"source,omitempty"`
+	Func    string `json:"func,omitempty"`
+	// Specs is the list of analyses to run on that program.
+	Specs []analysis.Spec `json:"specs,omitempty"`
+}
+
+// jobs expands the request into its job list.
+func (r Request) jobs() []Job {
+	if len(r.Jobs) > 0 {
+		return r.Jobs
+	}
+	out := make([]Job, 0, len(r.Specs))
+	for _, s := range r.Specs {
+		out = append(out, Job{Builtin: r.Builtin, Source: r.Source, Func: r.Func, Spec: s})
+	}
+	return out
+}
+
+// Server is the fpserve HTTP front end: concurrent requests share one
+// pipeline (and therefore one module cache), so repeated submissions of
+// the same FPL source are never recompiled.
+type Server struct {
+	// PL is the shared pipeline.
+	PL *Pipeline
+
+	requests atomic.Int64
+	jobs     atomic.Int64
+}
+
+// NewServer returns a server over a fresh pipeline. workers bounds
+// concurrently running jobs across ALL in-flight requests (0 = all
+// CPUs).
+func NewServer(workers int) *Server {
+	return &Server{PL: New(workers)}
+}
+
+// Handler returns the fpserve route table:
+//
+//	POST /analyze  — run a batch; streams one JSON result per line
+//	                 (NDJSON) in job order as jobs complete
+//	GET  /analyses — list registered analyses with their default specs
+//	GET  /stats    — module-cache and traffic counters
+//	GET  /healthz  — liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/analyses", s.handleAnalyses)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	return mux
+}
+
+// Request-hardening limits: an analyze body may not exceed
+// maxRequestBytes, and one request may not enqueue more than
+// maxJobsPerRequest jobs.
+const (
+	maxRequestBytes   = 8 << 20
+	maxJobsPerRequest = 4096
+)
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON request body", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	jobs := req.jobs()
+	if len(jobs) == 0 {
+		http.Error(w, "no jobs: set jobs, or builtin/source plus specs", http.StatusBadRequest)
+		return
+	}
+	if len(jobs) > maxJobsPerRequest {
+		http.Error(w, fmt.Sprintf("%d jobs exceeds the per-request limit of %d",
+			len(jobs), maxJobsPerRequest), http.StatusBadRequest)
+		return
+	}
+	s.requests.Add(1)
+	s.jobs.Add(int64(len(jobs)))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	// The request context cancels pending jobs when the client goes
+	// away, so abandoned batches stop occupying the shared pool.
+	s.PL.StreamCtx(r.Context(), jobs, func(res JobResult) {
+		w.Write(MarshalResult(res))
+		w.Write([]byte("\n"))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+}
+
+func (s *Server) handleAnalyses(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name        string        `json:"name"`
+		Description string        `json:"description"`
+		DefaultSpec analysis.Spec `json:"defaultSpec"`
+	}
+	var out []entry
+	for _, a := range analysis.All() {
+		out = append(out, entry{Name: a.Name(), Description: a.Describe(), DefaultSpec: a.DefaultSpec()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats := struct {
+		Requests int64      `json:"requests"`
+		Jobs     int64      `json:"jobs"`
+		Cache    CacheStats `json:"cache"`
+	}{
+		Requests: s.requests.Load(),
+		Jobs:     s.jobs.Load(),
+		Cache:    s.PL.Cache.Stats(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(stats)
+}

@@ -1,0 +1,213 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/pipeline"
+	"repro/internal/rt"
+)
+
+func serverRequestBody(t testing.TB, srcs map[string]string) string {
+	t.Helper()
+	bounds := []opt.Bound{{Lo: -100, Hi: 100}}
+	req := pipeline.Request{
+		Source: srcs["fig2.fpl"],
+		Func:   "prog",
+		Specs: []analysis.Spec{
+			{Analysis: "coverage", Seed: 2, Evals: 300, Stall: 2, Workers: 1, Bounds: bounds},
+			{Analysis: "bva", Seed: 1, Starts: 2, Evals: 200, Workers: 1, Bounds: bounds},
+			{Analysis: "overflow", Seed: 3, Evals: 300, Rounds: 6, Workers: 1},
+			{Analysis: "nan", Seed: 5, Evals: 300, Rounds: 6, Workers: 1},
+		},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func postAnalyze(t testing.TB, url, body string) []map[string]any {
+	t.Helper()
+	resp, err := http.Post(url+"/analyze", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out []map[string]any
+	for _, line := range bytes.Split(bytes.TrimSpace(data), []byte("\n")) {
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if rep, ok := m["report"].(map[string]any); ok {
+			delete(rep, "duration")
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TestServeConcurrentBitIdentical is the fpserve acceptance test: ≥8
+// concurrent requests over one shared module cache return results
+// bit-identical to the serial in-process analysis path, and the cached
+// module is never recompiled.
+func TestServeConcurrentBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent request sweep in -short mode")
+	}
+	srcs := loadFixtures(t)
+	srv := pipeline.NewServer(0)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := serverRequestBody(t, srcs)
+
+	// The serial oracle: the same jobs through the registry directly,
+	// one at a time, rendered through the same JSON shape.
+	var req pipeline.Request
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	var want []map[string]any
+	for i, spec := range req.Specs {
+		a, err := analysis.Lookup(spec.Analysis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := weakCompile(req.Source, req.Func)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := a.Run(analysis.Input{Program: p}, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := pipeline.JobResult{Index: i, Analysis: a.Name(), Program: p.Name,
+			Report: rep, Summary: rep.Summary(), Failed: rep.Failed()}
+		var m map[string]any
+		if err := json.Unmarshal(pipeline.MarshalResult(res), &m); err != nil {
+			t.Fatal(err)
+		}
+		if repm, ok := m["report"].(map[string]any); ok {
+			delete(repm, "duration")
+		}
+		want = append(want, m)
+	}
+
+	const clients = 8
+	got := make([][]map[string]any, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			got[c] = postAnalyze(t, ts.URL, body)
+		}(c)
+	}
+	wg.Wait()
+
+	wantJSON := mustJSON(t, want)
+	for c := 0; c < clients; c++ {
+		if gotJSON := mustJSON(t, got[c]); gotJSON != wantJSON {
+			t.Errorf("client %d diverged from the serial path.\ngot:  %s\nwant: %s", c, gotJSON, wantJSON)
+		}
+	}
+
+	// One source, one engine: exactly one compilation across all eight
+	// concurrent requests — cached-module requests never recompile.
+	if st := srv.PL.Cache.Stats(); st.Compiles != 1 {
+		t.Errorf("module compiled %d times across %d concurrent requests, want 1 (stats %+v)",
+			st.Compiles, clients, st)
+	}
+
+	// The stats and health endpoints respond.
+	for _, path := range []string{"/stats", "/healthz", "/analyses"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %v %v", path, err, resp)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestServeBadRequests covers the HTTP error surface.
+func TestServeBadRequests(t *testing.T) {
+	ts := httptest.NewServer(pipeline.NewServer(1).Handler())
+	defer ts.Close()
+
+	if resp, err := http.Get(ts.URL + "/analyze"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /analyze: %v %v", err, resp.StatusCode)
+	}
+	for _, body := range []string{"", "{}", `{"jobs": []}`, `{"nonsense": 1}`} {
+		resp, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// A job-level failure is a result line, not an HTTP error.
+	lines := postAnalyze(t, ts.URL, `{"builtin": "nope", "specs": [{"analysis": "bva"}]}`)
+	if len(lines) != 1 || lines[0]["error"] == nil {
+		t.Errorf("job-level failure: %v", lines)
+	}
+
+	// Oversized batches are rejected up front, not scheduled.
+	var big strings.Builder
+	big.WriteString(`{"builtin": "fig2", "specs": [`)
+	for i := 0; i < 5000; i++ {
+		if i > 0 {
+			big.WriteString(",")
+		}
+		big.WriteString(`{"analysis": "bva"}`)
+	}
+	big.WriteString(`]}`)
+	resp, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader(big.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("5000-job request: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func mustJSON(t testing.TB, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// weakCompile compiles FPL source outside the pipeline cache (the
+// serial-oracle path).
+func weakCompile(src, fn string) (*rt.Program, error) {
+	mod, err := ir.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return interp.New(mod).Program(fn)
+}

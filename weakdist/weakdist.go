@@ -48,6 +48,7 @@ import (
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/opt"
+	"repro/internal/pipeline"
 	"repro/internal/rt"
 	"repro/internal/sat"
 )
@@ -240,6 +241,53 @@ func ParseFormula(src string) (*Formula, map[string]int, error) { return sat.Par
 // SolveSAT decides a floating-point CNF by weak-distance minimization
 // (§2 Instance 5).
 func SolveSAT(f *Formula, o SatOptions) SatResult { return sat.Solve(f, o) }
+
+// --- Analysis registry and pipeline (internal/analysis, internal/pipeline) ---
+
+// AnalysisSpec is the uniform, JSON-serializable configuration of a
+// registered analysis (seed, evals, bounds, backend name, workers, ULP,
+// engine, plus per-analysis knobs).
+type AnalysisSpec = analysis.Spec
+
+// AnalysisReport is the typed result of a registered analysis.
+type AnalysisReport = analysis.Report
+
+// AnalysisInput is what a registered analysis runs on.
+type AnalysisInput = analysis.Input
+
+// Job is one batch unit: a program (built-in name or inline FPL
+// source) plus the spec of the analysis to run on it.
+type Job = pipeline.Job
+
+// JobResult is the outcome of one job.
+type JobResult = pipeline.JobResult
+
+// Pipeline schedules job batches over a worker pool with a shared
+// compiled-module cache; results are identical for every worker count.
+type Pipeline = pipeline.Pipeline
+
+// Analyses lists the registered analysis names (the five paper
+// instances plus the NaN/domain-error finder; extensions register
+// alongside them).
+func Analyses() []string { return analysis.Names() }
+
+// LookupAnalysis resolves a registered analysis by name or alias.
+func LookupAnalysis(name string) (analysis.Analysis, error) { return analysis.Lookup(name) }
+
+// NewPipeline returns a pipeline with a fresh module cache. workers
+// bounds concurrently running jobs (0 = all CPUs).
+func NewPipeline(workers int) *Pipeline { return pipeline.New(workers) }
+
+// Run executes one analysis job on a throwaway pipeline. Callers with
+// many jobs should use RunBatch or a shared NewPipeline so repeated
+// sources hit the module cache.
+func Run(job Job) JobResult { return pipeline.New(1).RunJob(0, job) }
+
+// RunBatch fans the jobs over workers (0 = all CPUs) and returns
+// results in job order — bit-identical for every worker count.
+func RunBatch(jobs []Job, workers int) []JobResult {
+	return pipeline.New(workers).RunBatch(jobs)
+}
 
 // --- FPL compilation (internal/lang, internal/ir, internal/interp) ---
 

@@ -140,3 +140,43 @@ func TestPublicBackends(t *testing.T) {
 		}
 	}
 }
+
+func TestPublicRegistryPipeline(t *testing.T) {
+	if len(weakdist.Analyses()) < 6 {
+		t.Fatalf("registry lists %v", weakdist.Analyses())
+	}
+	if _, err := weakdist.LookupAnalysis("coverme"); err != nil {
+		t.Fatalf("alias lookup: %v", err)
+	}
+
+	src := `func prog(x double) { if (x <= 1.0) { x = x + 1.0; } var y double = x * x; if (y <= 4.0) { x = x - 1.0; } }`
+	bounds := []weakdist.Bound{{Lo: -100, Hi: 100}}
+	jobs := []weakdist.Job{
+		{Source: src, Spec: weakdist.AnalysisSpec{
+			Analysis: "coverage", Seed: 2, Evals: 300, Stall: 2, Workers: 1, Bounds: bounds}},
+		{Source: src, Spec: weakdist.AnalysisSpec{
+			Analysis: "nan", Seed: 5, Evals: 500, Rounds: 4, Workers: 1}},
+		{Spec: weakdist.AnalysisSpec{
+			Analysis: "xsat", Seed: 1, Starts: 2, Evals: 400, Workers: 1,
+			Bounds: []weakdist.Bound{{Lo: -4, Hi: 4}}, Formula: "x < 1 && x + 1 >= 2"}},
+	}
+
+	one := weakdist.Run(jobs[0])
+	if one.Error != "" || one.Report == nil || one.Program != "prog" {
+		t.Fatalf("Run: %+v", one)
+	}
+
+	serial := weakdist.RunBatch(jobs, 1)
+	parallel := weakdist.RunBatch(jobs, 4)
+	for i := range jobs {
+		if serial[i].Error != "" {
+			t.Errorf("job %d: %s", i, serial[i].Error)
+		}
+		if serial[i].Summary != parallel[i].Summary || serial[i].Failed != parallel[i].Failed {
+			t.Errorf("job %d diverged across worker counts: %+v vs %+v", i, serial[i], parallel[i])
+		}
+	}
+	if serial[0].Summary != one.Summary {
+		t.Errorf("Run vs RunBatch: %q vs %q", one.Summary, serial[0].Summary)
+	}
+}
