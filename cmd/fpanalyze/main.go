@@ -18,151 +18,17 @@
 //	fpanalyze batch - <<'EOF'
 //	[{"builtin": "fig2", "spec": {"analysis": "coverage", "seed": 1}}]
 //	EOF
+//
+// The implementation lives in internal/pipeline (FPAnalyzeMain), where
+// the JSON and NDJSON output surfaces are locked by golden tests.
 package main
 
 import (
-	"encoding/json"
-	"errors"
-	"flag"
-	"fmt"
-	"io"
 	"os"
 
-	"repro/internal/analysis"
-	"repro/internal/cli"
 	"repro/internal/pipeline"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage(os.Stderr)
-		os.Exit(2)
-	}
-	sub, args := os.Args[1], os.Args[2:]
-	switch sub {
-	case "list", "-list", "--list":
-		list(os.Stdout)
-	case "batch":
-		os.Exit(batch(args))
-	case "help", "-h", "-help", "--help":
-		usage(os.Stdout)
-	default:
-		os.Exit(run(sub, args))
-	}
-}
-
-func usage(w io.Writer) {
-	fmt.Fprintln(w, "usage: fpanalyze list | batch [-jobs N] <jobs.json|-> | <analysis> [flags] [prog.fpl]")
-	fmt.Fprintln(w, "registered analyses:", analysis.Names())
-}
-
-func list(w io.Writer) {
-	for _, a := range analysis.All() {
-		fmt.Fprintf(w, "%-10s %s\n", a.Name(), a.Describe())
-	}
-}
-
-// run executes one analysis with the shared registry-driven flags. The
-// -json flag swaps the legacy text rendering for the pipeline's JSON
-// result shape.
-func run(name string, args []string) int {
-	a, err := analysis.Lookup(name)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fpanalyze:", err)
-		usage(os.Stderr)
-		return 1
-	}
-	asJSON := false
-	filtered := args[:0:0]
-	for _, arg := range args {
-		if arg == "-json" || arg == "--json" {
-			asJSON = true
-			continue
-		}
-		filtered = append(filtered, arg)
-	}
-	if !asJSON {
-		return cli.RunTool("fpanalyze", a.Name(), filtered, os.Stdout, os.Stderr)
-	}
-
-	fs := flag.NewFlagSet("fpanalyze "+a.Name(), flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
-	sf := cli.NewSpecFlags(fs, "fpanalyze", a)
-	if err := fs.Parse(filtered); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return 0
-		}
-		return 2
-	}
-	in, spec, err := sf.Resolve(fs.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fpanalyze:", err)
-		return 1
-	}
-	res := pipeline.JobResult{Analysis: a.Name()}
-	if in.Program != nil {
-		res.Program = in.Program.Name
-	}
-	rep, err := a.Run(in, spec)
-	if err != nil {
-		res.Error = err.Error()
-	} else {
-		res.Report = rep
-		res.Summary = rep.Summary()
-		res.Failed = rep.Failed()
-	}
-	os.Stdout.Write(pipeline.MarshalResult(res))
-	fmt.Println()
-	switch {
-	case res.Error != "":
-		return 1
-	case res.Failed:
-		return 2
-	}
-	return 0
-}
-
-// batch runs a JSON job list through the pipeline, streaming NDJSON
-// results in job order.
-func batch(args []string) int {
-	fs := flag.NewFlagSet("fpanalyze batch", flag.ContinueOnError)
-	fs.SetOutput(os.Stderr)
-	jobsN := fs.Int("jobs", 0, "concurrent jobs (0 = all CPUs); never changes results")
-	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return 0
-		}
-		return 2
-	}
-	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "fpanalyze batch: want exactly one jobs file (or - for stdin)")
-		return 2
-	}
-	var data []byte
-	var err error
-	if fs.Arg(0) == "-" {
-		data, err = io.ReadAll(os.Stdin)
-	} else {
-		data, err = os.ReadFile(fs.Arg(0))
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fpanalyze batch:", err)
-		return 1
-	}
-	var jobs []pipeline.Job
-	if err := json.Unmarshal(data, &jobs); err != nil {
-		fmt.Fprintln(os.Stderr, "fpanalyze batch: bad job list:", err)
-		return 1
-	}
-
-	code := 0
-	pl := pipeline.New(*jobsN)
-	pl.Stream(jobs, func(r pipeline.JobResult) {
-		os.Stdout.Write(pipeline.MarshalResult(r))
-		fmt.Println()
-		if r.Error != "" {
-			code = 1
-		}
-	})
-	return code
+	os.Exit(pipeline.FPAnalyzeMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }

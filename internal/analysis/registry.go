@@ -44,6 +44,11 @@ type Spec struct {
 	// ULP selects ULP branch/boundary distances (Limitation-2
 	// mitigation).
 	ULP bool `json:"ulp,omitempty"`
+	// HighPrecision accumulates multiplicative distances in scaled
+	// double-double arithmetic (bva), eliminating spurious zeros from
+	// product underflow — the §5.2 mitigation of Limitation 2. With it
+	// (or ULP), every reported zero provably carries a witness.
+	HighPrecision bool `json:"highPrecision,omitempty"`
 	// RealDist selects real-valued |l-r| atom distances for xsat.
 	RealDist bool `json:"realDist,omitempty"`
 	// Workers sets intra-analysis parallelism: 0 selects
@@ -97,9 +102,11 @@ type Knobs struct {
 	Starts bool
 	Stall  bool
 	Rounds bool
-	// ULP / RealDist: which distance-metric toggles apply.
-	ULP      bool
-	RealDist bool
+	// ULP / HighPrecision / RealDist: which distance-metric toggles
+	// apply.
+	ULP           bool
+	HighPrecision bool
+	RealDist      bool
 	// Path: the analysis needs a target decision sequence.
 	Path bool
 	// Formula: the analysis runs on a CNF formula instead of a program.
@@ -229,7 +236,9 @@ func (bvaAnalysis) Describe() string {
 func (bvaAnalysis) DefaultSpec() Spec {
 	return Spec{Analysis: "bva", Seed: 1, Starts: 32, Evals: 4000, Backend: "basinhopping"}
 }
-func (bvaAnalysis) Knobs() Knobs { return Knobs{Program: true, Starts: true, ULP: true} }
+func (bvaAnalysis) Knobs() Knobs {
+	return Knobs{Program: true, Starts: true, ULP: true, HighPrecision: true}
+}
 func (bvaAnalysis) Run(in Input, s Spec) (Report, error) {
 	p, err := needProgram("bva", in)
 	if err != nil {
@@ -246,6 +255,7 @@ func (bvaAnalysis) Run(in Input, s Spec) (Report, error) {
 		Backend:       be,
 		Bounds:        s.Bounds,
 		ULP:           s.ULP,
+		HighPrecision: s.HighPrecision,
 		Workers:       s.Workers,
 	}), nil
 }

@@ -68,6 +68,10 @@ func NewSpecFlags(fs *flag.FlagSet, tool string, a analysis.Analysis) *SpecFlags
 	if k.ULP {
 		fs.BoolVar(&sf.spec.ULP, "ulp", def.ULP, "use ULP branch distances")
 	}
+	if k.HighPrecision {
+		fs.BoolVar(&sf.spec.HighPrecision, "hp", def.HighPrecision,
+			"accumulate multiplicative distances in high precision (no spurious underflow zeros)")
+	}
 	if k.RealDist {
 		fs.BoolVar(&sf.spec.RealDist, "real", def.RealDist, "use real-valued |l-r| atom distances instead of ULP")
 	}

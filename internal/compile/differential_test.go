@@ -6,10 +6,10 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 
 	"repro/internal/fp"
+	"repro/internal/fplgen"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/rt"
@@ -185,34 +185,10 @@ func checkProgram(t *testing.T, src, fn string, tree, vm *interp.Interp, x []flo
 	vm.ClearFailures()
 }
 
+// defaultInputs is the shared differential input battery, now owned by
+// internal/fplgen so the fuzz harness draws the same sweep.
 func defaultInputs(rng *rand.Rand, dim int) [][]float64 {
-	seeds := []float64{0, 1, -1, 0.5, 2, -3.25, 1e-8, 1e8, 1e300, -1e300,
-		0.9999999999999999, math.SmallestNonzeroFloat64}
-	var out [][]float64
-	for _, s := range seeds {
-		x := make([]float64, dim)
-		for i := range x {
-			x[i] = s
-			if i > 0 {
-				x[i] = s * float64(i+1)
-			}
-		}
-		out = append(out, x)
-	}
-	for k := 0; k < 6; k++ {
-		x := make([]float64, dim)
-		for i := range x {
-			for {
-				v := math.Float64frombits(rng.Uint64())
-				if !math.IsNaN(v) && !math.IsInf(v, 0) {
-					x[i] = v
-					break
-				}
-			}
-		}
-		out = append(out, x)
-	}
-	return out
+	return fplgen.Inputs(rng, dim)
 }
 
 // TestDifferentialFixtures runs the battery over every testdata FPL
@@ -251,143 +227,10 @@ func TestDifferentialFixtures(t *testing.T) {
 // itself is the oracle here, so the generator is free to produce any
 // well-typed terminating program: nested control flow, short-circuit
 // booleans, builtins, user calls (the VM threads these through its
-// explicit frame stack), and asserts.
-
-type gen struct {
-	rng    *rand.Rand
-	nv     int
-	funcs  []string // helper function names, arity 1
-	lines  []string
-	indent string
-}
-
-func (g *gen) expr(vars []string, depth int) string {
-	if depth <= 0 || g.rng.Intn(4) == 0 {
-		if len(vars) > 0 && g.rng.Intn(3) != 0 {
-			return vars[g.rng.Intn(len(vars))]
-		}
-		return []string{"0.0", "1.0", "2.0", "0.5", "3.25", "1e-8", "1e8", "7.0", "1e300"}[g.rng.Intn(9)]
-	}
-	switch g.rng.Intn(10) {
-	case 0, 1:
-		return "(" + g.expr(vars, depth-1) + " + " + g.expr(vars, depth-1) + ")"
-	case 2:
-		return "(" + g.expr(vars, depth-1) + " - " + g.expr(vars, depth-1) + ")"
-	case 3:
-		return "(" + g.expr(vars, depth-1) + " * " + g.expr(vars, depth-1) + ")"
-	case 4:
-		return "(" + g.expr(vars, depth-1) + " / " + g.expr(vars, depth-1) + ")"
-	case 5:
-		return "(-" + g.expr(vars, depth-1) + ")"
-	case 6:
-		name := []string{"fabs", "sqrt", "sin", "floor", "exp"}[g.rng.Intn(5)]
-		return name + "(" + g.expr(vars, depth-1) + ")"
-	case 7:
-		name := []string{"fmin", "fmax", "pow"}[g.rng.Intn(3)]
-		return name + "(" + g.expr(vars, depth-1) + ", " + g.expr(vars, depth-1) + ")"
-	case 8:
-		if len(g.funcs) > 0 {
-			f := g.funcs[g.rng.Intn(len(g.funcs))]
-			return f + "(" + g.expr(vars, depth-1) + ")"
-		}
-		return g.expr(vars, depth-1)
-	default:
-		return "(" + g.expr(vars, depth-1) + " + " + g.expr(vars, depth-1) + ")"
-	}
-}
-
-func (g *gen) cond(vars []string, depth int) string {
-	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
-	c := "(" + g.expr(vars, depth) + " " + op + " " + g.expr(vars, depth) + ")"
-	if depth > 0 {
-		switch g.rng.Intn(4) {
-		case 0:
-			c = "(" + c + " && " + g.cond(vars, depth-1) + ")"
-		case 1:
-			c = "(" + c + " || " + g.cond(vars, depth-1) + ")"
-		case 2:
-			c = "(!" + c + ")"
-		}
-	}
-	return c
-}
-
-func (g *gen) stmt(vars *[]string, depth int) {
-	ind := g.indent
-	switch k := g.rng.Intn(7); {
-	case k <= 1 || len(*vars) == 0:
-		name := fmt.Sprintf("v%d", g.nv)
-		g.nv++
-		g.lines = append(g.lines, ind+"var "+name+" double = "+g.expr(*vars, 2)+";")
-		*vars = append(*vars, name)
-	case k == 2 && depth < 2:
-		g.lines = append(g.lines, ind+"if "+g.cond(*vars, 1)+" {")
-		g.block(vars, depth+1, 1+g.rng.Intn(2))
-		if g.rng.Intn(2) == 0 {
-			g.lines = append(g.lines, ind+"} else {")
-			g.block(vars, depth+1, 1+g.rng.Intn(2))
-		}
-		g.lines = append(g.lines, ind+"}")
-	case k == 3 && depth < 2:
-		// Bounded counting loop.
-		i := fmt.Sprintf("i%d", g.nv)
-		g.nv++
-		bound := fmt.Sprintf("%d.0", 1+g.rng.Intn(5))
-		g.lines = append(g.lines, ind+"var "+i+" double = 0.0;")
-		g.lines = append(g.lines, ind+"while ("+i+" < "+bound+") {")
-		g.block(vars, depth+1, 1+g.rng.Intn(2))
-		g.lines = append(g.lines, ind+"    "+i+" = "+i+" + 1.0;")
-		g.lines = append(g.lines, ind+"}")
-	case k == 4:
-		g.lines = append(g.lines, ind+"assert"+g.cond(*vars, 0)+";")
-	default:
-		name := (*vars)[g.rng.Intn(len(*vars))]
-		g.lines = append(g.lines, ind+name+" = "+g.expr(*vars, 2)+";")
-	}
-}
-
-func (g *gen) block(vars *[]string, depth, n int) {
-	saved := g.indent
-	g.indent += "    "
-	local := append([]string(nil), *vars...)
-	for i := 0; i < n; i++ {
-		g.stmt(&local, depth)
-	}
-	g.indent = saved
-}
-
-// genModule produces a module with helper functions and a main entry
-// "f" of one parameter.
-func genModule(rng *rand.Rand) string {
-	g := &gen{rng: rng}
-	var sb strings.Builder
-	// Helpers first (callable from f and from each other, earlier ones
-	// only, so call graphs stay acyclic and terminating).
-	nh := 1 + rng.Intn(2)
-	for h := 0; h < nh; h++ {
-		name := fmt.Sprintf("h%d", h)
-		g.lines = nil
-		g.indent = ""
-		vars := []string{"a"}
-		g.block(&vars, 1, 1+rng.Intn(2))
-		sb.WriteString("func " + name + "(a double) double {\n")
-		for _, l := range g.lines {
-			sb.WriteString(l + "\n")
-		}
-		sb.WriteString("    return " + g.expr(vars, 2) + ";\n}\n")
-		g.funcs = append(g.funcs, name)
-	}
-	g.lines = nil
-	g.indent = ""
-	vars := []string{"x"}
-	g.block(&vars, 0, 2+rng.Intn(4))
-	sb.WriteString("func f(x double) double {\n")
-	for _, l := range g.lines {
-		sb.WriteString(l + "\n")
-	}
-	sb.WriteString("    return " + g.expr(vars, 2) + ";\n}\n")
-	return sb.String()
-}
+// explicit frame stack), and asserts. The generator itself lives in
+// internal/fplgen (shared with the fpfuzz harness); its default
+// configuration is bit-compatible with the generator that used to live
+// here, so the seed below produces the exact historical corpus.
 
 // TestDifferentialRandom holds both engines to each other over randomly
 // generated modules and random inputs.
@@ -398,7 +241,7 @@ func TestDifferentialRandom(t *testing.T) {
 		n = 30
 	}
 	for pi := 0; pi < n; pi++ {
-		src := genModule(rng)
+		src := fplgen.Module(rng)
 		tree, vm := engines(t, src)
 		inputs := defaultInputs(rng, 1)[:8]
 		for _, x := range inputs {

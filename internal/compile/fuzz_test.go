@@ -1,0 +1,75 @@
+package compile_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fuzz"
+	"repro/internal/ir"
+)
+
+// FuzzCompileEval holds the whole stack to arbitrary input: lexing,
+// checking, and lowering never panic, and on programs that do compile,
+// the flat-code VM and the tree-walking interpreter agree bit-for-bit —
+// results, observation traces, assert failures, and step-budget aborts
+// (via the internal/fuzz engine oracle).
+//
+// The step budget is deliberately small: fuzzed programs may recurse
+// unboundedly or loop forever, and both engines must agree on the abort
+// anyway.
+func FuzzCompileEval(f *testing.F) {
+	for _, pat := range []string{
+		filepath.Join("..", "..", "testdata", "*.fpl"),
+		filepath.Join("..", "..", "testdata", "fuzz", "*.fpl"),
+	} {
+		files, err := filepath.Glob(pat)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src), 1.5)
+		}
+	}
+	f.Add("func f(x double) double { return f(x); }", 0.0) // unbounded recursion: budget abort
+	f.Add("func f(x double) double { while (true) { x = x + 1.0; } return x; }", 1.0)
+	f.Add("func f(x double) double { return x / 0.0; }", 0.0)
+
+	f.Fuzz(func(t *testing.T, src string, x0 float64) {
+		mod, err := ir.Compile(src) // must not panic
+		if err != nil {
+			return
+		}
+		// Exercise every declared function on a small input battery
+		// derived from the fuzzed scalar.
+		checked := 0
+		for _, fn := range mod.Order {
+			if checked >= 3 {
+				break
+			}
+			dim := mod.Funcs[fn].NParams
+			if dim == 0 {
+				continue
+			}
+			checked++
+			inputs := [][]float64{make([]float64, dim), make([]float64, dim), make([]float64, dim)}
+			for i := 0; i < dim; i++ {
+				inputs[0][i] = x0
+				inputs[1][i] = -x0 * float64(i+1)
+				inputs[2][i] = 1e300
+			}
+			vs := fuzz.CheckEngines(src, fn, inputs, fuzz.EngineCheck{
+				MaxSteps:    20000,
+				BudgetSweep: 24,
+				EarlyStops:  4,
+			})
+			if len(vs) > 0 {
+				t.Fatalf("engine divergence: %s", vs[0])
+			}
+		}
+	})
+}

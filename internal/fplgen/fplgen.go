@@ -1,0 +1,341 @@
+// Package fplgen generates random, guaranteed-well-typed FPL programs
+// for differential and fuzz testing. It grew out of the ad-hoc
+// generator inside internal/compile's differential suite and is now the
+// shared program source of the whole testing stack: the engine
+// differential tests, the fpfuzz oracle harness (internal/fuzz), and
+// the pipeline stress campaigns all draw from it.
+//
+// The generator is grammar-directed with explicit size budgets: every
+// production site consumes randomness from the caller's *rand.Rand
+// only, so a seed fully determines the program — corpora are
+// reproducible from (seed, index) pairs alone and never need to be
+// stored. The default configuration is bit-compatible with the
+// historical generator: for the same rand stream it emits byte-identical
+// modules, preserving the seeds baked into the existing differential
+// tests.
+//
+// Well-typedness holds by construction: expressions are built double-
+// typed from double-typed leaves, conditions bool-typed from
+// comparisons, variables are only referenced from enclosing scopes, and
+// helper calls only target previously generated arity-1 helpers (call
+// graphs are acyclic, so programs terminate up to the engines' step
+// budget, which bounded while loops never reach). A package test
+// compiles thousands of generated modules to hold the guarantee.
+package fplgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Config sets the size budgets of a Generator. The zero value selects
+// the defaults of the historical differential-test generator.
+type Config struct {
+	// Params is the arity of the entry function "f"; 0 selects 1. With
+	// arity 1 the parameter is named "x" (the historical spelling);
+	// otherwise x0..x(n-1).
+	Params int
+	// MaxHelpers bounds the number of arity-1 helper functions: each
+	// module declares 1 + Intn(MaxHelpers); 0 selects 2.
+	MaxHelpers int
+	// MinStmts and StmtRange set the entry body's statement budget:
+	// MinStmts + Intn(StmtRange); zero selects 2 and 4.
+	MinStmts  int
+	StmtRange int
+	// ExprDepth is the depth budget of statement-level expressions; 0
+	// selects 2.
+	ExprDepth int
+}
+
+func (c Config) params() int {
+	if c.Params > 0 {
+		return c.Params
+	}
+	return 1
+}
+
+func (c Config) maxHelpers() int {
+	if c.MaxHelpers > 0 {
+		return c.MaxHelpers
+	}
+	return 2
+}
+
+func (c Config) minStmts() int {
+	if c.MinStmts > 0 {
+		return c.MinStmts
+	}
+	return 2
+}
+
+func (c Config) stmtRange() int {
+	if c.StmtRange > 0 {
+		return c.StmtRange
+	}
+	return 4
+}
+
+func (c Config) exprDepth() int {
+	if c.ExprDepth > 0 {
+		return c.ExprDepth
+	}
+	return 2
+}
+
+// Generator produces random FPL modules under one configuration. The
+// zero value uses the default configuration; Generators are stateless
+// between Module calls and safe to reuse (not concurrently — the
+// *rand.Rand is the serialization point anyway).
+type Generator struct {
+	Config Config
+}
+
+// Module generates one module using randomness from rng: helper
+// functions h0, h1, ... (arity 1, callable from f and from later
+// helpers only) and an entry function "f". The same rng stream always
+// yields the same bytes.
+func Module(rng *rand.Rand) string {
+	return (&Generator{}).Module(rng)
+}
+
+// Module generates one module under the generator's configuration.
+func (g *Generator) Module(rng *rand.Rand) string {
+	cfg := g.Config
+	s := &state{rng: rng, cfg: cfg}
+	var sb strings.Builder
+	// Helpers first (callable from f and from each other, earlier ones
+	// only, so call graphs stay acyclic and terminating).
+	nh := 1 + rng.Intn(cfg.maxHelpers())
+	for h := 0; h < nh; h++ {
+		name := fmt.Sprintf("h%d", h)
+		s.lines = nil
+		s.indent = ""
+		vars := []string{"a"}
+		s.block(&vars, 1, 1+rng.Intn(2))
+		sb.WriteString("func " + name + "(a double) double {\n")
+		for _, l := range s.lines {
+			sb.WriteString(l + "\n")
+		}
+		sb.WriteString("    return " + s.expr(vars, cfg.exprDepth()) + ";\n}\n")
+		s.funcs = append(s.funcs, name)
+	}
+	s.lines = nil
+	s.indent = ""
+	dim := cfg.params()
+	var vars []string
+	var sig string
+	if dim == 1 {
+		vars = []string{"x"}
+		sig = "x double"
+	} else {
+		var parts []string
+		for i := 0; i < dim; i++ {
+			v := fmt.Sprintf("x%d", i)
+			vars = append(vars, v)
+			parts = append(parts, v+" double")
+		}
+		sig = strings.Join(parts, ", ")
+	}
+	s.block(&vars, 0, cfg.minStmts()+rng.Intn(cfg.stmtRange()))
+	sb.WriteString("func f(" + sig + ") double {\n")
+	for _, l := range s.lines {
+		sb.WriteString(l + "\n")
+	}
+	sb.WriteString("    return " + s.expr(vars, cfg.exprDepth()) + ";\n}\n")
+	return sb.String()
+}
+
+// state is the per-module generation state.
+type state struct {
+	rng    *rand.Rand
+	cfg    Config
+	nv     int
+	funcs  []string // helper function names, arity 1
+	lines  []string
+	indent string
+}
+
+// expr produces a double-typed expression over the variables in scope.
+func (s *state) expr(vars []string, depth int) string {
+	if depth <= 0 || s.rng.Intn(4) == 0 {
+		if len(vars) > 0 && s.rng.Intn(3) != 0 {
+			return vars[s.rng.Intn(len(vars))]
+		}
+		return []string{"0.0", "1.0", "2.0", "0.5", "3.25", "1e-8", "1e8", "7.0", "1e300"}[s.rng.Intn(9)]
+	}
+	switch s.rng.Intn(10) {
+	case 0, 1:
+		return "(" + s.expr(vars, depth-1) + " + " + s.expr(vars, depth-1) + ")"
+	case 2:
+		return "(" + s.expr(vars, depth-1) + " - " + s.expr(vars, depth-1) + ")"
+	case 3:
+		return "(" + s.expr(vars, depth-1) + " * " + s.expr(vars, depth-1) + ")"
+	case 4:
+		return "(" + s.expr(vars, depth-1) + " / " + s.expr(vars, depth-1) + ")"
+	case 5:
+		return "(-" + s.expr(vars, depth-1) + ")"
+	case 6:
+		name := []string{"fabs", "sqrt", "sin", "floor", "exp"}[s.rng.Intn(5)]
+		return name + "(" + s.expr(vars, depth-1) + ")"
+	case 7:
+		name := []string{"fmin", "fmax", "pow"}[s.rng.Intn(3)]
+		return name + "(" + s.expr(vars, depth-1) + ", " + s.expr(vars, depth-1) + ")"
+	case 8:
+		if len(s.funcs) > 0 {
+			f := s.funcs[s.rng.Intn(len(s.funcs))]
+			return f + "(" + s.expr(vars, depth-1) + ")"
+		}
+		return s.expr(vars, depth-1)
+	default:
+		return "(" + s.expr(vars, depth-1) + " + " + s.expr(vars, depth-1) + ")"
+	}
+}
+
+// cond produces a bool-typed condition: a comparison, optionally
+// wrapped in short-circuit conjunction/disjunction/negation.
+func (s *state) cond(vars []string, depth int) string {
+	op := []string{"<", "<=", ">", ">=", "==", "!="}[s.rng.Intn(6)]
+	c := "(" + s.expr(vars, depth) + " " + op + " " + s.expr(vars, depth) + ")"
+	if depth > 0 {
+		switch s.rng.Intn(4) {
+		case 0:
+			c = "(" + c + " && " + s.cond(vars, depth-1) + ")"
+		case 1:
+			c = "(" + c + " || " + s.cond(vars, depth-1) + ")"
+		case 2:
+			c = "(!" + c + ")"
+		}
+	}
+	return c
+}
+
+// stmt appends one statement: a fresh var declaration, an if (optionally
+// with else), a bounded counting loop, an assert, or an assignment.
+func (s *state) stmt(vars *[]string, depth int) {
+	ind := s.indent
+	switch k := s.rng.Intn(7); {
+	case k <= 1 || len(*vars) == 0:
+		name := fmt.Sprintf("v%d", s.nv)
+		s.nv++
+		s.lines = append(s.lines, ind+"var "+name+" double = "+s.expr(*vars, s.cfg.exprDepth())+";")
+		*vars = append(*vars, name)
+	case k == 2 && depth < 2:
+		s.lines = append(s.lines, ind+"if "+s.cond(*vars, 1)+" {")
+		s.block(vars, depth+1, 1+s.rng.Intn(2))
+		if s.rng.Intn(2) == 0 {
+			s.lines = append(s.lines, ind+"} else {")
+			s.block(vars, depth+1, 1+s.rng.Intn(2))
+		}
+		s.lines = append(s.lines, ind+"}")
+	case k == 3 && depth < 2:
+		// Bounded counting loop: the counter is not added to the
+		// visible variable set, so the body cannot clobber it and the
+		// loop always terminates.
+		i := fmt.Sprintf("i%d", s.nv)
+		s.nv++
+		bound := fmt.Sprintf("%d.0", 1+s.rng.Intn(5))
+		s.lines = append(s.lines, ind+"var "+i+" double = 0.0;")
+		s.lines = append(s.lines, ind+"while ("+i+" < "+bound+") {")
+		s.block(vars, depth+1, 1+s.rng.Intn(2))
+		s.lines = append(s.lines, ind+"    "+i+" = "+i+" + 1.0;")
+		s.lines = append(s.lines, ind+"}")
+	case k == 4:
+		s.lines = append(s.lines, ind+"assert"+s.cond(*vars, 0)+";")
+	default:
+		name := (*vars)[s.rng.Intn(len(*vars))]
+		s.lines = append(s.lines, ind+name+" = "+s.expr(*vars, s.cfg.exprDepth())+";")
+	}
+}
+
+// block appends n statements at one deeper indent level. Variables
+// declared inside are visible to later statements of the same block but
+// not to the enclosing scope.
+func (s *state) block(vars *[]string, depth, n int) {
+	saved := s.indent
+	s.indent += "    "
+	local := append([]string(nil), *vars...)
+	for i := 0; i < n; i++ {
+		s.stmt(&local, depth)
+	}
+	s.indent = saved
+}
+
+// Inputs returns the shared differential input battery for a dim-ary
+// program: a deterministic sweep of magnitudes (zero, units, near-one,
+// tiny, huge, subnormal) plus six random finite float-lattice points
+// drawn from rng. This is the input set the engine differential tests
+// have always used.
+func Inputs(rng *rand.Rand, dim int) [][]float64 {
+	seeds := []float64{0, 1, -1, 0.5, 2, -3.25, 1e-8, 1e8, 1e300, -1e300,
+		0.9999999999999999, math.SmallestNonzeroFloat64}
+	var out [][]float64
+	for _, s := range seeds {
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = s
+			if i > 0 {
+				x[i] = s * float64(i+1)
+			}
+		}
+		out = append(out, x)
+	}
+	for k := 0; k < 6; k++ {
+		x := make([]float64, dim)
+		for i := range x {
+			for {
+				v := math.Float64frombits(rng.Uint64())
+				if !math.IsNaN(v) && !math.IsInf(v, 0) {
+					x[i] = v
+					break
+				}
+			}
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// Formula generates a random satisfiable-leaning CNF over variables
+// x0..x(dim-1) in the syntax internal/sat parses: a conjunction of 1-3
+// clauses, each a disjunction of 1-2 atoms comparing small arithmetic
+// expressions. The formulas exercise the xsat analysis inside fuzz
+// campaigns; satisfiability is not guaranteed (Unknown verdicts are a
+// legitimate outcome), only parseability and boundedness.
+func Formula(rng *rand.Rand, dim int) string {
+	if dim < 1 {
+		dim = 1
+	}
+	v := func() string { return fmt.Sprintf("x%d", rng.Intn(dim)) }
+	consts := []string{"0", "1", "2", "0.5", "10", "100"}
+	term := func() string {
+		switch rng.Intn(6) {
+		case 0:
+			return consts[rng.Intn(len(consts))]
+		case 1:
+			return v() + " + " + consts[rng.Intn(len(consts))]
+		case 2:
+			return v() + " * " + v()
+		case 3:
+			return v() + " - " + v()
+		case 4:
+			name := []string{"sin", "cos", "fabs", "sqrt"}[rng.Intn(4)]
+			return name + "(" + v() + ")"
+		default:
+			return v()
+		}
+	}
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	atom := func() string { return term() + " " + ops[rng.Intn(len(ops))] + " " + term() }
+	var clauses []string
+	nc := 1 + rng.Intn(3)
+	for i := 0; i < nc; i++ {
+		if rng.Intn(3) == 0 {
+			clauses = append(clauses, "("+atom()+" || "+atom()+")")
+		} else {
+			clauses = append(clauses, atom())
+		}
+	}
+	return strings.Join(clauses, " && ")
+}

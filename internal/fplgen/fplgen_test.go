@@ -1,0 +1,254 @@
+package fplgen_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/fplgen"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/sat"
+)
+
+// TestModuleSeedCompatibility pins the default generator to the byte
+// stream of the historical differential-test generator (the one that
+// lived inside internal/compile): the same rand stream must produce
+// byte-identical modules forever, so the seeds baked into existing
+// tests keep generating the exact corpora they were tuned on. The
+// reference below is a verbatim copy of that generator.
+func TestModuleSeedCompatibility(t *testing.T) {
+	for _, seed := range []int64{20190622, 1, 7, 42, 123456789} {
+		a := rand.New(rand.NewSource(seed))
+		b := rand.New(rand.NewSource(seed))
+		for i := 0; i < 60; i++ {
+			got := fplgen.Module(a)
+			want := refGenModule(b)
+			if got != want {
+				t.Fatalf("seed %d module %d diverged from the historical generator\n--- got ---\n%s\n--- want ---\n%s",
+					seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestModuleWellTyped holds the generator's core guarantee: every
+// generated module compiles (parse, check, lower) at every
+// configuration, and the entry function has the configured arity.
+func TestModuleWellTyped(t *testing.T) {
+	configs := []fplgen.Config{
+		{},
+		{Params: 2},
+		{Params: 3, MaxHelpers: 3},
+		{MinStmts: 6, StmtRange: 6, ExprDepth: 4},
+		{Params: 2, MaxHelpers: 1, MinStmts: 1, StmtRange: 2, ExprDepth: 1},
+	}
+	rng := rand.New(rand.NewSource(99))
+	for ci, cfg := range configs {
+		g := &fplgen.Generator{Config: cfg}
+		n := 200
+		if testing.Short() {
+			n = 40
+		}
+		for i := 0; i < n; i++ {
+			src := g.Module(rng)
+			mod, err := ir.Compile(src)
+			if err != nil {
+				t.Fatalf("config %d module %d does not compile: %v\n%s", ci, i, err, src)
+			}
+			dim := cfg.Params
+			if dim == 0 {
+				dim = 1
+			}
+			if got := mod.Funcs["f"].NParams; got != dim {
+				t.Fatalf("config %d: entry arity %d, want %d", ci, got, dim)
+			}
+		}
+	}
+}
+
+// TestModuleFormatRoundTrip checks generated programs survive the
+// shrinker's parse→format→parse round trip.
+func TestModuleFormatRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		src := fplgen.Module(rng)
+		f, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("module %d: %v\n%s", i, err, src)
+		}
+		out := lang.Format(f)
+		if _, err := ir.Compile(out); err != nil {
+			t.Fatalf("module %d: formatted output does not compile: %v\n%s", i, err, out)
+		}
+	}
+}
+
+// TestInputs checks the input battery shape: deterministic prefix, six
+// rng-drawn finite points, correct arity.
+func TestInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for dim := 1; dim <= 3; dim++ {
+		in := fplgen.Inputs(rng, dim)
+		if len(in) != 18 {
+			t.Fatalf("dim %d: %d inputs, want 18", dim, len(in))
+		}
+		for _, x := range in {
+			if len(x) != dim {
+				t.Fatalf("dim %d: input arity %d", dim, len(x))
+			}
+		}
+	}
+}
+
+// TestFormulaParses: every generated formula must be accepted by the
+// sat parser with the expected variable universe.
+func TestFormulaParses(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		dim := 1 + i%3
+		src := fplgen.Formula(rng, dim)
+		f, vars, err := sat.Parse(src)
+		if err != nil {
+			t.Fatalf("formula %d does not parse: %v\n%s", i, err, src)
+		}
+		if f.Dim() > dim || len(vars) > dim {
+			t.Fatalf("formula %d uses %d vars, want <= %d: %s", i, f.Dim(), dim, src)
+		}
+	}
+}
+
+// --- verbatim copy of the historical generator (the compatibility
+// reference; do not modify) ---
+
+type refGen struct {
+	rng    *rand.Rand
+	nv     int
+	funcs  []string
+	lines  []string
+	indent string
+}
+
+func (g *refGen) expr(vars []string, depth int) string {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		if len(vars) > 0 && g.rng.Intn(3) != 0 {
+			return vars[g.rng.Intn(len(vars))]
+		}
+		return []string{"0.0", "1.0", "2.0", "0.5", "3.25", "1e-8", "1e8", "7.0", "1e300"}[g.rng.Intn(9)]
+	}
+	switch g.rng.Intn(10) {
+	case 0, 1:
+		return "(" + g.expr(vars, depth-1) + " + " + g.expr(vars, depth-1) + ")"
+	case 2:
+		return "(" + g.expr(vars, depth-1) + " - " + g.expr(vars, depth-1) + ")"
+	case 3:
+		return "(" + g.expr(vars, depth-1) + " * " + g.expr(vars, depth-1) + ")"
+	case 4:
+		return "(" + g.expr(vars, depth-1) + " / " + g.expr(vars, depth-1) + ")"
+	case 5:
+		return "(-" + g.expr(vars, depth-1) + ")"
+	case 6:
+		name := []string{"fabs", "sqrt", "sin", "floor", "exp"}[g.rng.Intn(5)]
+		return name + "(" + g.expr(vars, depth-1) + ")"
+	case 7:
+		name := []string{"fmin", "fmax", "pow"}[g.rng.Intn(3)]
+		return name + "(" + g.expr(vars, depth-1) + ", " + g.expr(vars, depth-1) + ")"
+	case 8:
+		if len(g.funcs) > 0 {
+			f := g.funcs[g.rng.Intn(len(g.funcs))]
+			return f + "(" + g.expr(vars, depth-1) + ")"
+		}
+		return g.expr(vars, depth-1)
+	default:
+		return "(" + g.expr(vars, depth-1) + " + " + g.expr(vars, depth-1) + ")"
+	}
+}
+
+func (g *refGen) cond(vars []string, depth int) string {
+	op := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+	c := "(" + g.expr(vars, depth) + " " + op + " " + g.expr(vars, depth) + ")"
+	if depth > 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			c = "(" + c + " && " + g.cond(vars, depth-1) + ")"
+		case 1:
+			c = "(" + c + " || " + g.cond(vars, depth-1) + ")"
+		case 2:
+			c = "(!" + c + ")"
+		}
+	}
+	return c
+}
+
+func (g *refGen) stmt(vars *[]string, depth int) {
+	ind := g.indent
+	switch k := g.rng.Intn(7); {
+	case k <= 1 || len(*vars) == 0:
+		name := fmt.Sprintf("v%d", g.nv)
+		g.nv++
+		g.lines = append(g.lines, ind+"var "+name+" double = "+g.expr(*vars, 2)+";")
+		*vars = append(*vars, name)
+	case k == 2 && depth < 2:
+		g.lines = append(g.lines, ind+"if "+g.cond(*vars, 1)+" {")
+		g.block(vars, depth+1, 1+g.rng.Intn(2))
+		if g.rng.Intn(2) == 0 {
+			g.lines = append(g.lines, ind+"} else {")
+			g.block(vars, depth+1, 1+g.rng.Intn(2))
+		}
+		g.lines = append(g.lines, ind+"}")
+	case k == 3 && depth < 2:
+		i := fmt.Sprintf("i%d", g.nv)
+		g.nv++
+		bound := fmt.Sprintf("%d.0", 1+g.rng.Intn(5))
+		g.lines = append(g.lines, ind+"var "+i+" double = 0.0;")
+		g.lines = append(g.lines, ind+"while ("+i+" < "+bound+") {")
+		g.block(vars, depth+1, 1+g.rng.Intn(2))
+		g.lines = append(g.lines, ind+"    "+i+" = "+i+" + 1.0;")
+		g.lines = append(g.lines, ind+"}")
+	case k == 4:
+		g.lines = append(g.lines, ind+"assert"+g.cond(*vars, 0)+";")
+	default:
+		name := (*vars)[g.rng.Intn(len(*vars))]
+		g.lines = append(g.lines, ind+name+" = "+g.expr(*vars, 2)+";")
+	}
+}
+
+func (g *refGen) block(vars *[]string, depth, n int) {
+	saved := g.indent
+	g.indent += "    "
+	local := append([]string(nil), *vars...)
+	for i := 0; i < n; i++ {
+		g.stmt(&local, depth)
+	}
+	g.indent = saved
+}
+
+func refGenModule(rng *rand.Rand) string {
+	g := &refGen{rng: rng}
+	var sb strings.Builder
+	nh := 1 + rng.Intn(2)
+	for h := 0; h < nh; h++ {
+		name := fmt.Sprintf("h%d", h)
+		g.lines = nil
+		g.indent = ""
+		vars := []string{"a"}
+		g.block(&vars, 1, 1+rng.Intn(2))
+		sb.WriteString("func " + name + "(a double) double {\n")
+		for _, l := range g.lines {
+			sb.WriteString(l + "\n")
+		}
+		sb.WriteString("    return " + g.expr(vars, 2) + ";\n}\n")
+		g.funcs = append(g.funcs, name)
+	}
+	g.lines = nil
+	g.indent = ""
+	vars := []string{"x"}
+	g.block(&vars, 0, 2+rng.Intn(4))
+	sb.WriteString("func f(x double) double {\n")
+	for _, l := range g.lines {
+		sb.WriteString(l + "\n")
+	}
+	sb.WriteString("    return " + g.expr(vars, 2) + ";\n}\n")
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/instrument"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/opt"
+	"repro/internal/rt"
+)
+
+// BackendCheck configures CheckBackends.
+type BackendCheck struct {
+	// Backends lists the backend names to exercise; empty selects every
+	// registered backend (opt.BackendNames).
+	Backends []string
+	// Seed makes the run deterministic.
+	Seed int64
+	// Evals bounds weak-distance evaluations per backend run; 0 selects
+	// 300.
+	Evals int
+	// Bounds optionally restricts the search space.
+	Bounds []opt.Bound
+}
+
+func (c BackendCheck) backends() []string {
+	if len(c.Backends) > 0 {
+		return c.Backends
+	}
+	return opt.BackendNames()
+}
+
+func (c BackendCheck) evals() int {
+	if c.Evals > 0 {
+		return c.Evals
+	}
+	return 300
+}
+
+// CheckBackends is oracle layer 2 — the backend differential: every
+// registered MO backend minimizes the boundary weak distance of the
+// program, and any claimed zero must replay to a confirmed boundary
+// witness (some executed comparison exactly on its boundary). A backend
+// that fails to converge reports not-found, which is legitimate
+// (Limitation 3 incompleteness); a zero without a witness is a false
+// witness and fails the oracle.
+//
+// The weak distance runs with the high-precision product accumulator,
+// so a claimed zero cannot be an artifact of float64 product underflow
+// (the §5.2 Limitation-2 defect) — with it, the product is zero iff
+// some factor is exactly zero, making the replay oracle decidable.
+func CheckBackends(src, fn string, c BackendCheck) []Violation {
+	mod, err := ir.Compile(src)
+	if err != nil {
+		return nil
+	}
+	if mod.Func(fn) == nil {
+		return nil
+	}
+	it := interp.New(mod)
+	p, err := it.Program(fn)
+	if err != nil {
+		return nil
+	}
+	if len(p.Branches) == 0 {
+		return nil // empty product: the weak distance is constant 1
+	}
+
+	var out []Violation
+	for _, name := range c.backends() {
+		be, err := opt.BackendByName(name)
+		if err != nil {
+			out = append(out, Violation{Layer: "backend", Program: src,
+				Detail: "backend registry: " + err.Error()})
+			continue
+		}
+		mon := &instrument.Boundary{HighPrecision: true}
+		obj := opt.Objective(p.Instance().WeakDistance(mon))
+		r := be.Minimize(obj, p.Dim, opt.Config{
+			Seed:       c.Seed,
+			MaxEvals:   c.evals(),
+			Bounds:     c.Bounds,
+			StopAtZero: true,
+		})
+		if !r.FoundZero {
+			// Not-found: sound by definition. But the reported minimum
+			// must at least be consistent under replay — the objective
+			// is deterministic.
+			if len(r.X) == p.Dim {
+				if w := replayBoundary(p, r.X); w != r.F {
+					out = append(out, Violation{Layer: "backend", Program: src,
+						Detail: fmt.Sprintf("%s: reported minimum W=%v but replay gives %v", name, r.F, w),
+						Input:  append([]float64(nil), r.X...)})
+				}
+			}
+			continue
+		}
+		// Claimed zero: must replay to zero AND carry a boundary
+		// witness.
+		if w := replayBoundary(p, r.X); w != 0 {
+			out = append(out, Violation{Layer: "backend", Program: src,
+				Detail: fmt.Sprintf("%s: claimed W=0 but replay gives W=%v (false witness)", name, w),
+				Input:  append([]float64(nil), r.X...)})
+			continue
+		}
+		wit := &instrument.BoundaryWitness{}
+		p.Execute(wit, r.X)
+		if len(wit.Sites()) == 0 {
+			out = append(out, Violation{Layer: "backend", Program: src,
+				Detail: fmt.Sprintf("%s: claimed W=0 but no branch sits on its boundary (spurious zero)", name),
+				Input:  append([]float64(nil), r.X...)})
+		}
+	}
+	return out
+}
+
+// replayBoundary re-executes the boundary weak distance at x on a fresh
+// monitor and instance.
+func replayBoundary(p *rt.Program, x []float64) float64 {
+	mon := &instrument.Boundary{HighPrecision: true}
+	return p.Instance().Execute(mon, x)
+}

@@ -1,0 +1,369 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/lang"
+)
+
+// Shrink greedily minimizes a failing FPL program: it repeatedly
+// applies the smallest AST reduction (drop a function, drop a
+// statement, flatten control flow, replace a subexpression by an
+// operand or a literal) that keeps the program compiling AND keeps the
+// failure predicate true, until no single reduction applies. The result
+// is a local minimum — a committable regression fixture.
+//
+// fails must be deterministic: it receives candidate source text and
+// reports whether the bug still reproduces. Candidates that fail to
+// compile are discarded before fails is ever called, so the predicate
+// only sees well-formed programs.
+func Shrink(src string, fails func(src string) bool) (string, error) {
+	if _, err := ir.Compile(src); err != nil {
+		return "", fmt.Errorf("shrink: input does not compile: %w", err)
+	}
+	// Canonicalize once: all further candidates are Format output, so
+	// re-parsing them is loss-free.
+	file, err := lang.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	cur := lang.Format(file)
+	if !fails(cur) {
+		// The failure may genuinely depend on formatting only if the
+		// predicate inspects raw text; treat as non-reproducing.
+		return "", fmt.Errorf("shrink: failure does not reproduce on the canonicalized program")
+	}
+
+	for {
+		reduced, ok := shrinkStep(cur, fails)
+		if !ok {
+			return cur, nil
+		}
+		cur = reduced
+	}
+}
+
+// shrinkStep tries every single-edit reduction of src in a fixed
+// deterministic order and returns the first one that compiles and still
+// fails.
+func shrinkStep(src string, fails func(string) bool) (string, bool) {
+	n := countEdits(src)
+	for k := 0; k < n; k++ {
+		file, err := lang.Parse(src)
+		if err != nil {
+			return "", false // unreachable: src is Format output
+		}
+		e := &editor{target: k}
+		e.apply(file)
+		if !e.applied {
+			continue
+		}
+		out := lang.Format(file)
+		if out == src {
+			continue
+		}
+		if _, err := ir.Compile(out); err != nil {
+			continue
+		}
+		if fails(out) {
+			return out, true
+		}
+	}
+	return "", false
+}
+
+// countEdits returns the number of candidate edit points in src.
+func countEdits(src string) int {
+	file, err := lang.Parse(src)
+	if err != nil {
+		return 0
+	}
+	e := &editor{target: -1} // count-only pass
+	e.apply(file)
+	return e.count
+}
+
+// editor walks the AST enumerating edit points in deterministic order;
+// when the running index hits target, it applies that edit in place.
+// With target < 0 it only counts.
+type editor struct {
+	target  int
+	count   int
+	applied bool
+}
+
+// at reports whether the current edit point is the target; it always
+// advances the index.
+func (e *editor) at() bool {
+	hit := e.count == e.target
+	e.count++
+	if hit {
+		e.applied = true
+	}
+	return hit
+}
+
+func (e *editor) apply(f *lang.File) {
+	// Function removals first: the coarsest edits shrink fastest.
+	for i := range f.Funcs {
+		if len(f.Funcs) > 1 && e.at() {
+			f.Funcs = append(f.Funcs[:i], f.Funcs[i+1:]...)
+			return
+		}
+	}
+	for _, fn := range f.Funcs {
+		e.blockStmts(&fn.Body.Stmts)
+		if e.applied {
+			return
+		}
+	}
+	for _, fn := range f.Funcs {
+		e.exprs(fn.Body)
+		if e.applied {
+			return
+		}
+	}
+}
+
+// blockStmts enumerates statement-level edits within one statement
+// list: removal of each statement, then flattening of each compound
+// statement, then recursion into nested blocks.
+func (e *editor) blockStmts(stmts *[]lang.Stmt) {
+	for i := 0; i < len(*stmts); i++ {
+		if e.at() {
+			*stmts = append((*stmts)[:i], (*stmts)[i+1:]...)
+			return
+		}
+	}
+	for i, s := range *stmts {
+		switch s := s.(type) {
+		case *lang.IfStmt:
+			// Replace the if by its then-branch body.
+			if e.at() {
+				*stmts = spliceStmts(*stmts, i, s.Then.Stmts)
+				return
+			}
+			// Replace the if by its else-branch body.
+			if s.Else != nil && e.at() {
+				switch els := s.Else.(type) {
+				case *lang.BlockStmt:
+					*stmts = spliceStmts(*stmts, i, els.Stmts)
+				case *lang.IfStmt:
+					*stmts = spliceStmts(*stmts, i, []lang.Stmt{els})
+				}
+				return
+			}
+			// Drop only the else branch.
+			if s.Else != nil && e.at() {
+				s.Else = nil
+				return
+			}
+		case *lang.WhileStmt:
+			// Replace the loop by one unrolled body.
+			if e.at() {
+				*stmts = spliceStmts(*stmts, i, s.Body.Stmts)
+				return
+			}
+		case *lang.BlockStmt:
+			if e.at() {
+				*stmts = spliceStmts(*stmts, i, s.Stmts)
+				return
+			}
+		}
+	}
+	for _, s := range *stmts {
+		switch s := s.(type) {
+		case *lang.IfStmt:
+			e.blockStmts(&s.Then.Stmts)
+			if e.applied {
+				return
+			}
+			if els, ok := s.Else.(*lang.BlockStmt); ok {
+				e.blockStmts(&els.Stmts)
+				if e.applied {
+					return
+				}
+			}
+			if els, ok := s.Else.(*lang.IfStmt); ok {
+				one := []lang.Stmt{els}
+				e.blockStmts(&one)
+				if e.applied {
+					// The edit may have removed, flattened, or replaced
+					// the chained if; rewrap whatever is left into a
+					// valid else arm.
+					switch {
+					case len(one) == 0:
+						s.Else = nil
+					case len(one) == 1:
+						switch only := one[0].(type) {
+						case *lang.IfStmt:
+							s.Else = only
+						case *lang.BlockStmt:
+							s.Else = only
+						default:
+							s.Else = &lang.BlockStmt{Stmts: one}
+						}
+					default:
+						s.Else = &lang.BlockStmt{Stmts: one}
+					}
+					return
+				}
+			}
+		case *lang.WhileStmt:
+			e.blockStmts(&s.Body.Stmts)
+			if e.applied {
+				return
+			}
+		case *lang.BlockStmt:
+			e.blockStmts(&s.Stmts)
+			if e.applied {
+				return
+			}
+		}
+	}
+}
+
+func spliceStmts(stmts []lang.Stmt, i int, repl []lang.Stmt) []lang.Stmt {
+	out := make([]lang.Stmt, 0, len(stmts)-1+len(repl))
+	out = append(out, stmts[:i]...)
+	out = append(out, repl...)
+	out = append(out, stmts[i+1:]...)
+	return out
+}
+
+// exprs enumerates expression-level edits under every statement.
+func (e *editor) exprs(b *lang.BlockStmt) {
+	for _, s := range b.Stmts {
+		switch s := s.(type) {
+		case *lang.VarStmt:
+			if s.Init != nil {
+				e.expr(&s.Init)
+			}
+		case *lang.AssignStmt:
+			e.expr(&s.Expr)
+		case *lang.IfStmt:
+			e.expr(&s.Cond)
+			if e.applied {
+				return
+			}
+			e.exprs(s.Then)
+			if e.applied {
+				return
+			}
+			switch els := s.Else.(type) {
+			case *lang.BlockStmt:
+				e.exprs(els)
+			case *lang.IfStmt:
+				e.exprs(&lang.BlockStmt{Stmts: []lang.Stmt{els}})
+			}
+		case *lang.WhileStmt:
+			e.expr(&s.Cond)
+			if e.applied {
+				return
+			}
+			e.exprs(s.Body)
+		case *lang.ReturnStmt:
+			if s.Expr != nil {
+				e.expr(&s.Expr)
+			}
+		case *lang.AssertStmt:
+			e.expr(&s.Expr)
+		case *lang.ExprStmt:
+			e.expr(&s.Expr)
+		case *lang.BlockStmt:
+			e.exprs(s)
+		}
+		if e.applied {
+			return
+		}
+	}
+}
+
+// expr enumerates reductions of one expression tree: replace a node by
+// one of its operands, or by the literal 1.0, then recurse.
+func (e *editor) expr(slot *lang.Expr) {
+	switch x := (*slot).(type) {
+	case *lang.BinaryExpr:
+		if e.at() {
+			*slot = x.X
+			return
+		}
+		if e.at() {
+			*slot = x.Y
+			return
+		}
+	case *lang.UnaryExpr:
+		if e.at() {
+			*slot = x.X
+			return
+		}
+	case *lang.CallExpr:
+		if len(x.Args) == 1 && e.at() {
+			*slot = x.Args[0]
+			return
+		}
+	}
+	if _, isLit := (*slot).(*lang.NumberLit); !isLit {
+		if _, isIdent := (*slot).(*lang.Ident); !isIdent {
+			if e.at() {
+				*slot = &lang.NumberLit{Lit: "1.0", Val: 1}
+				return
+			}
+		}
+	}
+	switch x := (*slot).(type) {
+	case *lang.BinaryExpr:
+		e.expr(&x.X)
+		if e.applied {
+			return
+		}
+		e.expr(&x.Y)
+	case *lang.UnaryExpr:
+		e.expr(&x.X)
+	case *lang.CallExpr:
+		for i := range x.Args {
+			e.expr(&x.Args[i])
+			if e.applied {
+				return
+			}
+		}
+	}
+}
+
+// CountStmts counts the (non-block) statements of an FPL program across
+// all functions — the size metric shrink reproducers are judged by.
+func CountStmts(src string) int {
+	file, err := lang.Parse(src)
+	if err != nil {
+		return -1
+	}
+	n := 0
+	var walk func(stmts []lang.Stmt)
+	walk = func(stmts []lang.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *lang.BlockStmt:
+				walk(s.Stmts)
+			case *lang.IfStmt:
+				n++
+				walk(s.Then.Stmts)
+				switch els := s.Else.(type) {
+				case *lang.BlockStmt:
+					walk(els.Stmts)
+				case *lang.IfStmt:
+					walk([]lang.Stmt{els})
+				}
+			case *lang.WhileStmt:
+				n++
+				walk(s.Body.Stmts)
+			default:
+				n++
+			}
+		}
+	}
+	for _, fn := range file.Funcs {
+		walk(fn.Body.Stmts)
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+package fuzz_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fuzz"
+	"repro/internal/ir"
+)
+
+// TestShrinkInjectedEngineDivergence is the acceptance scenario: inject
+// an engine-divergence bug (the VM mis-executes programs containing a
+// division), let the campaign find a failing program, and shrink it.
+// The reproducer must stay failing, compile, and come out at <= 10
+// statements.
+func TestShrinkInjectedEngineDivergence(t *testing.T) {
+	// The injected bug: any program containing a division diverges (the
+	// tamper perturbs the VM result whenever the source has a '/').
+	tamper := func(src string, r float64) float64 {
+		if strings.Contains(src, "/") {
+			return flipBit(src, r)
+		}
+		return r
+	}
+
+	// Hunt: walk the campaign's program stream until the oracle fires.
+	var failing string
+	var inputs [][]float64
+	for i := 0; i < 200; i++ {
+		src, _, in := fuzz.GenerateProgram(1, i, 3)
+		if len(fuzz.CheckEngines(src, "f", in, fuzz.EngineCheck{TamperVM: tamper})) > 0 {
+			failing, inputs = src, in
+			break
+		}
+	}
+	if failing == "" {
+		t.Fatal("no generated program triggered the injected divergence")
+	}
+
+	// The shrink predicate re-runs the engine oracle on the failing
+	// program's own input battery (deterministic in the candidate
+	// source; shrinking never changes the entry arity).
+	fails := func(src string) bool {
+		return len(fuzz.CheckEngines(src, "f", inputs, fuzz.EngineCheck{TamperVM: tamper})) > 0
+	}
+
+	before := fuzz.CountStmts(failing)
+	reduced, err := fuzz.Shrink(failing, fails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := fuzz.CountStmts(reduced)
+	t.Logf("shrunk %d statements -> %d:\n%s", before, after, reduced)
+
+	if !fails(reduced) {
+		t.Fatal("reduced program no longer fails")
+	}
+	if _, err := ir.Compile(reduced); err != nil {
+		t.Fatalf("reduced program does not compile: %v", err)
+	}
+	if after > 10 {
+		t.Fatalf("reducer left %d statements, want <= 10:\n%s", after, reduced)
+	}
+	if !strings.Contains(reduced, "/") {
+		t.Fatalf("reducer removed the division the failure depends on:\n%s", reduced)
+	}
+}
+
+// TestShrinkRequiresReproduction: a predicate that never fires is an
+// error, not a silent no-op.
+func TestShrinkRequiresReproduction(t *testing.T) {
+	src, _, _ := fuzz.GenerateProgram(1, 0, 1)
+	if _, err := fuzz.Shrink(src, func(string) bool { return false }); err == nil {
+		t.Fatal("Shrink accepted a non-reproducing failure")
+	}
+}

@@ -1,0 +1,59 @@
+package lang_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// fuzzSeeds loads every committed FPL source — the integration fixtures
+// and the shared fuzz corpus — as seed inputs.
+func fuzzSeeds(f *testing.F) {
+	for _, pat := range []string{
+		filepath.Join("..", "..", "testdata", "*.fpl"),
+		filepath.Join("..", "..", "testdata", "fuzz", "*.fpl"),
+	} {
+		files, err := filepath.Glob(pat)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, file := range files {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+}
+
+// FuzzLexParse holds the front end to two properties on arbitrary
+// input: the lexer and parser never panic, and accepted programs
+// round-trip — Format output re-parses, and re-formatting is
+// byte-identical (Parse∘Format is a fixed point).
+func FuzzLexParse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Add("func f(x double) double { return x; }")
+	f.Add("func f() { assert(1.0 < 2.0); }")
+	f.Add("x < 1 && !(y >= 2e308) || true")
+	f.Add("func \x00(")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := lang.Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		out1 := lang.Format(file)
+		file2, err := lang.Parse(out1)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n--- input ---\n%q\n--- formatted ---\n%s", err, src, out1)
+		}
+		if out2 := lang.Format(file2); out2 != out1 {
+			t.Fatalf("Format not idempotent\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+		}
+		// Checking must not panic either (errors are fine: parsing
+		// accepts programs the checker rejects).
+		_ = lang.Check(file2)
+	})
+}

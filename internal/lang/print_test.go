@@ -1,0 +1,103 @@
+package lang_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lang"
+)
+
+// TestFormatRoundTrip checks the Parse∘Format fixed-point property over
+// every committed FPL source: formatting a parsed file, re-parsing the
+// output, and formatting again is byte-identical, and the formatted
+// program still checks.
+func TestFormatRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fpl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixtures: %v", err)
+	}
+	more, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "fuzz", "*.fpl"))
+	files = append(files, more...)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f1, err := lang.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		out1 := lang.Format(f1)
+		f2, err := lang.Parse(out1)
+		if err != nil {
+			t.Fatalf("%s: formatted output does not parse: %v\n%s", file, err, out1)
+		}
+		if err := lang.Check(f2); err != nil {
+			t.Fatalf("%s: formatted output does not check: %v\n%s", file, err, out1)
+		}
+		if out2 := lang.Format(f2); out2 != out1 {
+			t.Fatalf("%s: Format not idempotent\n--- first ---\n%s\n--- second ---\n%s", file, out1, out2)
+		}
+	}
+}
+
+// TestFormatShapes locks the canonical rendering of each statement and
+// expression form.
+func TestFormatShapes(t *testing.T) {
+	src := `
+func h(a double) double {
+    return a;
+}
+func g() { return; }
+func f(x double, b bool) double {
+    var y double = -x;
+    var c bool;
+    c = !b && (x < 1.0 || x >= 2.0);
+    if (c) {
+        y = h(y) + pow(x, 2.0);
+    } else if (x == 0.0) {
+        { y = 1.0; }
+    } else {
+        while (y < 10.0) { y = y * 2.0; }
+    }
+    assert(y != 3.0);
+    h(y);
+    return y;
+}`
+	f, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `func h(a double) double {
+    return a;
+}
+
+func g() {
+    return;
+}
+
+func f(x double, b bool) double {
+    var y double = (-x);
+    var c bool;
+    c = ((!b) && ((x < 1.0) || (x >= 2.0)));
+    if (c) {
+        y = (h(y) + pow(x, 2.0));
+    } else if ((x == 0.0)) {
+        {
+            y = 1.0;
+        }
+    } else {
+        while ((y < 10.0)) {
+            y = (y * 2.0);
+        }
+    }
+    assert((y != 3.0));
+    h(y);
+    return y;
+}
+`
+	if got := lang.Format(f); got != want {
+		t.Fatalf("--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"regexp"
 	"runtime"
 	"sync"
 
@@ -76,6 +77,21 @@ func MarshalResult(r JobResult) []byte {
 		b, _ = json.Marshal(r)
 	}
 	return b
+}
+
+// durationField matches the wall-clock duration of the site-hunt
+// reports — the only nondeterministic bytes of a wire result.
+var durationField = regexp.MustCompile(`"duration":\d+`)
+
+// NormalizeDurations masks the wall-clock duration fields of a wire
+// result, leaving every seed-deterministic byte intact. Byte-exact
+// consumers of MarshalResult output (the fuzz harness's determinism
+// oracle, the golden tests) compare through it; if another
+// nondeterministic field is ever added to a report, extend this
+// function — it is the single definition of "what may differ between
+// identical runs".
+func NormalizeDurations(b []byte) []byte {
+	return durationField.ReplaceAll(b, []byte(`"duration":0`))
 }
 
 // Pipeline schedules batches of analysis jobs over a worker pool with a

@@ -83,20 +83,17 @@ func fixtureJobs(t testing.TB, srcs map[string]string, specWorkers int) []pipeli
 	return jobs
 }
 
-// normalizeResults strips the one field that legitimately varies
+// normalizeResults masks the one field that legitimately varies
 // between runs — the wall-clock duration of the round-based hunts —
-// leaving everything the analyses computed. (cacheHit never reaches the
-// wire format, so no other normalization is needed.)
+// through pipeline.NormalizeDurations (the single definition of what
+// may differ), leaving everything the analyses computed.
 func normalizeResults(t testing.TB, results []pipeline.JobResult) []map[string]any {
 	t.Helper()
 	out := make([]map[string]any, 0, len(results))
 	for _, r := range results {
 		var m map[string]any
-		if err := json.Unmarshal(pipeline.MarshalResult(r), &m); err != nil {
+		if err := json.Unmarshal(pipeline.NormalizeDurations(pipeline.MarshalResult(r)), &m); err != nil {
 			t.Fatalf("result %d: %v", r.Index, err)
-		}
-		if rep, ok := m["report"].(map[string]any); ok {
-			delete(rep, "duration")
 		}
 		out = append(out, m)
 	}
