@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -104,7 +105,7 @@ func BenchmarkTable2_SinBVA(b *testing.B) {
 // Table 3 row; the |O| >= 21 headline).
 func BenchmarkTable3_Bessel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep := analysis.DetectOverflows(gsl.BesselProgram(), analysis.OverflowOptions{
+		rep := analysis.DetectOverflows(context.Background(), gsl.BesselProgram(), analysis.OverflowOptions{
 			Seed: int64(i) + 1, EvalsPerRound: 6000,
 		})
 		if len(rep.Findings) < 21 {
@@ -116,7 +117,7 @@ func BenchmarkTable3_Bessel(b *testing.B) {
 // BenchmarkTable3_Hyperg runs Algorithm 3 on the hyperg benchmark.
 func BenchmarkTable3_Hyperg(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep := analysis.DetectOverflows(gsl.Hyperg2F0Program(), analysis.OverflowOptions{
+		rep := analysis.DetectOverflows(context.Background(), gsl.Hyperg2F0Program(), analysis.OverflowOptions{
 			Seed: int64(i) + 1, EvalsPerRound: 6000,
 		})
 		if len(rep.Findings) == 0 {
@@ -128,7 +129,7 @@ func BenchmarkTable3_Hyperg(b *testing.B) {
 // BenchmarkTable3_Airy runs Algorithm 3 on the Airy benchmark.
 func BenchmarkTable3_Airy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep := analysis.DetectOverflows(gsl.AiryAiProgram(), analysis.OverflowOptions{
+		rep := analysis.DetectOverflows(context.Background(), gsl.AiryAiProgram(), analysis.OverflowOptions{
 			Seed: int64(i) + 1, EvalsPerRound: 6000,
 		})
 		if len(rep.Findings) == 0 {
@@ -143,7 +144,7 @@ func BenchmarkTable3_Airy(b *testing.B) {
 func BenchmarkTable4_BesselPerOp(b *testing.B) {
 	p := gsl.BesselProgram()
 	for i := 0; i < b.N; i++ {
-		rep := analysis.DetectOverflows(p, analysis.OverflowOptions{
+		rep := analysis.DetectOverflows(context.Background(), p, analysis.OverflowOptions{
 			Seed: int64(i) + 1, EvalsPerRound: 6000,
 		})
 		mon := instrument.NewOverflow()
@@ -216,7 +217,7 @@ func BenchmarkAblation_ULPvsReal(b *testing.B) {
 	bounds := []opt.Bound{{Lo: -4, Hi: 4}}
 	run := func(b *testing.B, real bool) {
 		for i := 0; i < b.N; i++ {
-			r := sat.Solve(f, sat.Options{
+			r := sat.Solve(context.Background(), f, sat.Options{
 				Seed: int64(i) + 1, Starts: 4, EvalsPerStart: 10000,
 				Bounds: bounds, RealDist: real,
 			})
@@ -364,7 +365,7 @@ func BenchmarkXSatMotivating(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		r := sat.Solve(f, sat.Options{
+		r := sat.Solve(context.Background(), f, sat.Options{
 			Seed: int64(i) + 1, Starts: 4, EvalsPerStart: 10000,
 			Bounds: []opt.Bound{{Lo: -4, Hi: 4}},
 		})
@@ -395,7 +396,7 @@ func BenchmarkParallelBoundary(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep := analysis.BoundaryValues(p, analysis.BoundaryOptions{
+				rep := analysis.BoundaryValues(context.Background(), p, analysis.BoundaryOptions{
 					Seed: int64(i) + 1, Starts: 32, EvalsPerStart: 4000,
 					Workers: workers,
 				})
@@ -421,7 +422,7 @@ func BenchmarkParallelReach(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r := analysis.ReachPath(p, target, analysis.ReachOptions{
+				r := analysis.ReachPath(context.Background(), p, target, analysis.ReachOptions{
 					Seed: int64(i) + 1, Starts: 16, EvalsPerStart: 4000,
 					Bounds:  []opt.Bound{{Lo: 3, Hi: 1000}},
 					Workers: workers,
@@ -442,7 +443,7 @@ func BenchmarkParallelOverflowStall(b *testing.B) {
 	for _, workers := range benchWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep := analysis.DetectOverflows(p, analysis.OverflowOptions{
+				rep := analysis.DetectOverflows(context.Background(), p, analysis.OverflowOptions{
 					Seed: int64(i) + 1, EvalsPerRound: 6000, Workers: workers,
 				})
 				if len(rep.Findings) == 0 {
@@ -458,7 +459,7 @@ func BenchmarkParallelOverflowStall(b *testing.B) {
 func BenchmarkCoverageFig2(b *testing.B) {
 	p := progs.Fig2()
 	for i := 0; i < b.N; i++ {
-		rep := analysis.Cover(p, analysis.CoverOptions{
+		rep := analysis.Cover(context.Background(), p, analysis.CoverOptions{
 			Seed: int64(i) + 1, Bounds: []opt.Bound{{Lo: -1000, Hi: 1000}},
 		})
 		if rep.Ratio() != 1 {

@@ -1,31 +1,45 @@
 // Command fpserve is the batched analysis service: an HTTP front end
-// over the analysis registry and job pipeline. Clients POST FPL source
-// (or a built-in name) plus a list of analysis specs and receive
-// streamed JSON results; concurrent requests share one compiled-module
-// cache, so resubmitting the same source never recompiles it.
+// over the analysis registry and job pipeline.
+//
+// The versioned /v1 API is resource-oriented and asynchronous: register
+// FPL programs once under their content address, submit job batches
+// referencing them (or inline source), poll or stream results, and
+// cancel jobs mid-minimization — cancellation reaches the MO backends
+// within one objective evaluation. Errors are application/problem+json
+// with field-level spec-validation details. The legacy synchronous
+// /analyze endpoint is kept, wire-compatible, as a thin wrapper over
+// the same job engine. See docs/api.md for the endpoint reference.
 //
 // Usage:
 //
 //	fpserve -addr :8035 -jobs 8
 //
-//	curl -s http://localhost:8035/analyses
-//	curl -s -X POST http://localhost:8035/analyze -d '{
-//	    "source": "func prog(x double) { if (x < 1.0) { x = x * x; } }",
-//	    "specs": [
-//	        {"analysis": "coverage", "seed": 1, "bounds": [{"lo": -100, "hi": 100}]},
-//	        {"analysis": "overflow", "seed": 1}
-//	    ]}'
+//	curl -s -X POST http://localhost:8035/v1/programs -d '{
+//	    "source": "func prog(x double) { if (x < 1.0) { x = x * x; } }"}'
+//	curl -s -X POST http://localhost:8035/v1/jobs -d '{
+//	    "program": "sha256:<id from above>",
+//	    "specs": [{"analysis": "coverage", "seed": 1},
+//	              {"analysis": "overflow", "seed": 1}]}'
+//	curl -s http://localhost:8035/v1/jobs/job-1
+//	curl -s -N http://localhost:8035/v1/jobs/job-1/events
+//	curl -s -X DELETE http://localhost:8035/v1/jobs/job-1
 //
-// Endpoints: POST /analyze (NDJSON results in job order), GET
-// /analyses, GET /stats, GET /healthz.
+// On SIGINT/SIGTERM the server shuts down gracefully: it stops
+// accepting jobs, cancels in-flight job contexts (which land inside the
+// minimizers within one objective evaluation), drains connections up to
+// -drain, and exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/pipeline"
@@ -33,8 +47,11 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":8035", "listen address")
-		jobs = flag.Int("jobs", 0, "concurrent analysis jobs across all requests (0 = all CPUs)")
+		addr  = flag.String("addr", ":8035", "listen address")
+		jobs  = flag.Int("jobs", 0, "concurrent analysis jobs across all requests (0 = all CPUs)")
+		ttl   = flag.Duration("job-ttl", pipeline.DefaultJobTTL, "retention of finished jobs")
+		table = flag.Int("job-table", pipeline.DefaultMaxTrackedJobs, "max tracked jobs")
+		drain = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -43,17 +60,45 @@ func main() {
 	}
 
 	srv := pipeline.NewServer(*jobs)
+	srv.Engine.TTL = *ttl
+	srv.Engine.MaxTrackedJobs = *table
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
 		// Slow-header connections must not pin goroutines forever on a
-		// long-running service. (No WriteTimeout: analyze responses
-		// stream for as long as the batch runs.)
+		// long-running service. (No WriteTimeout: analyze responses and
+		// SSE streams run for as long as their jobs do.)
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       2 * time.Minute,
 	}
-	log.Printf("fpserve listening on %s", *addr)
-	if err := hs.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fpserve listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		log.Fatalf("fpserve: %v", err)
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately
+	log.Printf("fpserve: shutting down (drain %v)", *drain)
+
+	sd, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop accepting jobs and cancel in-flight job contexts first: the
+	// handlers streaming those jobs finish promptly, so the HTTP drain
+	// below converges instead of waiting on hour-long minimizations.
+	if err := srv.Shutdown(sd); err != nil {
+		log.Printf("fpserve: job engine drain: %v", err)
+	}
+	if err := hs.Shutdown(sd); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("fpserve: http drain: %v", err)
+	}
+	log.Printf("fpserve: shutdown complete")
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,7 @@ func main() {
 
 	// Target: enter the branch (site 0 true) and violate the assertion
 	// (site 1 false: NOT x < 2).
-	r := analysis.AssertionViolations(p, []instrument.Decision{
+	r := analysis.AssertionViolations(context.Background(), p, []instrument.Decision{
 		{Site: 0, Taken: true},
 		{Site: 1, Taken: false},
 	}, analysis.ReachOptions{Seed: 1, Bounds: []opt.Bound{{Lo: -10, Hi: 10}}})

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -51,7 +52,7 @@ func main() {
 
 	// 1. Boundary value analysis: inputs with a*a+b*b == 25 exactly, or
 	// a == b inside the circle.
-	rep := analysis.BoundaryValues(prog, analysis.BoundaryOptions{
+	rep := analysis.BoundaryValues(context.Background(), prog, analysis.BoundaryOptions{
 		Seed: 1, Starts: 12, Bounds: bounds,
 	})
 	fmt.Printf("boundary value analysis: %d boundary values across %d conditions\n",
@@ -64,7 +65,7 @@ func main() {
 
 	// 2. Path reachability: drive the program inside the circle with
 	// a > b.
-	r := analysis.ReachPath(prog, []instrument.Decision{
+	r := analysis.ReachPath(context.Background(), prog, []instrument.Decision{
 		{Site: 0, Taken: true},
 		{Site: 1, Taken: true},
 	}, analysis.ReachOptions{Seed: 2, Bounds: bounds})

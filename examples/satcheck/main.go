@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := sat.Solve(f, sat.Options{
+		r := sat.Solve(context.Background(), f, sat.Options{
 			Seed: 1, Starts: 6, EvalsPerStart: 10000,
 			Bounds: bounds(f.Dim(), -4, 4),
 		})

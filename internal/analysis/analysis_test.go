@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 )
 
 func TestBoundaryValuesFig2(t *testing.T) {
-	rep := analysis.BoundaryValues(progs.Fig2(), analysis.BoundaryOptions{
+	rep := analysis.BoundaryValues(context.Background(), progs.Fig2(), analysis.BoundaryOptions{
 		Seed:   1,
 		Starts: 8,
 		Bounds: []opt.Bound{{Lo: -100, Hi: 100}},
@@ -40,7 +41,7 @@ func TestBoundaryValuesAreSound(t *testing.T) {
 	// condition when replayed. The analysis already replays internally;
 	// here we re-verify the retained examples independently.
 	p := progs.Fig2()
-	rep := analysis.BoundaryValues(p, analysis.BoundaryOptions{
+	rep := analysis.BoundaryValues(context.Background(), p, analysis.BoundaryOptions{
 		Seed:   2,
 		Starts: 6,
 		Bounds: []opt.Bound{{Lo: -50, Hi: 50}},
@@ -57,7 +58,7 @@ func TestBoundaryValuesAreSound(t *testing.T) {
 }
 
 func TestBoundaryProgressMonotone(t *testing.T) {
-	rep := analysis.BoundaryValues(progs.Fig2(), analysis.BoundaryOptions{
+	rep := analysis.BoundaryValues(context.Background(), progs.Fig2(), analysis.BoundaryOptions{
 		Seed:   3,
 		Starts: 6,
 		Bounds: []opt.Bound{{Lo: -50, Hi: 50}},
@@ -77,7 +78,7 @@ func TestBoundaryValuesSinAllReachable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long-running search")
 	}
-	rep := analysis.BoundaryValues(libm.SinProgram(), analysis.BoundaryOptions{
+	rep := analysis.BoundaryValues(context.Background(), libm.SinProgram(), analysis.BoundaryOptions{
 		Seed:   4,
 		Starts: 48,
 	})
@@ -115,7 +116,7 @@ func TestBoundaryValuesSinAllReachable(t *testing.T) {
 }
 
 func TestReachPathFig2(t *testing.T) {
-	r := analysis.ReachPath(progs.Fig2(), []instrument.Decision{
+	r := analysis.ReachPath(context.Background(), progs.Fig2(), []instrument.Decision{
 		{Site: progs.Fig2BranchX, Taken: true},
 		{Site: progs.Fig2BranchY, Taken: true},
 	}, analysis.ReachOptions{Seed: 5, Bounds: []opt.Bound{{Lo: -1000, Hi: 1000}}})
@@ -132,7 +133,7 @@ func TestReachPathInfeasible(t *testing.T) {
 	// x in (-inf,-3) ∪ ... wait: x <= 1, then y = (x+1)^2 > 4 → x < -3.
 	// That IS feasible. An infeasible target: branch 0 taken and not
 	// taken is impossible in one run — use site 0 twice.
-	r := analysis.ReachPath(progs.Fig2(), []instrument.Decision{
+	r := analysis.ReachPath(context.Background(), progs.Fig2(), []instrument.Decision{
 		{Site: progs.Fig2BranchX, Taken: true},
 		{Site: progs.Fig2BranchX, Taken: false}, // site 0 never re-executes
 	}, analysis.ReachOptions{
@@ -147,7 +148,7 @@ func TestReachPathInfeasible(t *testing.T) {
 func TestReachEqZeroNeedsULP(t *testing.T) {
 	// §5.2: reaching `if (x == 0)` with the real-valued distance works
 	// too (distance |x-0|), but the ULP variant must land exactly.
-	r := analysis.ReachPath(progs.EqZero(), []instrument.Decision{
+	r := analysis.ReachPath(context.Background(), progs.EqZero(), []instrument.Decision{
 		{Site: progs.EqZeroBranch, Taken: true},
 	}, analysis.ReachOptions{Seed: 7, ULP: true, Bounds: []opt.Bound{{Lo: -1, Hi: 1}}})
 	if !r.Found {
@@ -161,7 +162,7 @@ func TestReachEqZeroNeedsULP(t *testing.T) {
 func TestAssertionViolationFig1a(t *testing.T) {
 	// The paper's §1 motivating analysis: find x with x < 1 whose
 	// assert(x < 2) fails after x = x + 1.
-	r := analysis.AssertionViolations(progs.Fig1a(), []instrument.Decision{
+	r := analysis.AssertionViolations(context.Background(), progs.Fig1a(), []instrument.Decision{
 		{Site: progs.Fig1BranchLT1, Taken: true},
 		{Site: progs.Fig1BranchLT2, Taken: false},
 	}, analysis.ReachOptions{Seed: 8, Bounds: []opt.Bound{{Lo: -10, Hi: 10}}})
@@ -181,7 +182,7 @@ func TestAssertionViolationFig1a(t *testing.T) {
 func TestAssertionViolationFig1b(t *testing.T) {
 	// Fig. 1(b): x = x + tan(x) — the variant that defeats SMT-based
 	// reasoning but is routine for execution-based search.
-	r := analysis.AssertionViolations(progs.Fig1b(), []instrument.Decision{
+	r := analysis.AssertionViolations(context.Background(), progs.Fig1b(), []instrument.Decision{
 		{Site: progs.Fig1BranchLT1, Taken: true},
 		{Site: progs.Fig1BranchLT2, Taken: false},
 	}, analysis.ReachOptions{Seed: 9, Bounds: []opt.Bound{{Lo: -10, Hi: 1}}})
@@ -195,7 +196,7 @@ func TestAssertionViolationFig1b(t *testing.T) {
 }
 
 func TestDetectOverflowsFig2(t *testing.T) {
-	rep := analysis.DetectOverflows(progs.Fig2(), analysis.OverflowOptions{Seed: 10})
+	rep := analysis.DetectOverflows(context.Background(), progs.Fig2(), analysis.OverflowOptions{Seed: 10})
 	// x+1 overflows at x = -MAX (guard x <= 1 holds there; the sum's
 	// magnitude stays at MAX) and x*x at |x| > ~1.3e154. x-1 can NEVER
 	// overflow: it only executes when y = x*x <= 4, which confines its
@@ -223,7 +224,7 @@ func TestDetectOverflowsBessel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long-running search")
 	}
-	rep := analysis.DetectOverflows(gsl.BesselProgram(), analysis.OverflowOptions{
+	rep := analysis.DetectOverflows(context.Background(), gsl.BesselProgram(), analysis.OverflowOptions{
 		Seed: 11, EvalsPerRound: 8000,
 	})
 	if got := len(rep.Findings); got < 21 {
@@ -259,7 +260,7 @@ func replayOverflows(t *testing.T, f analysis.OverflowFinding) bool {
 }
 
 func TestCoverFig2(t *testing.T) {
-	rep := analysis.Cover(progs.Fig2(), analysis.CoverOptions{
+	rep := analysis.Cover(context.Background(), progs.Fig2(), analysis.CoverOptions{
 		Seed: 12, Bounds: []opt.Bound{{Lo: -1000, Hi: 1000}},
 	})
 	if len(rep.Covered) != rep.Total || rep.Total != 4 {

@@ -6,6 +6,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -120,6 +121,10 @@ type BoundaryReport struct {
 	// failed to witness an exact boundary hit — always 0 unless the
 	// weak distance is defective (§6.2 check (i)).
 	SoundnessViolations int
+	// Canceled reports the analysis was cut short by context
+	// cancellation; the statistics cover the samples taken up to that
+	// point.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // Condition returns the stats for a condition group, or nil.
@@ -138,7 +143,7 @@ func (r *BoundaryReport) Condition(site int, negative bool) *ConditionStats {
 // the boundary condition(s) it triggers by replaying it under a
 // witness monitor (the §6.2 soundness check), and aggregates Table 2 /
 // Fig. 9 style statistics.
-func BoundaryValues(p *rt.Program, o BoundaryOptions) *BoundaryReport {
+func BoundaryValues(ctx context.Context, p *rt.Program, o BoundaryOptions) *BoundaryReport {
 	wit := &instrument.BoundaryWitness{}
 	rep := &BoundaryReport{}
 	stats := map[ConditionKey]*ConditionStats{}
@@ -159,6 +164,10 @@ func BoundaryValues(p *rt.Program, o BoundaryOptions) *BoundaryReport {
 		batchSize = runtime.NumCPU()
 	}
 	for base := 0; base < o.starts(); base += batchSize {
+		if ctx.Err() != nil {
+			rep.Canceled = true
+			break
+		}
 		n := o.starts() - base
 		if n > batchSize {
 			n = batchSize
@@ -176,9 +185,16 @@ func BoundaryValues(p *rt.Program, o BoundaryOptions) *BoundaryReport {
 			Bounds:      o.Bounds,
 			StopAtZero:  false, // keep sampling: we want many boundary values
 			RecordTrace: true,
+			Ctx:         ctx,
 		})
 
 		for _, sr := range batch {
+			if sr.Canceled {
+				rep.Canceled = true
+			}
+			if sr.Trace == nil {
+				continue // start never ran (cancelled before launch)
+			}
 			mergeBoundaryTrace(p, sr.Trace, wit, rep, stats, labels, o)
 		}
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"runtime"
 	"sort"
 
@@ -77,6 +78,9 @@ type CoverReport struct {
 	// only; discarded speculative rounds are not charged).
 	Rounds int
 	Evals  int
+	// Canceled reports the analysis was cut short by context
+	// cancellation; Covered holds whatever had been reached by then.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // Ratio returns covered/total.
@@ -91,7 +95,7 @@ func (r *CoverReport) Ratio() float64 {
 // CoverMe construction): it grows the covered set B by repeatedly
 // minimizing the coverage weak distance, which is zero exactly on
 // inputs taking some branch side outside B.
-func Cover(p *rt.Program, o CoverOptions) *CoverReport {
+func Cover(ctx context.Context, p *rt.Program, o CoverOptions) *CoverReport {
 	covered := map[instrument.Side]bool{}
 	rep := &CoverReport{
 		Total:  2 * len(p.Branches),
@@ -102,6 +106,10 @@ func Cover(p *rt.Program, o CoverOptions) *CoverReport {
 	rec := &instrument.RecordNewSides{Covered: covered}
 	stall := 0
 	for stall < o.maxStall() && len(covered) < rep.Total {
+		if ctx.Err() != nil {
+			rep.Canceled = true
+			break
+		}
 		// Launch a batch of speculative rounds against a read-only
 		// snapshot of the covered set. Slot j corresponds to serial
 		// round rep.Rounds+1+j and uses that round's historical seed.
@@ -121,6 +129,7 @@ func Cover(p *rt.Program, o CoverOptions) *CoverReport {
 			MaxEvals:   o.evalsPerRound(),
 			Bounds:     o.Bounds,
 			StopAtZero: true,
+			Ctx:        ctx,
 		})
 
 		// Consume slots in round order, replaying the serial driver's
@@ -129,6 +138,13 @@ func Cover(p *rt.Program, o CoverOptions) *CoverReport {
 		// the now-stale snapshot).
 		for _, sr := range batch {
 			if sr.Skipped {
+				break
+			}
+			if sr.Canceled {
+				// A cancelled slot holds a truncated round: charge its
+				// samples but don't let it count as a stalled round.
+				rep.Evals += sr.Evals
+				rep.Canceled = true
 				break
 			}
 			rep.Rounds++

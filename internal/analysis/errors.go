@@ -1,0 +1,31 @@
+package analysis
+
+import "fmt"
+
+// SpecError is a typed validation error for one field of an analysis
+// Spec or of the surfaces that feed it (CLI flags, pipeline job JSON,
+// the fpserve /v1 API). Reason carries the complete human-readable
+// message — Error returns it verbatim, so a SpecError renders on the
+// CLI exactly like the stringly errors it replaced — while Field and
+// Value give structured consumers (the /v1 problem+json error model)
+// the offending field and input without re-parsing text.
+type SpecError struct {
+	// Field names the spec field or flag the error is about ("analysis",
+	// "bounds", "path", "backend", ...). Structured surfaces may prefix
+	// it with a location, e.g. "jobs[3].spec.backend".
+	Field string `json:"field"`
+	// Value is the offending input as written, when there was one.
+	Value string `json:"value,omitempty"`
+	// Reason is the full human-readable message.
+	Reason string `json:"reason"`
+}
+
+// Error implements error. It returns Reason verbatim: the typed error
+// renders identically to the fmt.Errorf text it replaced.
+func (e *SpecError) Error() string { return e.Reason }
+
+// Specf builds a SpecError for field, with the offending value and a
+// printf-style reason.
+func Specf(field, value, format string, args ...any) *SpecError {
+	return &SpecError{Field: field, Value: value, Reason: fmt.Sprintf(format, args...)}
+}

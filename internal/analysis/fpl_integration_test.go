@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"context"
 	"math"
 	"os"
 	"path/filepath"
@@ -42,19 +43,19 @@ func TestFPLFig2FullPipeline(t *testing.T) {
 	bounds := []opt.Bound{{Lo: -100, Hi: 100}}
 
 	// Boundary values.
-	rep := analysis.BoundaryValues(p, analysis.BoundaryOptions{Seed: 1, Starts: 8, Bounds: bounds})
+	rep := analysis.BoundaryValues(context.Background(), p, analysis.BoundaryOptions{Seed: 1, Starts: 8, Bounds: bounds})
 	if rep.BoundaryValues == 0 || rep.SoundnessViolations != 0 {
 		t.Errorf("BVA: %+v", rep)
 	}
 
 	// Coverage: all four sides coverable.
-	cov := analysis.Cover(p, analysis.CoverOptions{Seed: 2, Bounds: bounds})
+	cov := analysis.Cover(context.Background(), p, analysis.CoverOptions{Seed: 2, Bounds: bounds})
 	if cov.Ratio() != 1 {
 		t.Errorf("coverage %v of %d sides", cov.Ratio(), cov.Total)
 	}
 
 	// Overflow on the interpreted program: the x*x op can overflow.
-	ov := analysis.DetectOverflows(p, analysis.OverflowOptions{Seed: 3})
+	ov := analysis.DetectOverflows(context.Background(), p, analysis.OverflowOptions{Seed: 3})
 	if len(ov.Findings) == 0 {
 		t.Error("no overflow on interpreted fig2")
 	}
@@ -62,7 +63,7 @@ func TestFPLFig2FullPipeline(t *testing.T) {
 
 func TestFPLAssertionViolation(t *testing.T) {
 	it, p := loadTestdata(t, "assertion.fpl", "prog")
-	r := analysis.AssertionViolations(p, []instrument.Decision{
+	r := analysis.AssertionViolations(context.Background(), p, []instrument.Decision{
 		{Site: 0, Taken: true},
 		{Site: 1, Taken: false},
 	}, analysis.ReachOptions{Seed: 4, Bounds: []opt.Bound{{Lo: -10, Hi: 10}}})
@@ -102,7 +103,7 @@ func TestFPLNewtonLoop(t *testing.T) {
 	if convSite < 0 {
 		t.Fatalf("convergence site not found among %v", p.Branches)
 	}
-	r := analysis.ReachPath(p, []instrument.Decision{{Site: convSite, Taken: true}},
+	r := analysis.ReachPath(context.Background(), p, []instrument.Decision{{Site: convSite, Taken: true}},
 		analysis.ReachOptions{Seed: 5, Bounds: []opt.Bound{{Lo: 0.5, Hi: 1e6}}})
 	if !r.Found {
 		t.Errorf("convergence branch unreached: %v", r)
@@ -123,7 +124,7 @@ func TestFPLSum3Associativity(t *testing.T) {
 	if neqSite < 0 {
 		t.Fatalf("site not found: %v", p.Branches)
 	}
-	r := analysis.ReachPath(p, []instrument.Decision{{Site: neqSite, Taken: true}},
+	r := analysis.ReachPath(context.Background(), p, []instrument.Decision{{Site: neqSite, Taken: true}},
 		analysis.ReachOptions{Seed: 6, Bounds: []opt.Bound{
 			{Lo: -10, Hi: 10}, {Lo: -10, Hi: 10}, {Lo: -10, Hi: 10},
 		}})
@@ -157,7 +158,7 @@ func TestFPLSinFig8Dispatch(t *testing.T) {
 		}
 	}
 
-	rep := analysis.BoundaryValues(p, analysis.BoundaryOptions{
+	rep := analysis.BoundaryValues(context.Background(), p, analysis.BoundaryOptions{
 		Seed: 7, Starts: 48, EvalsPerStart: 4000,
 	})
 	if rep.SoundnessViolations != 0 {

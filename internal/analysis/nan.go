@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -40,6 +41,8 @@ type NonFiniteReport struct {
 	Evals  int `json:"evals"`
 	// Duration is the wall-clock analysis time.
 	Duration time.Duration `json:"duration"`
+	// Canceled reports the hunt was cut short by context cancellation.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // Found reports whether the site has a detected domain error.
@@ -58,13 +61,13 @@ func (r *NonFiniteReport) Found(site int) bool {
 // machinery with the instrument.NonFinite weak distance. Each finding
 // is classified by replaying its input and recording the value the
 // targeted operation produced.
-func FindNonFinite(p *rt.Program, o NonFiniteOptions) *NonFiniteReport {
+func FindNonFinite(ctx context.Context, p *rt.Program, o NonFiniteOptions) *NonFiniteReport {
 	start := time.Now()
-	hunt := runSiteHunt(p, o.huntConfig(p, func(tracked map[int]bool) siteMonitor {
+	hunt := runSiteHunt(ctx, p, o.huntConfig(p, func(tracked map[int]bool) siteMonitor {
 		return &instrument.NonFinite{L: tracked}
 	}))
 
-	rep := &NonFiniteReport{Ops: len(p.Ops), Rounds: hunt.rounds, Evals: hunt.evals}
+	rep := &NonFiniteReport{Ops: len(p.Ops), Rounds: hunt.rounds, Evals: hunt.evals, Canceled: hunt.canceled}
 	labels := map[int]string{}
 	for _, op := range p.Ops {
 		labels[op.ID] = op.Label

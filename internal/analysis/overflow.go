@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"runtime"
 	"time"
 
@@ -112,6 +113,9 @@ type OverflowReport struct {
 	Evals  int `json:"evals"`
 	// Duration is the wall-clock analysis time (Table 3's T column).
 	Duration time.Duration `json:"duration"`
+	// Canceled reports the hunt was cut short by context cancellation;
+	// Findings lists whatever had been detected by then.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // Found reports whether the site has a detected overflow.
@@ -129,13 +133,13 @@ func (r *OverflowReport) Found(site int) bool {
 // overflow weak distance (which targets the last executed site outside
 // L), records an input for every site driven to overflow, and
 // terminates when every site is tracked.
-func DetectOverflows(p *rt.Program, o OverflowOptions) *OverflowReport {
+func DetectOverflows(ctx context.Context, p *rt.Program, o OverflowOptions) *OverflowReport {
 	start := time.Now()
-	hunt := runSiteHunt(p, o.huntConfig(p, func(tracked map[int]bool) siteMonitor {
+	hunt := runSiteHunt(ctx, p, o.huntConfig(p, func(tracked map[int]bool) siteMonitor {
 		return &instrument.Overflow{L: tracked}
 	}))
 
-	rep := &OverflowReport{Ops: len(p.Ops), Rounds: hunt.rounds, Evals: hunt.evals}
+	rep := &OverflowReport{Ops: len(p.Ops), Rounds: hunt.rounds, Evals: hunt.evals, Canceled: hunt.canceled}
 	labels := map[int]string{}
 	for _, op := range p.Ops {
 		labels[op.ID] = op.Label
@@ -194,6 +198,7 @@ type siteHunt struct {
 	findings []siteFinding
 	rounds   int
 	evals    int
+	canceled bool
 }
 
 // runSiteHunt is the Algorithm 3 state machine, generic over the
@@ -208,13 +213,17 @@ type siteHunt struct {
 // snapshot of L, and speculative results are discarded as soon as a
 // consumed round changes L. The outcome is identical for every worker
 // count.
-func runSiteHunt(p *rt.Program, c siteHuntConfig) siteHunt {
+func runSiteHunt(ctx context.Context, p *rt.Program, c siteHuntConfig) siteHunt {
 	L := map[int]bool{}
 	var hunt siteHunt
 	retriesLeft := c.retries
 
 	gaveUp := false
 	for !gaveUp && hunt.rounds < c.maxRounds && len(L) < len(p.Ops) {
+		if ctx.Err() != nil {
+			hunt.canceled = true
+			break
+		}
 		// Launch speculative rounds against a read-only snapshot of L.
 		// Slot j corresponds to serial round hunt.rounds+j and uses that
 		// round's historical seed.
@@ -238,6 +247,7 @@ func runSiteHunt(p *rt.Program, c siteHuntConfig) siteHunt {
 			MaxEvals:   c.evalsPerRound,
 			Bounds:     c.bounds,
 			StopAtZero: true,
+			Ctx:        ctx,
 		})
 
 		// Consume slots in round order, replaying Algorithm 3's state
@@ -245,6 +255,14 @@ func runSiteHunt(p *rt.Program, c siteHuntConfig) siteHunt {
 		// (their weak distances were built over the stale snapshot).
 		for _, sr := range batch {
 			if sr.Skipped {
+				break
+			}
+			if sr.Canceled {
+				// A cancelled slot holds a truncated round: charge its
+				// samples, skip the state machine (its minimum is not a
+				// round outcome).
+				hunt.evals += sr.Evals
+				hunt.canceled = true
 				break
 			}
 			hunt.rounds++

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestWorkersDeterminism(t *testing.T) {
 	for _, pr := range programs {
 		t.Run("boundary/"+pr.name, func(t *testing.T) {
 			run := func(workers int) *analysis.BoundaryReport {
-				return analysis.BoundaryValues(pr.p, analysis.BoundaryOptions{
+				return analysis.BoundaryValues(context.Background(), pr.p, analysis.BoundaryOptions{
 					Seed: 11, Starts: 8, EvalsPerStart: 1000, Bounds: bounds,
 					Workers: workers,
 				})
@@ -67,7 +68,7 @@ func TestWorkersDeterminism(t *testing.T) {
 		})
 		t.Run("coverage/"+pr.name, func(t *testing.T) {
 			run := func(workers int) *analysis.CoverReport {
-				return analysis.Cover(pr.p, analysis.CoverOptions{
+				return analysis.Cover(context.Background(), pr.p, analysis.CoverOptions{
 					Seed: 12, EvalsPerRound: 1000, Bounds: bounds,
 					Workers: workers,
 				})
@@ -82,7 +83,7 @@ func TestWorkersDeterminism(t *testing.T) {
 		})
 		t.Run("overflow/"+pr.name, func(t *testing.T) {
 			run := func(workers int) *analysis.OverflowReport {
-				rep := analysis.DetectOverflows(pr.p, analysis.OverflowOptions{
+				rep := analysis.DetectOverflows(context.Background(), pr.p, analysis.OverflowOptions{
 					Seed: 13, EvalsPerRound: 1500, Workers: workers,
 				})
 				rep.Duration = 0 // wall clock is the one legitimately varying field
@@ -103,7 +104,7 @@ func TestWorkersDeterminism(t *testing.T) {
 				{Site: 1, Taken: false},
 			}
 			run := func(workers int) core.Result {
-				return analysis.ReachPath(pr.p, target, analysis.ReachOptions{
+				return analysis.ReachPath(context.Background(), pr.p, target, analysis.ReachOptions{
 					Seed: 14, Starts: 8, EvalsPerStart: 2000, Bounds: bounds,
 					Workers: workers,
 				})

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/opt"
@@ -33,8 +35,9 @@ type ReachOptions struct {
 // ReachPath searches for an input driving the program along the target
 // path (§4.3): it minimizes the additive path weak distance and
 // re-verifies any zero by replaying the decision sequence (the §5.2
-// membership guard).
-func ReachPath(p *rt.Program, target []instrument.Decision, o ReachOptions) core.Result {
+// membership guard). The context cancels the search at evaluation
+// granularity.
+func ReachPath(ctx context.Context, p *rt.Program, target []instrument.Decision, o ReachOptions) core.Result {
 	mon := &instrument.Path{Target: target, ULP: o.ULP}
 	prob := core.Problem{
 		Name: p.Name + "-reach",
@@ -54,7 +57,7 @@ func ReachPath(p *rt.Program, target []instrument.Decision, o ReachOptions) core
 			return wit.Matches(target)
 		},
 	}
-	return core.Solve(prob, core.Options{
+	return core.Solve(ctx, prob, core.Options{
 		Backend:       o.Backend,
 		Starts:        o.Starts,
 		EvalsPerStart: o.EvalsPerStart,
@@ -69,6 +72,6 @@ func ReachPath(p *rt.Program, target []instrument.Decision, o ReachOptions) core
 // the assertion's condition branch taken the *failing* way. This is the
 // Fig. 1 analysis: "can assert(x < 2) fail?" becomes path reachability
 // of [x < 1 taken; x < 2 not taken].
-func AssertionViolations(p *rt.Program, target []instrument.Decision, o ReachOptions) core.Result {
-	return ReachPath(p, target, o)
+func AssertionViolations(ctx context.Context, p *rt.Program, target []instrument.Decision, o ReachOptions) core.Result {
+	return ReachPath(ctx, p, target, o)
 }

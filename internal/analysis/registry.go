@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -64,9 +65,14 @@ type Spec struct {
 	Formula string `json:"formula,omitempty"`
 }
 
-// backend resolves the spec's backend name.
+// backend resolves the spec's backend name, typing failures as
+// field-level SpecErrors.
 func (s Spec) backend() (opt.Minimizer, error) {
-	return opt.BackendByName(s.Backend)
+	be, err := opt.BackendByName(s.Backend)
+	if err != nil {
+		return nil, &SpecError{Field: "backend", Value: s.Backend, Reason: err.Error()}
+	}
+	return be, nil
 }
 
 // Input is what a registered analysis runs on.
@@ -90,6 +96,11 @@ type Report interface {
 	// Failed reports a shell-visible negative outcome (path not
 	// reached, formula not decided) — the legacy exit-code-2 cases.
 	Failed() bool
+	// Interrupted reports that the analysis observed context
+	// cancellation and the report covers only the work done up to that
+	// point. A completed report is never Interrupted, even if the
+	// context fired after the analysis returned.
+	Interrupted() bool
 }
 
 // Knobs declares which Spec fields an analysis consumes. It drives the
@@ -124,8 +135,11 @@ type Analysis interface {
 	DefaultSpec() Spec
 	// Knobs declares which Spec fields the analysis consumes.
 	Knobs() Knobs
-	// Run executes the analysis.
-	Run(in Input, spec Spec) (Report, error)
+	// Run executes the analysis. The context cancels it cooperatively at
+	// weak-distance-evaluation granularity: when ctx fires, Run returns
+	// promptly with a partial report marked as cancelled rather than an
+	// error.
+	Run(ctx context.Context, in Input, spec Spec) (Report, error)
 }
 
 var registry = struct {
@@ -181,8 +195,8 @@ func Lookup(name string) (Analysis, error) {
 			return a, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown analysis %q (available: %s)",
-		name, strings.Join(namesLocked(), ", "))
+	return nil, &SpecError{Field: "analysis", Value: name,
+		Reason: fmt.Sprintf("unknown analysis %q (available: %s)", name, strings.Join(namesLocked(), ", "))}
 }
 
 // Names lists the registered analyses in registration order.
@@ -220,7 +234,8 @@ func init() {
 
 func needProgram(name string, in Input) (*rt.Program, error) {
 	if in.Program == nil {
-		return nil, fmt.Errorf("%s: no program (pass -builtin NAME or an FPL source)", name)
+		return nil, &SpecError{Field: "program",
+			Reason: fmt.Sprintf("%s: no program (pass -builtin NAME or an FPL source)", name)}
 	}
 	return in.Program, nil
 }
@@ -239,7 +254,7 @@ func (bvaAnalysis) DefaultSpec() Spec {
 func (bvaAnalysis) Knobs() Knobs {
 	return Knobs{Program: true, Starts: true, ULP: true, HighPrecision: true}
 }
-func (bvaAnalysis) Run(in Input, s Spec) (Report, error) {
+func (bvaAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) {
 	p, err := needProgram("bva", in)
 	if err != nil {
 		return nil, err
@@ -248,7 +263,7 @@ func (bvaAnalysis) Run(in Input, s Spec) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return BoundaryValues(p, BoundaryOptions{
+	return BoundaryValues(ctx, p, BoundaryOptions{
 		Seed:          s.Seed,
 		Starts:        s.Starts,
 		EvalsPerStart: s.Evals,
@@ -272,7 +287,7 @@ func (coverageAnalysis) DefaultSpec() Spec {
 	return Spec{Analysis: "coverage", Seed: 1, Evals: 4000, Stall: 6, Backend: "basinhopping"}
 }
 func (coverageAnalysis) Knobs() Knobs { return Knobs{Program: true, Stall: true, ULP: true} }
-func (coverageAnalysis) Run(in Input, s Spec) (Report, error) {
+func (coverageAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) {
 	p, err := needProgram("coverage", in)
 	if err != nil {
 		return nil, err
@@ -281,7 +296,7 @@ func (coverageAnalysis) Run(in Input, s Spec) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Cover(p, CoverOptions{
+	return Cover(ctx, p, CoverOptions{
 		Seed:          s.Seed,
 		EvalsPerRound: s.Evals,
 		MaxStall:      s.Stall,
@@ -315,7 +330,7 @@ func (overflowAnalysis) DefaultSpec() Spec {
 	return Spec{Analysis: "overflow", Seed: 1, Evals: 6000, Backend: "basinhopping"}
 }
 func (overflowAnalysis) Knobs() Knobs { return Knobs{Program: true, Rounds: true} }
-func (overflowAnalysis) Run(in Input, s Spec) (Report, error) {
+func (overflowAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) {
 	p, err := needProgram("overflow", in)
 	if err != nil {
 		return nil, err
@@ -324,7 +339,7 @@ func (overflowAnalysis) Run(in Input, s Spec) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := DetectOverflows(p, OverflowOptions{
+	rep := DetectOverflows(ctx, p, OverflowOptions{
 		Seed:             s.Seed,
 		EvalsPerRound:    s.Evals,
 		MaxRounds:        s.Rounds,
@@ -367,19 +382,19 @@ func (reachAnalysis) DefaultSpec() Spec {
 func (reachAnalysis) Knobs() Knobs {
 	return Knobs{Program: true, Starts: true, ULP: true, Path: true}
 }
-func (reachAnalysis) Run(in Input, s Spec) (Report, error) {
+func (reachAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) {
 	p, err := needProgram("reach", in)
 	if err != nil {
 		return nil, err
 	}
 	if len(s.Path) == 0 {
-		return nil, fmt.Errorf("empty path; want e.g. 0:t,1:f")
+		return nil, &SpecError{Field: "path", Reason: "empty path; want e.g. 0:t,1:f"}
 	}
 	be, err := s.backend()
 	if err != nil {
 		return nil, err
 	}
-	r := ReachPath(p, s.Path, ReachOptions{
+	r := ReachPath(ctx, p, s.Path, ReachOptions{
 		Seed:          s.Seed,
 		Starts:        s.Starts,
 		EvalsPerStart: s.Evals,
@@ -413,26 +428,26 @@ func (xsatAnalysis) DefaultSpec() Spec {
 func (xsatAnalysis) Knobs() Knobs {
 	return Knobs{Starts: true, RealDist: true, Formula: true}
 }
-func (xsatAnalysis) Run(in Input, s Spec) (Report, error) {
+func (xsatAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) {
 	if strings.TrimSpace(s.Formula) == "" {
-		return nil, fmt.Errorf("xsat: empty formula")
+		return nil, &SpecError{Field: "formula", Reason: "xsat: empty formula"}
 	}
 	f, vars, err := sat.Parse(s.Formula)
 	if err != nil {
-		return nil, err
+		return nil, &SpecError{Field: "formula", Value: s.Formula, Reason: err.Error()}
 	}
 	bounds := s.Bounds
 	if f.Dim() > 0 {
 		bounds, err = opt.BroadcastBounds(bounds, f.Dim())
 		if err != nil {
-			return nil, err
+			return nil, &SpecError{Field: "bounds", Reason: err.Error()}
 		}
 	}
 	be, err := s.backend()
 	if err != nil {
 		return nil, err
 	}
-	r := sat.Solve(f, sat.Options{
+	r := sat.Solve(ctx, f, sat.Options{
 		Seed:          s.Seed,
 		Starts:        s.Starts,
 		EvalsPerStart: s.Evals,
@@ -456,7 +471,7 @@ func (nanAnalysis) DefaultSpec() Spec {
 	return Spec{Analysis: "nan", Seed: 1, Evals: 6000, Backend: "basinhopping"}
 }
 func (nanAnalysis) Knobs() Knobs { return Knobs{Program: true, Rounds: true} }
-func (nanAnalysis) Run(in Input, s Spec) (Report, error) {
+func (nanAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) {
 	p, err := needProgram("nan", in)
 	if err != nil {
 		return nil, err
@@ -465,7 +480,7 @@ func (nanAnalysis) Run(in Input, s Spec) (Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return FindNonFinite(p, NonFiniteOptions{
+	return FindNonFinite(ctx, p, NonFiniteOptions{
 		Seed:             s.Seed,
 		EvalsPerRound:    s.Evals,
 		MaxRounds:        s.Rounds,

@@ -2,6 +2,7 @@ package analysis_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"strings"
@@ -89,7 +90,7 @@ func TestRegistryRunErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, err = a.Run(tc.in, tc.spec)
+		_, err = a.Run(context.Background(), tc.in, tc.spec)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %v, want containing %q", tc.name, err, tc.want)
 		}
@@ -110,7 +111,7 @@ func TestNaNAnalysis(t *testing.T) {
 	spec := a.DefaultSpec()
 	spec.Evals = 2000
 	spec.Workers = 1
-	rep, err := a.Run(analysis.Input{Program: progs.Fig2()}, spec)
+	rep, err := a.Run(context.Background(), analysis.Input{Program: progs.Fig2()}, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestReportsSerializable(t *testing.T) {
 		if a.Knobs().Program {
 			in.Program = p
 		}
-		rep, err := a.Run(in, s)
+		rep, err := a.Run(context.Background(), in, s)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Analysis, err)
 		}

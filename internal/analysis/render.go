@@ -23,6 +23,9 @@ func (r *BoundaryReport) Summary() string {
 // Failed implements Report.
 func (r *BoundaryReport) Failed() bool { return false }
 
+// Interrupted implements Report.
+func (r *BoundaryReport) Interrupted() bool { return r.Canceled }
+
 // Render implements Report (the historical fpbva output).
 func (r *BoundaryReport) Render(w io.Writer, in Input) {
 	fmt.Fprintf(w, "program %s: %d samples, %d boundary values, %d conditions triggered\n",
@@ -58,6 +61,9 @@ func (r *CoverReport) Summary() string {
 // Failed implements Report.
 func (r *CoverReport) Failed() bool { return false }
 
+// Interrupted implements Report.
+func (r *CoverReport) Interrupted() bool { return r.Canceled }
+
 // Render implements Report (the historical coverme output).
 func (r *CoverReport) Render(w io.Writer, in Input) {
 	fmt.Fprintf(w, "program %s: covered %d/%d branch sides (%.1f%%) in %d rounds, %d evals\n",
@@ -89,6 +95,9 @@ func (r *OverflowRun) Summary() string {
 
 // Failed implements Report.
 func (r *OverflowRun) Failed() bool { return false }
+
+// Interrupted implements Report.
+func (r *OverflowRun) Interrupted() bool { return r.Canceled }
 
 // Render implements Report (the historical fpod output).
 func (r *OverflowRun) Render(w io.Writer, in Input) {
@@ -124,6 +133,9 @@ func (r *ReachRun) Summary() string { return r.Result.String() }
 // exit 2).
 func (r *ReachRun) Failed() bool { return !r.Found }
 
+// Interrupted implements Report.
+func (r *ReachRun) Interrupted() bool { return r.Canceled }
+
 // Render implements Report (the historical fpreach output).
 func (r *ReachRun) Render(w io.Writer, in Input) {
 	fmt.Fprintf(w, "program %s, target %v\n", r.Program, r.Target)
@@ -143,6 +155,9 @@ func (r *SatRun) Summary() string {
 // Failed implements Report: formula not decided (the historical xsat
 // exit 2).
 func (r *SatRun) Failed() bool { return r.Verdict != sat.Sat }
+
+// Interrupted implements Report.
+func (r *SatRun) Interrupted() bool { return r.Canceled }
 
 // Render implements Report (the historical xsat output).
 func (r *SatRun) Render(w io.Writer, in Input) {
@@ -168,6 +183,9 @@ func (r *NonFiniteReport) Summary() string {
 
 // Failed implements Report.
 func (r *NonFiniteReport) Failed() bool { return false }
+
+// Interrupted implements Report.
+func (r *NonFiniteReport) Interrupted() bool { return r.Canceled }
 
 // Render implements Report.
 func (r *NonFiniteReport) Render(w io.Writer, in Input) {

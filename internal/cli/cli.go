@@ -47,7 +47,7 @@ func BuiltinNames() []string {
 func Builtin(name string) (*rt.Program, error) {
 	mk, ok := builtins[name]
 	if !ok {
-		return nil, fmt.Errorf("unknown builtin %q (available: %s)",
+		return nil, analysis.Specf("builtin", name, "unknown builtin %q (available: %s)",
 			name, strings.Join(BuiltinNames(), ", "))
 	}
 	return mk(), nil
@@ -91,14 +91,14 @@ func Resolve(builtin, file, fn string) (*rt.Program, error) {
 func ResolveEngine(builtin, file, fn string, eng interp.Engine) (*rt.Program, error) {
 	switch {
 	case builtin != "" && file != "":
-		return nil, fmt.Errorf("use either -builtin or a source file, not both")
+		return nil, analysis.Specf("program", "", "use either -builtin or a source file, not both")
 	case builtin != "":
 		return Builtin(builtin)
 	case file != "":
 		_, p, err := LoadFPLEngine(file, fn, eng)
 		return p, err
 	}
-	return nil, fmt.Errorf("no program: pass -builtin NAME or a source file (builtins: %s)",
+	return nil, analysis.Specf("program", "", "no program: pass -builtin NAME or a source file (builtins: %s)",
 		strings.Join(BuiltinNames(), ", "))
 }
 
@@ -129,18 +129,18 @@ func ParseBounds(spec string, dim int) ([]opt.Bound, error) {
 	for i, part := range parts {
 		lohi := strings.Split(part, ":")
 		if len(lohi) != 2 {
-			return nil, fmt.Errorf("bad bound %q (pair %d of %q), want lo:hi", part, i+1, spec)
+			return nil, analysis.Specf("bounds", spec, "bad bound %q (pair %d of %q), want lo:hi", part, i+1, spec)
 		}
 		lo, err := strconv.ParseFloat(strings.TrimSpace(lohi[0]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad bound %q (pair %d of %q): lower bound %q is not a number", part, i+1, spec, strings.TrimSpace(lohi[0]))
+			return nil, analysis.Specf("bounds", spec, "bad bound %q (pair %d of %q): lower bound %q is not a number", part, i+1, spec, strings.TrimSpace(lohi[0]))
 		}
 		hi, err := strconv.ParseFloat(strings.TrimSpace(lohi[1]), 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad bound %q (pair %d of %q): upper bound %q is not a number", part, i+1, spec, strings.TrimSpace(lohi[1]))
+			return nil, analysis.Specf("bounds", spec, "bad bound %q (pair %d of %q): upper bound %q is not a number", part, i+1, spec, strings.TrimSpace(lohi[1]))
 		}
 		if lo > hi {
-			return nil, fmt.Errorf("bad bound %q (pair %d of %q): lo > hi", part, i+1, spec)
+			return nil, analysis.Specf("bounds", spec, "bad bound %q (pair %d of %q): lo > hi", part, i+1, spec)
 		}
 		bs = append(bs, opt.Bound{Lo: lo, Hi: hi})
 	}
@@ -150,7 +150,7 @@ func ParseBounds(spec string, dim int) ([]opt.Bound, error) {
 		}
 	}
 	if len(bs) != dim {
-		return nil, fmt.Errorf("bounds %q: %d bounds for %d dimensions", spec, len(bs), dim)
+		return nil, analysis.Specf("bounds", spec, "bounds %q: %d bounds for %d dimensions", spec, len(bs), dim)
 	}
 	return bs, nil
 }
@@ -158,17 +158,17 @@ func ParseBounds(spec string, dim int) ([]opt.Bound, error) {
 // ParsePath reads "site:t,site:f,..." into a decision sequence.
 func ParsePath(spec string) ([]instrument.Decision, error) {
 	if spec == "" {
-		return nil, fmt.Errorf("empty path; want e.g. 0:t,1:f")
+		return nil, analysis.Specf("path", "", "empty path; want e.g. 0:t,1:f")
 	}
 	var ds []instrument.Decision
 	for _, part := range strings.Split(spec, ",") {
 		sv := strings.Split(strings.TrimSpace(part), ":")
 		if len(sv) != 2 {
-			return nil, fmt.Errorf("bad decision %q, want site:t or site:f", part)
+			return nil, analysis.Specf("path", spec, "bad decision %q, want site:t or site:f", part)
 		}
 		site, err := strconv.Atoi(sv[0])
 		if err != nil {
-			return nil, fmt.Errorf("bad site in %q: %v", part, err)
+			return nil, analysis.Specf("path", spec, "bad site in %q: %v", part, err)
 		}
 		var taken bool
 		switch strings.ToLower(sv[1]) {
@@ -177,7 +177,7 @@ func ParsePath(spec string) ([]instrument.Decision, error) {
 		case "f", "false", "0":
 			taken = false
 		default:
-			return nil, fmt.Errorf("bad outcome in %q, want t or f", part)
+			return nil, analysis.Specf("path", spec, "bad outcome in %q, want t or f", part)
 		}
 		ds = append(ds, instrument.Decision{Site: site, Taken: taken})
 	}

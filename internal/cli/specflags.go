@@ -7,12 +7,14 @@ package cli
 // Input. RunTool is the whole body of a thin per-analysis command.
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/interp"
@@ -31,6 +33,10 @@ type SpecFlags struct {
 	bounds  string
 	path    string
 	engine  string
+	// Timeout is the -timeout wall-clock budget (0 = none). Context
+	// cancellation lands within one weak-distance evaluation, so the
+	// tool renders whatever partial report the analysis had at expiry.
+	Timeout time.Duration
 	// Stdin substitutes for os.Stdin when reading "-" formulas (tests).
 	Stdin io.Reader
 }
@@ -84,7 +90,19 @@ func NewSpecFlags(fs *flag.FlagSet, tool string, a analysis.Analysis) *SpecFlags
 	}
 	fs.StringVar(&sf.spec.Backend, "backend", be, "MO backend ("+strings.Join(opt.BackendNames(), ", ")+")")
 	fs.IntVar(&sf.spec.Workers, "workers", def.Workers, "parallelism (0 = all CPUs, 1 = serial)")
+	fs.DurationVar(&sf.Timeout, "timeout", 0,
+		"wall-clock budget; on expiry the partial report is rendered (0 = none)")
 	return sf
+}
+
+// Context returns the run context implied by the parsed flags: a
+// -timeout deadline over the parent, or the parent itself. The returned
+// cancel func must always be called.
+func (sf *SpecFlags) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	if sf.Timeout > 0 {
+		return context.WithTimeout(parent, sf.Timeout)
+	}
+	return context.WithCancel(parent)
 }
 
 // Resolve finalizes the spec from the parsed flags and positional
@@ -125,7 +143,7 @@ func (sf *SpecFlags) Resolve(args []string) (analysis.Input, analysis.Spec, erro
 		}
 		eng, err := interp.ParseEngine(sf.engine)
 		if err != nil {
-			return in, sf.spec, err
+			return in, sf.spec, &analysis.SpecError{Field: "engine", Value: sf.engine, Reason: err.Error()}
 		}
 		p, err := ResolveEngine(sf.builtin, file, sf.fn, eng)
 		if err != nil {
@@ -178,12 +196,19 @@ func RunTool(tool, analysisName string, args []string, stdout, stderr io.Writer)
 		fmt.Fprintln(stderr, tool+":", err)
 		return 1
 	}
-	rep, err := a.Run(in, spec)
+	ctx, cancel := sf.Context(context.Background())
+	defer cancel()
+	rep, err := a.Run(ctx, in, spec)
 	if err != nil {
 		fmt.Fprintln(stderr, tool+":", err)
 		return 1
 	}
 	rep.Render(stdout, in)
+	// The report's own flag, not ctx.Err(): a deadline that fires after
+	// the analysis completed must not mislabel a complete report.
+	if rep.Interrupted() {
+		fmt.Fprintf(stderr, "%s: timeout after %v; partial results above\n", tool, sf.Timeout)
+	}
 	if rep.Failed() {
 		return 2
 	}

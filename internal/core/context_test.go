@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/opt"
+)
+
+// zeroless is a weak distance with no zero: cancellation is the only
+// way out before the budget.
+func zeroless(x []float64) float64 { return 1 + x[0]*x[0] }
+
+// TestSolveCancellation: both Solve paths (serial and parallel) stop on
+// a cancelled context and mark the result.
+func TestSolveCancellation(t *testing.T) {
+	prob := core.Problem{
+		Name: "zeroless",
+		Dim:  1,
+		W:    zeroless,
+		NewW: func() core.WeakDistance { return zeroless },
+	}
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls atomic.Int64
+		p := prob
+		counting := func(x []float64) float64 {
+			if calls.Add(1) == 50 {
+				cancel()
+			}
+			return zeroless(x)
+		}
+		if workers == 1 {
+			p.W = counting
+		} else {
+			// The parallel path builds one objective per start; give it
+			// the shared counter (races don't matter for w=4 — the
+			// assertion there is only prompt termination).
+			p.NewW = func() core.WeakDistance { return counting }
+		}
+		r := core.Solve(ctx, p, core.Options{
+			Seed: 1, Starts: 1000, EvalsPerStart: 1_000_000,
+			Bounds:  []opt.Bound{{Lo: -10, Hi: 10}},
+			Workers: workers,
+		})
+		cancel()
+		if !r.Canceled {
+			t.Errorf("workers=%d: Canceled=false: %+v", workers, r)
+		}
+		if r.Found {
+			t.Errorf("workers=%d: spurious Found on a zeroless distance", workers)
+		}
+	}
+}
+
+// TestSolveCancellationSerialOneEval pins the serial path to the
+// one-evaluation contract end to end through core.Solve.
+func TestSolveCancellationSerialOneEval(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	r := core.Solve(ctx, core.Problem{
+		Name: "zeroless", Dim: 1,
+		W: func(x []float64) float64 {
+			calls++
+			if calls == 70 {
+				cancel()
+			}
+			return zeroless(x)
+		},
+	}, core.Options{
+		Seed: 1, Starts: 100, EvalsPerStart: 1_000_000,
+		Bounds:  []opt.Bound{{Lo: -10, Hi: 10}},
+		Workers: 1,
+	})
+	if calls > 70 {
+		t.Errorf("%d weak-distance evaluations after cancellation", calls-70)
+	}
+	if !r.Canceled || r.Evals != calls {
+		t.Errorf("result bookkeeping: calls=%d %+v", calls, r)
+	}
+}

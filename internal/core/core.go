@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -113,6 +114,11 @@ type Result struct {
 	// Rejected counts zeros of W rejected by the membership guard
 	// (evidence of Limitation 2 in the constructed weak distance).
 	Rejected int
+	// Canceled reports that the context fired before the search could
+	// finish; the other fields describe whatever had been sampled by
+	// then. Omitted from JSON when false so pre-context wire formats are
+	// unchanged.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // String renders the result in the paper's reporting style.
@@ -127,28 +133,37 @@ func (r Result) String() string {
 // minimize W from multiple random starts; return the first sampled exact
 // zero, or "not found" when the budget expires with a positive minimum.
 //
+// The context cancels the whole search cooperatively, at objective-
+// evaluation granularity (opt.Config.Ctx): when ctx fires, the result
+// describes whatever had been sampled and is marked Canceled.
+//
 // Per Theorem 3.3 the procedure is exact up to the MO backend's ability
 // to reach global minima: a returned point is always in S (soundness,
 // enforced by construction and optionally by the Member guard); "not
 // found" may be incomplete when the backend misses a zero
 // (Limitation 3).
-func Solve(p Problem, o Options) Result {
+func Solve(ctx context.Context, p Problem, o Options) Result {
 	if p.Dim < 1 {
 		return Result{W: math.Inf(1)}
 	}
 	if o.Workers != 1 && p.NewW != nil && o.Trace == nil {
-		return solveParallel(p, o)
+		return solveParallel(ctx, p, o)
 	}
 	backend := o.backend()
 	res := Result{W: math.Inf(1)}
 
 	for s := 0; s < o.starts(); s++ {
+		if err := ctx.Err(); err != nil {
+			res.Canceled = true
+			return res
+		}
 		cfg := opt.Config{
 			Seed:       o.Seed + int64(s)*1000003,
 			MaxEvals:   o.evalsPerStart(p.Dim),
 			Bounds:     o.Bounds,
 			StopAtZero: true,
 			Trace:      o.Trace,
+			Ctx:        ctx,
 		}
 		r := backend.Minimize(opt.Objective(p.W), p.Dim, cfg)
 		res.Evals += r.Evals
@@ -156,16 +171,24 @@ func Solve(p Problem, o Options) Result {
 		if r.F < res.W {
 			res.W = r.F
 		}
+		// A start can both sample a zero and observe cancellation (the
+		// deadline fires between the zero and the next done() check):
+		// the zero wins — discarding a solution in hand would turn a
+		// decided problem into "not found".
 		if r.FoundZero {
 			// Soundness guard (§5.2): confirm membership by concrete
 			// execution when an oracle is available.
 			if p.Member != nil && !p.Member(r.X) {
 				res.Rejected++
-				continue
+			} else {
+				res.Found = true
+				res.X = r.X
+				res.W = 0
+				return res
 			}
-			res.Found = true
-			res.X = r.X
-			res.W = 0
+		}
+		if r.Canceled {
+			res.Canceled = true
 			return res
 		}
 	}
@@ -176,7 +199,7 @@ func Solve(p Problem, o Options) Result {
 // pool and folds the per-start results in start order, stopping at the
 // first membership-accepted zero — exactly the serial loop's semantics,
 // so Solve returns identical Results for every worker count.
-func solveParallel(p Problem, o Options) Result {
+func solveParallel(ctx context.Context, p Problem, o Options) Result {
 	starts := opt.ParallelStarts(o.backend(), func(int) opt.Objective {
 		return opt.Objective(p.NewW())
 	}, p.Dim, opt.ParallelConfig{
@@ -190,23 +213,33 @@ func solveParallel(p Problem, o Options) Result {
 		Accept: func(_ int, r opt.Result) bool {
 			return p.Member == nil || p.Member(r.X)
 		},
+		Ctx: ctx,
 	})
 
 	res := Result{W: math.Inf(1)}
 	for _, sr := range starts {
 		res.Evals += sr.Evals
-		res.Restarts++
-		if sr.F < res.W {
-			res.W = sr.F
-		}
-		if sr.FoundZero {
-			if !sr.ZeroAccepted {
-				res.Rejected++
-				continue
+		if sr.Evals > 0 || !sr.Canceled {
+			res.Restarts++
+			if sr.F < res.W {
+				res.W = sr.F
 			}
-			res.Found = true
-			res.X = sr.X
-			res.W = 0
+		}
+		// As in the serial loop: a start holding an accepted zero wins
+		// over its (simultaneous) cancellation flag.
+		if sr.FoundZero {
+			if sr.ZeroAccepted {
+				res.Found = true
+				res.X = sr.X
+				res.W = 0
+				return res
+			}
+			res.Rejected++
+		}
+		if sr.Canceled {
+			// Stop folding — the slots after a cancelled start are
+			// cancelled or unreliable too.
+			res.Canceled = true
 			return res
 		}
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func TestSolveBoundaryFig2(t *testing.T) {
 			return len(wit.Sites()) > 0
 		},
 	}
-	r := core.Solve(prob, core.Options{Seed: 1, Bounds: []opt.Bound{{Lo: -100, Hi: 100}}})
+	r := core.Solve(context.Background(), prob, core.Options{Seed: 1, Bounds: []opt.Bound{{Lo: -100, Hi: 100}}})
 	if !r.Found {
 		t.Fatalf("boundary problem unsolved: %v", r)
 	}
@@ -40,7 +41,7 @@ func TestSolvePathFig2(t *testing.T) {
 		{Site: progs.Fig2BranchY, Taken: true},
 	}}
 	prob := core.Problem{Name: "fig2-path", Dim: 1, W: p.WeakDistance(mon)}
-	r := core.Solve(prob, core.Options{Seed: 2, Bounds: []opt.Bound{{Lo: -1000, Hi: 1000}}})
+	r := core.Solve(context.Background(), prob, core.Options{Seed: 2, Bounds: []opt.Bound{{Lo: -1000, Hi: 1000}}})
 	if !r.Found {
 		t.Fatalf("path problem unsolved: %v", r)
 	}
@@ -57,7 +58,7 @@ func TestSolveReportsNotFoundOnEmptyS(t *testing.T) {
 		Dim:  1,
 		W:    func(x []float64) float64 { return math.Abs(x[0]) + 1 },
 	}
-	r := core.Solve(prob, core.Options{
+	r := core.Solve(context.Background(), prob, core.Options{
 		Seed: 3, Starts: 2, EvalsPerStart: 2000,
 		Bounds: []opt.Bound{{Lo: -10, Hi: 10}},
 	})
@@ -85,7 +86,7 @@ func TestSolveMembershipGuardRejectsSpuriousZeros(t *testing.T) {
 			return x[0] == 0
 		},
 	}
-	r := core.Solve(prob, core.Options{
+	r := core.Solve(context.Background(), prob, core.Options{
 		Seed: 4, Starts: 3, EvalsPerStart: 300,
 		Backend: &opt.RandomSearch{},
 		Bounds:  []opt.Bound{{Lo: 1e-210, Hi: 1e-190}}, // only spurious zeros here
@@ -99,7 +100,7 @@ func TestSolveMembershipGuardRejectsSpuriousZeros(t *testing.T) {
 }
 
 func TestSolveZeroDimension(t *testing.T) {
-	r := core.Solve(core.Problem{Name: "bad", Dim: 0, W: func([]float64) float64 { return 1 }}, core.Options{})
+	r := core.Solve(context.Background(), core.Problem{Name: "bad", Dim: 0, W: func([]float64) float64 { return 1 }}, core.Options{})
 	if r.Found {
 		t.Error("zero-dimension problem cannot be solved")
 	}
@@ -108,7 +109,7 @@ func TestSolveZeroDimension(t *testing.T) {
 func TestSolveDeterministic(t *testing.T) {
 	p := progs.Fig2()
 	mk := func() core.Result {
-		return core.Solve(core.Problem{
+		return core.Solve(context.Background(), core.Problem{
 			Name: "det", Dim: 1,
 			W: p.WeakDistance(&instrument.Boundary{}),
 		}, core.Options{Seed: 9, Starts: 2, EvalsPerStart: 4000, Bounds: []opt.Bound{{Lo: -50, Hi: 50}}})
@@ -128,7 +129,7 @@ func TestSolveTraceAccumulatesAcrossRestarts(t *testing.T) {
 		Name: "trace", Dim: 1,
 		W: func(x []float64) float64 { return math.Abs(x[0]) + 1 },
 	}
-	r := core.Solve(prob, core.Options{
+	r := core.Solve(context.Background(), prob, core.Options{
 		Seed: 5, Starts: 3, EvalsPerStart: 100,
 		Backend: &opt.RandomSearch{},
 		Bounds:  []opt.Bound{{Lo: -1, Hi: 1}},

@@ -251,7 +251,7 @@ func Run(o Options) *Result {
 	defer cancel()
 	pl := pipeline.New(o.Workers)
 	var wire [][]byte
-	pl.StreamCtx(ctx, jobs, func(jr pipeline.JobResult) {
+	pl.Stream(ctx, jobs, func(jr pipeline.JobResult) {
 		if o.Recheck {
 			wire = append(wire, pipeline.NormalizeDurations(pipeline.MarshalResult(jr)))
 		}
@@ -296,7 +296,7 @@ func Run(o Options) *Result {
 	if o.Recheck && !overBudget() {
 		serial := pipeline.New(1)
 		i := 0
-		serial.Stream(jobs, func(jr pipeline.JobResult) {
+		serial.Stream(context.Background(), jobs, func(jr pipeline.JobResult) {
 			if i < len(wire) {
 				if got := pipeline.NormalizeDurations(pipeline.MarshalResult(jr)); string(got) != string(wire[i]) {
 					res.Violations = append(res.Violations, Violation{

@@ -1,6 +1,7 @@
 package fuzz_test
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -64,7 +65,7 @@ func TestReplaySweepFixtures(t *testing.T) {
 							t.Skip("no branches to target")
 						}
 					}
-					rep, err := a.Run(analysis.Input{Program: p.Instance()}, spec)
+					rep, err := a.Run(context.Background(), analysis.Input{Program: p.Instance()}, spec)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -97,7 +98,7 @@ func TestReplaySweepFormulas(t *testing.T) {
 	}
 	for _, f := range formulas {
 		spec := analysis.Spec{Analysis: "xsat", Seed: 1, Starts: 2, Evals: 400, Formula: f}
-		rep, err := a.Run(analysis.Input{}, spec)
+		rep, err := a.Run(context.Background(), analysis.Input{}, spec)
 		if err != nil {
 			t.Fatalf("%q: %v", f, err)
 		}

@@ -18,6 +18,7 @@
 package opt
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -86,6 +87,13 @@ type Config struct {
 	// Trace, when non-nil, records every objective evaluation (used to
 	// regenerate the sampling figures 3(c), 4(c) and 9).
 	Trace *Trace
+	// Ctx, when non-nil, cancels the minimization cooperatively: the
+	// shared evaluator consults it before every objective evaluation, so
+	// a cancellation or deadline lands within ONE evaluation — no more
+	// objective calls happen after Ctx is done, whatever the backend's
+	// internal phase. Nil means no cancellation (and no per-eval
+	// overhead).
+	Ctx context.Context
 }
 
 func (c Config) maxEvals(def int) int {
@@ -109,6 +117,7 @@ type Result struct {
 	Evals      int       // objective evaluations consumed
 	FoundZero  bool      // an exact zero was sampled
 	Exhausted  bool      // the evaluation budget ran out
+	Canceled   bool      // Config.Ctx was done before the search finished
 	Iterations int       // backend-specific outer iterations
 }
 
@@ -135,27 +144,57 @@ var ErrDimension = errors.New("opt: dimension must be >= 1")
 // route their samples through one evaluator so Result bookkeeping is
 // uniform.
 type evaluator struct {
-	obj     Objective
-	cfg     Config
-	max     int
-	evals   int
-	bestF   float64
-	bestX   []float64
-	hitZero bool
+	obj      Objective
+	cfg      Config
+	max      int
+	evals    int
+	bestF    float64
+	bestX    []float64
+	hitZero  bool
+	ctxDone  <-chan struct{}
+	canceled bool
 }
 
 func newEvaluator(obj Objective, cfg Config, defMax int) *evaluator {
-	return &evaluator{
+	e := &evaluator{
 		obj:   obj,
 		cfg:   cfg,
 		max:   cfg.maxEvals(defMax),
 		bestF: math.Inf(1),
 	}
+	if cfg.Ctx != nil {
+		e.ctxDone = cfg.Ctx.Done()
+	}
+	return e
+}
+
+// cancelled reports (and latches) whether Config.Ctx is done. With no
+// context configured it is a nil check.
+func (e *evaluator) cancelled() bool {
+	if e.canceled {
+		return true
+	}
+	if e.ctxDone == nil {
+		return false
+	}
+	select {
+	case <-e.ctxDone:
+		e.canceled = true
+		return true
+	default:
+		return false
+	}
 }
 
 // eval samples the objective at x, recording the sample. NaN objective
-// values are treated as +Inf so they never look optimal.
+// values are treated as +Inf so they never look optimal. Once the
+// configured context is done, eval stops calling the objective entirely
+// (returning +Inf uncounted), so cancellation lands within one
+// evaluation even for backends that sample between done() checks.
 func (e *evaluator) eval(x []float64) float64 {
+	if e.cancelled() {
+		return math.Inf(1)
+	}
 	e.evals++
 	f := e.obj(x)
 	if math.IsNaN(f) {
@@ -174,10 +213,10 @@ func (e *evaluator) eval(x []float64) float64 {
 	return f
 }
 
-// done reports whether the search must stop (budget exhausted or zero
-// found under the stop-at-zero contract).
+// done reports whether the search must stop (budget exhausted, zero
+// found under the stop-at-zero contract, or context cancelled).
 func (e *evaluator) done() bool {
-	return e.evals >= e.max || e.hitZero
+	return e.evals >= e.max || e.hitZero || e.cancelled()
 }
 
 func (e *evaluator) result(iters int) Result {
@@ -191,6 +230,7 @@ func (e *evaluator) result(iters int) Result {
 		Evals:      e.evals,
 		FoundZero:  e.bestF == 0,
 		Exhausted:  e.evals >= e.max,
+		Canceled:   e.canceled,
 		Iterations: iters,
 	}
 }

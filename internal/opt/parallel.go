@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -50,6 +51,13 @@ type ParallelConfig struct {
 	// state, but it must be a pure function of (start, Result) for the
 	// run to stay deterministic.
 	Accept func(start int, r Result) bool
+	// Ctx, when non-nil, cancels the whole schedule cooperatively: every
+	// executed start checks it at evaluation granularity (Config.Ctx),
+	// and starts not yet begun when it fires return immediately with
+	// Canceled set. Cancellation necessarily breaks the worker-count
+	// determinism contract — partial results are whatever each start had
+	// sampled when the context fired.
+	Ctx context.Context
 }
 
 func (c ParallelConfig) workers() int {
@@ -140,6 +148,13 @@ func ParallelStarts(backend Minimizer, objective func(start int) Objective, dim 
 			defer wg.Done()
 			for s := range jobs {
 				res := &out[s]
+				if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+					// Don't pay for objective construction (a program
+					// instance per start) once the run is dead; Minimize
+					// would return immediately anyway.
+					res.Canceled = true
+					continue
+				}
 				if cfg.StopAtZero && int64(s) > minZero.Load() {
 					// A lower-index start already found an accepted
 					// zero: the serial loop would have stopped before
@@ -175,6 +190,7 @@ func ParallelStarts(backend Minimizer, objective func(start int) Objective, dim 
 					Bounds:     cfg.Bounds,
 					StopAtZero: cfg.StopAtZero,
 					Trace:      tr,
+					Ctx:        cfg.Ctx,
 				})
 				res.Result = r
 				res.Trace = tr

@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -115,7 +116,7 @@ func GSLStudyWorkers(seed int64, evalsPerRound, workers int) *GSLStudyResult {
 		BugReplays:      map[string][]KnownBug{},
 	}
 	for bi, b := range GSLBenchmarks() {
-		rep := analysis.DetectOverflows(b.Program, analysis.OverflowOptions{
+		rep := analysis.DetectOverflows(context.Background(), b.Program, analysis.OverflowOptions{
 			Seed:          seed + int64(bi)*1_000_003,
 			EvalsPerRound: evalsPerRound,
 			Workers:       workers,

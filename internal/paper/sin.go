@@ -1,6 +1,7 @@
 package paper
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,7 +35,7 @@ func SinBoundaryStudyWorkers(seed int64, starts, evals, workers int) *SinStudy {
 	if evals <= 0 {
 		evals = 4000
 	}
-	rep := analysis.BoundaryValues(libm.SinProgram(), analysis.BoundaryOptions{
+	rep := analysis.BoundaryValues(context.Background(), libm.SinProgram(), analysis.BoundaryOptions{
 		Seed:          seed,
 		Starts:        starts,
 		EvalsPerStart: evals,

@@ -1,6 +1,7 @@
 package pipeline_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/analysis"
@@ -48,7 +49,7 @@ func BenchmarkPipelineBatch(b *testing.B) {
 			pl := pipeline.New(cfg.workers)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				results := pl.RunBatch(jobs)
+				results := pl.RunBatch(context.Background(), jobs)
 				for _, r := range results {
 					if r.Error != "" {
 						b.Fatal(r.Error)

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"sync"
 	"sync/atomic"
 
@@ -75,12 +76,39 @@ func (c *ModuleCache) Stats() CacheStats {
 	return CacheStats{Modules: n, Compiles: c.compiles.Load(), Hits: c.hits.Load()}
 }
 
-// Program compiles src (or reuses the cached module with the same
-// hash), wraps fn (empty = first declared) and returns an independent
-// program instance safe to execute concurrently with every other
-// returned instance. The second result reports whether the module was
-// already cached.
-func (c *ModuleCache) Program(src, fn string, eng interp.Engine) (*rt.Program, bool, error) {
+// SourceID is the content address of an FPL source: the hex sha256 of
+// its bytes, prefixed "sha256:". It is the same hash the module cache
+// keys on, and the program ID the fpserve /v1 registration API hands
+// out — registering a program and submitting its source inline hit the
+// same cache slot.
+func SourceID(src string) string {
+	h := sha256.Sum256([]byte(src))
+	return "sha256:" + hex.EncodeToString(h[:])
+}
+
+// Module compiles src (or reuses the cached module with the same hash)
+// and returns the shared compiled module. The second result reports a
+// cache hit.
+func (c *ModuleCache) Module(src string, eng interp.Engine) (*interp.Interp, bool, error) {
+	e, hit, err := c.entry(src, eng)
+	if err != nil {
+		return nil, hit, err
+	}
+	return e.it, hit, nil
+}
+
+// Drop evicts the module compiled from src under eng, if cached.
+// In-flight program instances keep working over the shared immutable
+// module; only the cache slot is reclaimed.
+func (c *ModuleCache) Drop(src string, eng interp.Engine) {
+	k := moduleKey{hash: sha256.Sum256([]byte(src)), engine: eng}
+	c.mu.Lock()
+	delete(c.entries, k)
+	c.mu.Unlock()
+}
+
+// entry resolves (compiling at most once) the cache entry for src.
+func (c *ModuleCache) entry(src string, eng interp.Engine) (*moduleEntry, bool, error) {
 	k := moduleKey{hash: sha256.Sum256([]byte(src)), engine: eng}
 	c.mu.Lock()
 	e, hit := c.entries[k]
@@ -117,6 +145,19 @@ func (c *ModuleCache) Program(src, fn string, eng interp.Engine) (*rt.Program, b
 		}
 		c.mu.Unlock()
 		return nil, hit, e.err
+	}
+	return e, hit, nil
+}
+
+// Program compiles src (or reuses the cached module with the same
+// hash), wraps fn (empty = first declared) and returns an independent
+// program instance safe to execute concurrently with every other
+// returned instance. The second result reports whether the module was
+// already cached.
+func (c *ModuleCache) Program(src, fn string, eng interp.Engine) (*rt.Program, bool, error) {
+	e, hit, err := c.entry(src, eng)
+	if err != nil {
+		return nil, hit, err
 	}
 
 	e.mu.Lock()

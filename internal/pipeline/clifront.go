@@ -7,6 +7,7 @@ package pipeline
 // over FPAnalyzeMain.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -88,17 +89,20 @@ func fpanalyzeRun(name string, args []string, stdin io.Reader, stdout, stderr io
 		fmt.Fprintln(stderr, "fpanalyze:", err)
 		return 1
 	}
+	ctx, cancel := sf.Context(context.Background())
+	defer cancel()
 	res := JobResult{Analysis: a.Name()}
 	if in.Program != nil {
 		res.Program = in.Program.Name
 	}
-	rep, err := a.Run(in, spec)
+	rep, err := a.Run(ctx, in, spec)
 	if err != nil {
 		res.Error = err.Error()
 	} else {
 		res.Report = rep
 		res.Summary = rep.Summary()
 		res.Failed = rep.Failed()
+		res.Canceled = rep.Interrupted()
 	}
 	stdout.Write(MarshalResult(res))
 	fmt.Fprintln(stdout)
@@ -117,6 +121,7 @@ func fpanalyzeBatch(args []string, stdin io.Reader, stdout, stderr io.Writer) in
 	fs := flag.NewFlagSet("fpanalyze batch", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jobsN := fs.Int("jobs", 0, "concurrent jobs (0 = all CPUs); never changes results")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole batch (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -144,9 +149,15 @@ func fpanalyzeBatch(args []string, stdin io.Reader, stdout, stderr io.Writer) in
 		return 1
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	code := 0
 	pl := New(*jobsN)
-	pl.Stream(jobs, func(r JobResult) {
+	pl.Stream(ctx, jobs, func(r JobResult) {
 		stdout.Write(MarshalResult(r))
 		fmt.Fprintln(stdout)
 		if r.Error != "" {

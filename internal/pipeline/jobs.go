@@ -1,0 +1,505 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// JobStatus is the lifecycle state of a submitted job batch.
+type JobStatus string
+
+// Job lifecycle states. There is deliberately no "queued": submission
+// hands the batch to the shared worker pool immediately (the pool's
+// semaphore is the queue), so a job is running until it is finished.
+const (
+	JobRunning   JobStatus = "running"
+	JobCompleted JobStatus = "completed"
+	JobCanceled  JobStatus = "canceled"
+)
+
+// Engine defaults.
+const (
+	// DefaultMaxTrackedJobs bounds the job table.
+	DefaultMaxTrackedJobs = 256
+	// DefaultJobTTL is how long a finished job's results stay
+	// retrievable before eviction.
+	DefaultJobTTL = 15 * time.Minute
+)
+
+// Engine errors, surfaced by Submit.
+var (
+	// ErrShuttingDown: the engine no longer accepts jobs.
+	ErrShuttingDown = errors.New("server is shutting down")
+	// ErrJobTableFull: the table holds MaxTrackedJobs unfinished jobs.
+	ErrJobTableFull = errors.New("job table full: all tracked jobs are still running")
+)
+
+// Cancellation causes, readable in JobView.Reason.
+var (
+	errCanceledByClient = errors.New("canceled by client")
+	errClientGone       = errors.New("client disconnected")
+	errShutdown         = errors.New("server shutdown")
+)
+
+// JobRecord tracks one submitted batch: its results as they stream in,
+// its lifecycle state, and the cancel handle that makes DELETE and
+// shutdown land inside the minimizers within one objective evaluation.
+type JobRecord struct {
+	// ID is the engine-assigned job identifier.
+	ID string
+	// Created is the submission time.
+	Created time.Time
+	// Total is the number of jobs in the batch.
+	Total int
+
+	cancel context.CancelCauseFunc
+
+	mu       sync.Mutex
+	results  []JobResult
+	status   JobStatus
+	reason   string
+	finished time.Time
+	changed  chan struct{} // closed on every append and on finish
+}
+
+// append records one result and wakes every waiter.
+func (rec *JobRecord) append(r JobResult) {
+	rec.mu.Lock()
+	rec.results = append(rec.results, r)
+	if rec.status == JobRunning {
+		close(rec.changed)
+		rec.changed = make(chan struct{})
+	}
+	rec.mu.Unlock()
+}
+
+// finish seals the record. The changed channel stays closed forever, so
+// late subscribers wake immediately.
+func (rec *JobRecord) finish(cause error) {
+	rec.mu.Lock()
+	if cause != nil {
+		rec.status = JobCanceled
+		rec.reason = cause.Error()
+	} else {
+		rec.status = JobCompleted
+	}
+	rec.finished = time.Now()
+	close(rec.changed)
+	rec.mu.Unlock()
+}
+
+// next returns the results from index from on, the current status, and
+// a channel that signals the next change (closed already if the record
+// is finished).
+func (rec *JobRecord) next(from int) ([]JobResult, JobStatus, <-chan struct{}) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	var out []JobResult
+	if from < len(rec.results) {
+		out = append(out, rec.results[from:]...)
+	}
+	return out, rec.status, rec.changed
+}
+
+// JobView is the wire snapshot of a job record: status plus one page of
+// results.
+type JobView struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	// Jobs is the batch size; Completed the number of results so far.
+	Jobs      int        `json:"jobs"`
+	Completed int        `json:"completed"`
+	Created   time.Time  `json:"created"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	// Reason explains a cancellation ("canceled by client", "context
+	// deadline exceeded", "server shutdown", ...).
+	Reason string `json:"reason,omitempty"`
+	// Offset/Results are the requested result page, each result encoded
+	// exactly as the NDJSON surface encodes it (MarshalResult, which
+	// degrades non-JSON-serializable reports to summary-only instead of
+	// failing the response); NextOffset is set when more results exist
+	// beyond the page.
+	Offset     int               `json:"offset"`
+	Results    []json.RawMessage `json:"results"`
+	NextOffset *int              `json:"nextOffset,omitempty"`
+}
+
+// Header snapshots the record without encoding any results (Results is
+// nil). Listing and event surfaces use it so a large result set is
+// never marshalled just to be thrown away.
+func (rec *JobRecord) Header() JobView {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	v := JobView{
+		ID:        rec.ID,
+		Status:    rec.status,
+		Jobs:      rec.Total,
+		Completed: len(rec.results),
+		Created:   rec.Created,
+		Reason:    rec.reason,
+	}
+	if rec.status != JobRunning {
+		t := rec.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// View snapshots the record with the result page [offset, offset+limit).
+// limit <= 0 means no limit.
+func (rec *JobRecord) View(offset, limit int) JobView {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	v := JobView{
+		ID:        rec.ID,
+		Status:    rec.status,
+		Jobs:      rec.Total,
+		Completed: len(rec.results),
+		Created:   rec.Created,
+		Reason:    rec.reason,
+		Offset:    offset,
+		Results:   []json.RawMessage{},
+	}
+	if rec.status != JobRunning {
+		t := rec.finished
+		v.Finished = &t
+	}
+	if offset < 0 {
+		offset = 0
+		v.Offset = 0
+	}
+	if offset < len(rec.results) {
+		end := len(rec.results)
+		if limit > 0 && offset+limit < end {
+			end = offset + limit
+		}
+		for _, r := range rec.results[offset:end] {
+			v.Results = append(v.Results, json.RawMessage(MarshalResult(r)))
+		}
+		if end < len(rec.results) {
+			next := end
+			v.NextOffset = &next
+		}
+	}
+	return v
+}
+
+// FollowJob delivers every result of rec to emit in order — existing
+// results first (late subscribers replay the full sequence), then new
+// ones as they land — until the record finishes or ctx fires. It
+// returns the record's final status, or JobRunning when ctx ended the
+// subscription first. Both streaming surfaces (the legacy NDJSON
+// response and the /v1 SSE endpoint) follow through here.
+func FollowJob(ctx context.Context, rec *JobRecord, emit func(JobResult)) JobStatus {
+	offset := 0
+	for {
+		results, status, changed := rec.next(offset)
+		for _, res := range results {
+			emit(res)
+		}
+		offset += len(results)
+		if len(results) > 0 {
+			continue // drain fully before blocking
+		}
+		if status != JobRunning {
+			return status
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return JobRunning
+		}
+	}
+}
+
+// EngineStats is the job engine's counter snapshot.
+type EngineStats struct {
+	// Submitted counts accepted batches; Canceled those that ended
+	// cancelled; Active those still running (tracked or not); Tracked
+	// the table size.
+	Submitted int64 `json:"submitted"`
+	Canceled  int64 `json:"canceled"`
+	Active    int   `json:"active"`
+	Tracked   int   `json:"tracked"`
+}
+
+// JobEngine runs submitted batches asynchronously over one shared
+// pipeline and tracks them in a bounded, TTL-evicted table. It is the
+// single execution path of fpserve: the /v1 async API and the legacy
+// synchronous /analyze endpoint both submit here, so they share the
+// worker pool, the module cache, and the cancellation plumbing.
+type JobEngine struct {
+	// MaxTrackedJobs bounds the job table (0 = DefaultMaxTrackedJobs).
+	MaxTrackedJobs int
+	// TTL is the retention of finished jobs (0 = DefaultJobTTL).
+	TTL time.Duration
+
+	pl      *Pipeline
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu        sync.Mutex
+	records   map[string]*JobRecord
+	order     []string // insertion order, for eviction scans
+	seq       int64
+	accepting bool
+	wg        sync.WaitGroup
+
+	submitted atomic.Int64
+	canceled  atomic.Int64
+	running   atomic.Int64
+}
+
+// NewJobEngine returns an accepting engine over pl.
+func NewJobEngine(pl *Pipeline) *JobEngine {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &JobEngine{
+		pl:        pl,
+		baseCtx:   ctx,
+		stop:      cancel,
+		records:   map[string]*JobRecord{},
+		accepting: true,
+	}
+}
+
+func (e *JobEngine) maxTracked() int {
+	if e.MaxTrackedJobs > 0 {
+		return e.MaxTrackedJobs
+	}
+	return DefaultMaxTrackedJobs
+}
+
+func (e *JobEngine) ttl() time.Duration {
+	if e.TTL > 0 {
+		return e.TTL
+	}
+	return DefaultJobTTL
+}
+
+// Submit accepts a batch, starts it on the shared pipeline, and tracks
+// it in the job table (so /v1 clients can poll, stream, and cancel it
+// by ID), returning immediately with its record.
+//
+// The job's context is a child of the engine (so shutdown cancels it),
+// bounded by timeout when positive (the per-request deadline), and —
+// when parent is non-nil — additionally tied to parent: a parent's
+// cancellation cancels the batch. The async API passes nil because a
+// /v1 job outlives the submission request by design.
+func (e *JobEngine) Submit(parent context.Context, jobs []Job, timeout time.Duration) (*JobRecord, error) {
+	return e.submit(parent, jobs, timeout, true)
+}
+
+// SubmitUntracked is Submit for batches whose results are delivered
+// out-of-band: the record never enters the job table (its client never
+// learns a job ID, so retention would be pure leak) and does not count
+// against MaxTrackedJobs — the legacy synchronous /analyze endpoint,
+// whose concurrency is bounded by its open connections, submits here.
+// Shutdown still cancels it (the job context is a child of the
+// engine's), and it still shares the worker pool and counters.
+func (e *JobEngine) SubmitUntracked(parent context.Context, jobs []Job) (*JobRecord, error) {
+	return e.submit(parent, jobs, 0, false)
+}
+
+func (e *JobEngine) submit(parent context.Context, jobs []Job, timeout time.Duration, track bool) (*JobRecord, error) {
+	e.mu.Lock()
+	if !e.accepting {
+		e.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	e.sweepLocked(time.Now())
+	if track && len(e.records) >= e.maxTracked() {
+		// TTL didn't free a slot: evict the oldest finished job to make
+		// room. Only a table full of RUNNING jobs refuses the
+		// submission.
+		if !e.evictOldestFinishedLocked() {
+			e.mu.Unlock()
+			return nil, ErrJobTableFull
+		}
+	}
+	e.seq++
+	ctx, cancelCause := context.WithCancelCause(e.baseCtx)
+	rec := &JobRecord{
+		ID:      fmt.Sprintf("job-%d", e.seq),
+		Created: time.Now(),
+		Total:   len(jobs),
+		status:  JobRunning,
+		changed: make(chan struct{}),
+		cancel:  cancelCause,
+	}
+	if track {
+		e.records[rec.ID] = rec
+		e.order = append(e.order, rec.ID)
+	}
+	e.wg.Add(1)
+	e.mu.Unlock()
+	e.submitted.Add(1)
+	e.running.Add(1)
+
+	runCtx := ctx
+	var cancelTimeout context.CancelFunc = func() {}
+	if timeout > 0 {
+		runCtx, cancelTimeout = context.WithTimeout(ctx, timeout)
+	}
+	if parent != nil {
+		go func() {
+			select {
+			case <-parent.Done():
+				cancelCause(errClientGone)
+			case <-runCtx.Done():
+			}
+		}()
+	}
+
+	go func() {
+		defer e.wg.Done()
+		defer e.running.Add(-1)
+		e.pl.Stream(runCtx, jobs, rec.append)
+		var cause error
+		if runCtx.Err() != nil {
+			cause = context.Cause(runCtx)
+			if cause == nil {
+				cause = runCtx.Err()
+			}
+			e.canceled.Add(1)
+		}
+		rec.finish(cause)
+		cancelTimeout()
+		cancelCause(nil) // release the watcher and the timer chain
+	}()
+	return rec, nil
+}
+
+// Get resolves a tracked job. Reads also sweep the TTL — a quiet
+// engine (no submissions) still sheds expired result sets — but never
+// evict for capacity, so a full-but-fresh table is not drained by
+// polling.
+func (e *JobEngine) Get(id string) (*JobRecord, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sweepLocked(time.Now())
+	rec, ok := e.records[id]
+	return rec, ok
+}
+
+// Cancel requests cancellation of a tracked job. It returns the record
+// and whether it was still running when the request landed. The status
+// flips to canceled as soon as the minimizers observe the context —
+// within one objective evaluation.
+func (e *JobEngine) Cancel(id string) (*JobRecord, bool, bool) {
+	rec, ok := e.Get(id)
+	if !ok {
+		return nil, false, false
+	}
+	rec.mu.Lock()
+	running := rec.status == JobRunning
+	rec.mu.Unlock()
+	if running {
+		rec.cancel(errCanceledByClient)
+	}
+	return rec, running, true
+}
+
+// List snapshots every tracked job, newest first, without results.
+func (e *JobEngine) List() []JobView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sweepLocked(time.Now())
+	out := make([]JobView, 0, len(e.order))
+	for i := len(e.order) - 1; i >= 0; i-- {
+		if rec, ok := e.records[e.order[i]]; ok {
+			out = append(out, rec.Header())
+		}
+	}
+	return out
+}
+
+// Stats snapshots the engine counters.
+func (e *JobEngine) Stats() EngineStats {
+	e.mu.Lock()
+	tracked := len(e.records)
+	e.mu.Unlock()
+	return EngineStats{
+		Submitted: e.submitted.Load(),
+		Canceled:  e.canceled.Load(),
+		Active:    int(e.running.Load()),
+		Tracked:   tracked,
+	}
+}
+
+// sweepLocked drops finished jobs past their TTL. Running jobs are
+// never evicted. Callers hold e.mu.
+func (e *JobEngine) sweepLocked(now time.Time) {
+	ttl := e.ttl()
+	keep := e.order[:0]
+	for _, id := range e.order {
+		rec, ok := e.records[id]
+		if !ok {
+			continue
+		}
+		rec.mu.Lock()
+		dead := rec.status != JobRunning && now.Sub(rec.finished) > ttl
+		rec.mu.Unlock()
+		if dead {
+			delete(e.records, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	e.order = keep
+}
+
+// evictOldestFinishedLocked makes room for one submission by dropping
+// the oldest finished job, reporting whether it could. Only Submit
+// calls it — capacity eviction must never run from a read path, or
+// polling a full table would destroy fresh results. Callers hold e.mu.
+func (e *JobEngine) evictOldestFinishedLocked() bool {
+	for i, id := range e.order {
+		rec, ok := e.records[id]
+		if !ok {
+			continue
+		}
+		rec.mu.Lock()
+		finished := rec.status != JobRunning
+		rec.mu.Unlock()
+		if finished {
+			delete(e.records, id)
+			e.order = append(e.order[:i:i], e.order[i+1:]...)
+			return true
+		}
+	}
+	return false // everything is running
+}
+
+// Shutdown stops accepting submissions, cancels every running job —
+// tracked ones with the shutdown reason, then the engine context as
+// the backstop for untracked ones — and waits for them to drain (each
+// lands within one objective evaluation) or for ctx to expire.
+func (e *JobEngine) Shutdown(ctx context.Context) error {
+	e.mu.Lock()
+	e.accepting = false
+	recs := make([]*JobRecord, 0, len(e.records))
+	for _, rec := range e.records {
+		recs = append(recs, rec)
+	}
+	e.mu.Unlock()
+	for _, rec := range recs {
+		rec.cancel(errShutdown)
+	}
+	e.stop() // cancels baseCtx: every job context is its child
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,102 @@
+package pipeline_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cli"
+	"repro/internal/instrument"
+	"repro/internal/opt"
+	"repro/internal/pipeline"
+)
+
+// mustPath parses a target decision sequence.
+func mustPath(t testing.TB, spec string) []instrument.Decision {
+	t.Helper()
+	ds, err := cli.ParsePath(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// boundsPair is a single broadcastable [lo, hi] bound.
+func boundsPair(lo, hi float64) []opt.Bound {
+	return []opt.Bound{{Lo: lo, Hi: hi}}
+}
+
+// stableGoroutines samples the goroutine count until it stops at or
+// below want, or the deadline passes; it returns the last count.
+func stableGoroutines(want int, deadline time.Duration) int {
+	end := time.Now().Add(deadline)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(end) {
+		n = runtime.NumGoroutine()
+		if n <= want {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	return n
+}
+
+// TestStreamCancelNoGoroutineLeak audits the worker pool for leaks: a
+// batch cancelled mid-run must wind down every runner goroutine — the
+// runners drain the queue marking jobs canceled, the in-flight jobs
+// observe the context within one evaluation, and nothing blocks on the
+// result channels.
+func TestStreamCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pl := pipeline.New(4)
+	jobs := make([]pipeline.Job, 8)
+	for i := range jobs {
+		jobs[i] = pipeline.Job{
+			Builtin: "fig2",
+			Spec: analysis.Spec{
+				Analysis: "reach", Seed: int64(i + 1),
+				Starts: 1_000_000, Evals: 10_000_000, Workers: 2,
+				Path:   mustPath(t, "0:t,1:t"),
+				Bounds: boundsPair(100, 200), // makes 0:t unreachable → no zero
+			},
+		}
+	}
+
+	done := make(chan struct{})
+	var got []pipeline.JobResult
+	go func() {
+		defer close(done)
+		pl.Stream(ctx, jobs, func(r pipeline.JobResult) { got = append(got, r) })
+	}()
+	// Let at least one job get deep into minimization, then cancel.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Stream did not return within 30s of cancellation")
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("Stream emitted %d of %d results", len(got), len(jobs))
+	}
+	for _, r := range got {
+		if !r.Canceled {
+			t.Errorf("job %d: Canceled=false after batch cancellation (error=%q)", r.Index, r.Error)
+		}
+	}
+
+	// Every goroutine the batch spawned must be gone. A small slack
+	// absorbs runtime/test-framework background goroutines.
+	const slack = 2
+	if after := stableGoroutines(before+slack, 10*time.Second); after > before+slack {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines: %d before, %d after cancelled batch\n%s",
+			before, after, buf[:runtime.Stack(buf, true)])
+	}
+}

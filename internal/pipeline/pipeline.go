@@ -59,6 +59,10 @@ type JobResult struct {
 	Failed bool `json:"failed,omitempty"`
 	// Error is set when the job could not run.
 	Error string `json:"error,omitempty"`
+	// Canceled reports the job was cancelled (or hit its deadline): it
+	// either never ran, or ran partially — Report then holds whatever
+	// the analysis had produced when the context fired.
+	Canceled bool `json:"canceled,omitempty"`
 	// Report is the typed analysis report.
 	Report analysis.Report `json:"report,omitempty"`
 }
@@ -128,8 +132,10 @@ func (pl *Pipeline) slots() chan struct{} {
 	return pl.sem
 }
 
-// RunJob executes one job.
-func (pl *Pipeline) RunJob(idx int, j Job) JobResult {
+// RunJob executes one job. The context cancels it cooperatively at
+// weak-distance-evaluation granularity: a job cancelled mid-analysis
+// returns promptly with a partial report and Canceled set.
+func (pl *Pipeline) RunJob(ctx context.Context, idx int, j Job) JobResult {
 	res := JobResult{Index: idx, Analysis: j.Spec.Analysis}
 	a, err := analysis.Lookup(j.Spec.Analysis)
 	if err != nil {
@@ -156,7 +162,7 @@ func (pl *Pipeline) RunJob(idx int, j Job) JobResult {
 		case j.Source != "":
 			eng, err := interp.ParseEngine(spec.Engine)
 			if err != nil {
-				res.Error = err.Error()
+				res.Error = (&analysis.SpecError{Field: "engine", Value: spec.Engine, Reason: err.Error()}).Error()
 				return res
 			}
 			p, hit, err := pl.Cache.Program(j.Source, j.Func, eng)
@@ -173,12 +179,12 @@ func (pl *Pipeline) RunJob(idx int, j Job) JobResult {
 		res.Program = in.Program.Name
 		spec.Bounds, err = opt.BroadcastBounds(spec.Bounds, in.Program.Dim)
 		if err != nil {
-			res.Error = err.Error()
+			res.Error = (&analysis.SpecError{Field: "bounds", Reason: err.Error()}).Error()
 			return res
 		}
 	}
 
-	rep, err := a.Run(in, spec)
+	rep, err := a.Run(ctx, in, spec)
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -186,21 +192,23 @@ func (pl *Pipeline) RunJob(idx int, j Job) JobResult {
 	res.Report = rep
 	res.Summary = rep.Summary()
 	res.Failed = rep.Failed()
+	// The report's own flag, not ctx.Err(): a context that fires after
+	// the analysis completed must not mislabel a complete report as
+	// partial.
+	res.Canceled = rep.Interrupted()
 	return res
 }
 
 // Stream runs the batch over the worker pool and delivers results to
 // emit in job order, each as soon as it (and all its predecessors) is
 // done. Results are bit-identical for every Workers value.
-func (pl *Pipeline) Stream(jobs []Job, emit func(JobResult)) {
-	pl.StreamCtx(context.Background(), jobs, emit)
-}
-
-// StreamCtx is Stream with cancellation: once ctx is done, jobs not yet
-// dispatched are reported as canceled instead of run, so an abandoned
-// request (fpserve client disconnect) stops occupying the shared worker
-// pool. Already-running jobs complete normally.
-func (pl *Pipeline) StreamCtx(ctx context.Context, jobs []Job, emit func(JobResult)) {
+//
+// The context cancels the batch: jobs not yet dispatched when ctx fires
+// are reported as canceled instead of run (so an abandoned request
+// stops occupying the shared worker pool), and jobs already running are
+// cancelled at weak-distance-evaluation granularity, returning partial
+// reports. Pass context.Background() for the uncancellable form.
+func (pl *Pipeline) Stream(ctx context.Context, jobs []Job, emit func(JobResult)) {
 	n := len(jobs)
 	if n == 0 {
 		return
@@ -232,16 +240,16 @@ func (pl *Pipeline) StreamCtx(ctx context.Context, jobs []Job, emit func(JobResu
 				case sem <- struct{}{}:
 				case <-ctx.Done():
 					done[i] <- JobResult{Index: i, Analysis: jobs[i].Spec.Analysis,
-						Error: "canceled: " + ctx.Err().Error()}
+						Canceled: true, Error: "canceled: " + ctx.Err().Error()}
 					continue
 				}
 				if err := ctx.Err(); err != nil {
 					<-sem
 					done[i] <- JobResult{Index: i, Analysis: jobs[i].Spec.Analysis,
-						Error: "canceled: " + err.Error()}
+						Canceled: true, Error: "canceled: " + err.Error()}
 					continue
 				}
-				done[i] <- pl.RunJob(i, jobs[i])
+				done[i] <- pl.RunJob(ctx, i, jobs[i])
 				<-sem
 			}
 		}()
@@ -252,8 +260,8 @@ func (pl *Pipeline) StreamCtx(ctx context.Context, jobs []Job, emit func(JobResu
 }
 
 // RunBatch runs the batch and returns all results in job order.
-func (pl *Pipeline) RunBatch(jobs []Job) []JobResult {
+func (pl *Pipeline) RunBatch(ctx context.Context, jobs []Job) []JobResult {
 	out := make([]JobResult, 0, len(jobs))
-	pl.Stream(jobs, func(r JobResult) { out = append(out, r) })
+	pl.Stream(ctx, jobs, func(r JobResult) { out = append(out, r) })
 	return out
 }

@@ -111,7 +111,7 @@ func TestPipelineEveryAnalysisEveryFixture(t *testing.T) {
 	srcs := loadFixtures(t)
 
 	serialJobs := fixtureJobs(t, srcs, 1)
-	serial := pipeline.New(1).RunBatch(serialJobs)
+	serial := pipeline.New(1).RunBatch(context.Background(), serialJobs)
 	if len(serial) != len(serialJobs) {
 		t.Fatalf("%d results for %d jobs", len(serial), len(serialJobs))
 	}
@@ -128,7 +128,7 @@ func TestPipelineEveryAnalysisEveryFixture(t *testing.T) {
 	}
 
 	parallelJobs := fixtureJobs(t, srcs, 3)
-	parallel := pipeline.New(8).RunBatch(parallelJobs)
+	parallel := pipeline.New(8).RunBatch(context.Background(), parallelJobs)
 
 	got, want := normalizeResults(t, parallel), normalizeResults(t, serial)
 	for i := range want {
@@ -181,8 +181,8 @@ func TestModuleCacheNoRecompile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep1, err1 := a.Run(analysis.Input{Program: p1}, spec)
-	rep2, err2 := a.Run(analysis.Input{Program: p2}, spec)
+	rep1, err1 := a.Run(context.Background(), analysis.Input{Program: p1}, spec)
+	rep2, err2 := a.Run(context.Background(), analysis.Input{Program: p2}, spec)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -203,7 +203,7 @@ func TestStreamCtxCanceled(t *testing.T) {
 		jobs[i] = pipeline.Job{Builtin: "fig2", Spec: analysis.Spec{Analysis: "bva", Seed: 1}}
 	}
 	var got []pipeline.JobResult
-	pipeline.New(1).StreamCtx(ctx, jobs, func(r pipeline.JobResult) { got = append(got, r) })
+	pipeline.New(1).Stream(ctx, jobs, func(r pipeline.JobResult) { got = append(got, r) })
 	if len(got) != len(jobs) {
 		t.Fatalf("%d results for %d jobs", len(got), len(jobs))
 	}
@@ -261,16 +261,16 @@ func TestModuleCacheBounded(t *testing.T) {
 // in the result, never panic the batch.
 func TestPipelineJobErrors(t *testing.T) {
 	pl := pipeline.New(2)
-	results := pl.RunBatch([]pipeline.Job{
+	results := pl.RunBatch(context.Background(), []pipeline.Job{
 		{Spec: analysis.Spec{Analysis: "nope"}},
-		{Spec: analysis.Spec{Analysis: "bva"}},                                            // no program
-		{Builtin: "nope", Spec: analysis.Spec{Analysis: "bva"}},                           // unknown builtin
+		{Spec: analysis.Spec{Analysis: "bva"}},                                                 // no program
+		{Builtin: "nope", Spec: analysis.Spec{Analysis: "bva"}},                                // unknown builtin
 		{Source: "func f(x double) {}", Builtin: "fig2", Spec: analysis.Spec{Analysis: "bva"}}, // both
-		{Source: "not fpl at all", Spec: analysis.Spec{Analysis: "bva"}},                  // parse error
-		{Builtin: "fig2", Spec: analysis.Spec{Analysis: "reach"}},                         // no path
+		{Source: "not fpl at all", Spec: analysis.Spec{Analysis: "bva"}},                       // parse error
+		{Builtin: "fig2", Spec: analysis.Spec{Analysis: "reach"}},                              // no path
 		{Builtin: "fig2", Spec: analysis.Spec{Analysis: "bva", Backend: "nope", Evals: 10, Starts: 1}},
 		{Builtin: "fig2", Spec: analysis.Spec{Analysis: "bva", Bounds: []opt.Bound{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}}}, // dim mismatch
-		{Builtin: "fig2", Spec: analysis.Spec{Analysis: "bva", Bounds: []opt.Bound{{Lo: 1, Hi: 0}}}},                // lo > hi
+		{Builtin: "fig2", Spec: analysis.Spec{Analysis: "bva", Bounds: []opt.Bound{{Lo: 1, Hi: 0}}}},                 // lo > hi
 		{Spec: analysis.Spec{Analysis: "xsat", Formula: "x + y + z == 1 && x > 0",
 			Bounds: []opt.Bound{{Lo: -4, Hi: 4}, {Lo: -4, Hi: 4}}}}, // bounds ≠ formula dim
 	})
@@ -281,7 +281,7 @@ func TestPipelineJobErrors(t *testing.T) {
 	}
 
 	// Alias lookup still resolves through the pipeline.
-	r := pl.RunJob(0, pipeline.Job{Builtin: "fig2",
+	r := pl.RunJob(context.Background(), 0, pipeline.Job{Builtin: "fig2",
 		Spec: analysis.Spec{Analysis: "coverme", Seed: 2, Evals: 300, Stall: 2, Workers: 1,
 			Bounds: []opt.Bound{{Lo: -100, Hi: 100}}}})
 	if r.Error != "" || r.Analysis != "coverage" {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -36,12 +37,19 @@ func (r Request) jobs() []Job {
 	return out
 }
 
-// Server is the fpserve HTTP front end: concurrent requests share one
-// pipeline (and therefore one module cache), so repeated submissions of
-// the same FPL source are never recompiled.
+// Server is the fpserve HTTP front end. Every surface — the versioned
+// /v1 resource API and the legacy flat endpoints — runs over one
+// pipeline (one module cache, one worker-pool bound) and one job
+// engine, so program registrations, async jobs, and legacy synchronous
+// batches all share compilation and cancellation plumbing.
 type Server struct {
 	// PL is the shared pipeline.
 	PL *Pipeline
+	// Engine is the async job engine; the legacy /analyze endpoint is a
+	// synchronous wrapper over it.
+	Engine *JobEngine
+	// Programs is the /v1 registered-program store.
+	Programs *ProgramStore
 
 	requests atomic.Int64
 	jobs     atomic.Int64
@@ -51,18 +59,67 @@ type Server struct {
 // concurrently running jobs across ALL in-flight requests (0 = all
 // CPUs).
 func NewServer(workers int) *Server {
-	return &Server{PL: New(workers)}
+	pl := New(workers)
+	return &Server{
+		PL:       pl,
+		Engine:   NewJobEngine(pl),
+		Programs: NewProgramStore(pl.Cache),
+	}
 }
 
-// Handler returns the fpserve route table:
+// Shutdown gracefully stops the server's job engine: no new
+// submissions, every in-flight job cancelled (landing within one
+// objective evaluation), drained until done or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.Engine.Shutdown(ctx)
+}
+
+// Handler returns the fpserve route table.
 //
-//	POST /analyze  — run a batch; streams one JSON result per line
-//	                 (NDJSON) in job order as jobs complete
+// Versioned API (see docs/api.md):
+//
+//	POST   /v1/programs          — register FPL source (content-addressed)
+//	GET    /v1/programs          — list registered programs
+//	GET    /v1/programs/{id}     — inspect a program
+//	DELETE /v1/programs/{id}     — evict a program (and its cached modules)
+//	POST   /v1/jobs              — submit an async batch → job id
+//	GET    /v1/jobs              — list tracked jobs
+//	GET    /v1/jobs/{id}         — job status + paginated results
+//	GET    /v1/jobs/{id}/events  — SSE stream of results and completion
+//	DELETE /v1/jobs/{id}         — cancel a running job
+//	GET    /v1/analyses          — list registered analyses
+//
+// Errors are application/problem+json with field-level spec-validation
+// details. Every /v1 request honors a Request-Timeout header (a Go
+// duration) as its deadline.
+//
+// Legacy surface (wire-compatible with the unversioned server):
+//
+//	POST /analyze  — run a batch synchronously; streams one JSON result
+//	                 per line (NDJSON) in job order as jobs complete
 //	GET  /analyses — list registered analyses with their default specs
-//	GET  /stats    — module-cache and traffic counters
+//	GET  /stats    — module-cache, job-engine, and traffic counters
 //	GET  /healthz  — liveness
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+
+	// Versioned resource API.
+	mux.HandleFunc("POST /v1/programs", v1h(s.handleProgramRegister))
+	mux.HandleFunc("GET /v1/programs", v1h(s.handleProgramList))
+	mux.HandleFunc("GET /v1/programs/{id}", v1h(s.handleProgramGet))
+	mux.HandleFunc("DELETE /v1/programs/{id}", v1h(s.handleProgramDelete))
+	mux.HandleFunc("POST /v1/jobs", v1h(s.handleJobSubmit))
+	mux.HandleFunc("GET /v1/jobs", v1h(s.handleJobList))
+	mux.HandleFunc("GET /v1/jobs/{id}", v1h(s.handleJobGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", v1h(s.handleJobEvents))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", v1h(s.handleJobCancel))
+	mux.HandleFunc("GET /v1/analyses", v1h(s.handleAnalyses))
+	mux.HandleFunc("/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeProblem(w, http.StatusNotFound, problemNotFound, "unknown resource",
+			"no /v1 resource at "+r.URL.Path)
+	})
+
+	// Legacy flat surface.
 	mux.HandleFunc("/analyze", s.handleAnalyze)
 	mux.HandleFunc("/analyses", s.handleAnalyses)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -73,7 +130,7 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Request-hardening limits: an analyze body may not exceed
+// Request-hardening limits: an analyze/submit body may not exceed
 // maxRequestBytes, and one request may not enqueue more than
 // maxJobsPerRequest jobs.
 const (
@@ -81,6 +138,12 @@ const (
 	maxJobsPerRequest = 4096
 )
 
+// handleAnalyze is the legacy synchronous endpoint, kept as a thin
+// compatibility wrapper over the job engine: the batch is submitted
+// like any /v1 job (same pool, same cache, same cancellation) and its
+// results are streamed back as NDJSON, byte-identical to the historical
+// wire format. The request context rides along as the job's parent, so
+// a client disconnect cancels the batch mid-minimization.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST a JSON request body", http.StatusMethodNotAllowed)
@@ -103,14 +166,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			len(jobs), maxJobsPerRequest), http.StatusBadRequest)
 		return
 	}
+	// Untracked: this response delivers every result, the client never
+	// learns a job ID, and the endpoint's concurrency is bounded by its
+	// open connections — it must not occupy (or be refused by) the /v1
+	// job table. The request context rides along as the job's parent,
+	// so a client disconnect cancels the batch mid-minimization.
+	rec, err := s.Engine.SubmitUntracked(r.Context(), jobs)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
 	s.requests.Add(1)
 	s.jobs.Add(int64(len(jobs)))
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	// The request context cancels pending jobs when the client goes
-	// away, so abandoned batches stop occupying the shared pool.
-	s.PL.StreamCtx(r.Context(), jobs, func(res JobResult) {
+	FollowJob(r.Context(), rec, func(res JobResult) {
 		w.Write(MarshalResult(res))
 		w.Write([]byte("\n"))
 		if flusher != nil {
@@ -135,13 +206,17 @@ func (s *Server) handleAnalyses(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats := struct {
-		Requests int64      `json:"requests"`
-		Jobs     int64      `json:"jobs"`
-		Cache    CacheStats `json:"cache"`
+		Requests int64       `json:"requests"`
+		Jobs     int64       `json:"jobs"`
+		Cache    CacheStats  `json:"cache"`
+		Engine   EngineStats `json:"engine"`
+		Programs int         `json:"programs"`
 	}{
 		Requests: s.requests.Load(),
 		Jobs:     s.jobs.Load(),
 		Cache:    s.PL.Cache.Stats(),
+		Engine:   s.Engine.Stats(),
+		Programs: s.Programs.Len(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)

@@ -2,6 +2,7 @@ package pipeline_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -94,7 +95,7 @@ func TestServeConcurrentBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := a.Run(analysis.Input{Program: p}, spec)
+		rep, err := a.Run(context.Background(), analysis.Input{Program: p}, spec)
 		if err != nil {
 			t.Fatal(err)
 		}

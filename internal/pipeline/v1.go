@@ -1,0 +1,436 @@
+package pipeline
+
+// This file implements the fpserve /v1 resource API: registered
+// programs, asynchronous jobs with SSE streaming and cancellation, and
+// the problem+json error model. See docs/api.md for the endpoint
+// reference.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/interp"
+	"repro/internal/opt"
+	"repro/internal/sat"
+)
+
+// v1h wraps a /v1 handler with the per-request deadline: a
+// Request-Timeout header (a Go duration, e.g. "2s" or "500ms") bounds
+// the request's context. Malformed values are a validation problem.
+func v1h(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if raw := r.Header.Get("Request-Timeout"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil || d <= 0 {
+				validationProblem(w, "bad Request-Timeout header",
+					[]*analysis.SpecError{{Field: "Request-Timeout", Value: raw,
+						Reason: "want a positive Go duration, e.g. 2s or 500ms"}})
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// --- Programs ---
+
+// programRegisterRequest is the POST /v1/programs payload.
+type programRegisterRequest struct {
+	// Source is the FPL source to register.
+	Source string `json:"source"`
+	// Func optionally selects the default analyzed function (empty =
+	// first declared).
+	Func string `json:"func,omitempty"`
+}
+
+func (s *Server) handleProgramRegister(w http.ResponseWriter, r *http.Request) {
+	var req programRegisterRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		validationProblem(w, "bad request body: "+err.Error(), nil)
+		return
+	}
+	if req.Source == "" {
+		validationProblem(w, "empty program",
+			[]*analysis.SpecError{{Field: "source", Reason: "source is required"}})
+		return
+	}
+	info, existed, err := s.Programs.Register(req.Source, req.Func, time.Now().UTC())
+	if err != nil {
+		var full ErrStoreFull
+		if errors.As(err, &full) {
+			writeProblem(w, http.StatusInsufficientStorage, problemOverloaded,
+				"program store full",
+				fmt.Sprintf("the store holds its maximum of %d programs; DELETE one to make room", full.Max))
+			return
+		}
+		validationProblem(w, "program does not compile",
+			[]*analysis.SpecError{{Field: "source", Reason: err.Error()}})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/programs/"+info.ID)
+	if existed {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusCreated)
+	}
+	json.NewEncoder(w).Encode(info)
+}
+
+func (s *Server) handleProgramList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Programs []ProgramInfo `json:"programs"`
+	}{Programs: s.Programs.List()})
+}
+
+func (s *Server) handleProgramGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, _, ok := s.Programs.Lookup(id)
+	if !ok {
+		notFoundProblem(w, "program", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+func (s *Server) handleProgramDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Programs.Delete(id) {
+		notFoundProblem(w, "program", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- Jobs ---
+
+// V1Job is one unit of a /v1 batch: a pipeline Job that may also
+// reference a registered program by ID instead of carrying source.
+type V1Job struct {
+	// Program references a registered program ("sha256:<hex>").
+	Program string `json:"program,omitempty"`
+	// Builtin / Source / Func are the inline forms (see Job).
+	Builtin string `json:"builtin,omitempty"`
+	Source  string `json:"source,omitempty"`
+	Func    string `json:"func,omitempty"`
+	// Spec selects and configures the analysis.
+	Spec analysis.Spec `json:"spec"`
+}
+
+// jobSubmitRequest is the POST /v1/jobs payload: an explicit job list,
+// or one program fanned over a spec list, plus the job deadline.
+type jobSubmitRequest struct {
+	Jobs []V1Job `json:"jobs,omitempty"`
+	// Program / Builtin / Source / Func name one program for the
+	// shorthand form.
+	Program string          `json:"program,omitempty"`
+	Builtin string          `json:"builtin,omitempty"`
+	Source  string          `json:"source,omitempty"`
+	Func    string          `json:"func,omitempty"`
+	Specs   []analysis.Spec `json:"specs,omitempty"`
+	// Timeout is the job's deadline as a Go duration ("30s"); on expiry
+	// the job is cancelled mid-minimization and keeps its partial
+	// results. Empty means no deadline.
+	Timeout string `json:"timeout,omitempty"`
+}
+
+func (req jobSubmitRequest) v1jobs() []V1Job {
+	if len(req.Jobs) > 0 {
+		return req.Jobs
+	}
+	out := make([]V1Job, 0, len(req.Specs))
+	for _, sp := range req.Specs {
+		out = append(out, V1Job{Program: req.Program, Builtin: req.Builtin,
+			Source: req.Source, Func: req.Func, Spec: sp})
+	}
+	return out
+}
+
+// resolveJobs validates the batch field-by-field and lowers every V1Job
+// to a pipeline Job (program references become their registered
+// source, hitting the same cache slot registration warmed). It returns
+// every validation failure, not just the first, each located by its
+// job index.
+func (s *Server) resolveJobs(v1jobs []V1Job) ([]Job, []*analysis.SpecError) {
+	var errs []*analysis.SpecError
+	loc := func(i int, field string) string { return fmt.Sprintf("jobs[%d].%s", i, field) }
+	jobs := make([]Job, 0, len(v1jobs))
+	for i, vj := range v1jobs {
+		job := Job{Builtin: vj.Builtin, Source: vj.Source, Func: vj.Func, Spec: vj.Spec}
+
+		a, err := analysis.Lookup(vj.Spec.Analysis)
+		var spe *analysis.SpecError
+		if err != nil {
+			if errors.As(err, &spe) {
+				errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.analysis"),
+					Value: spe.Value, Reason: spe.Reason})
+			} else {
+				errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.analysis"), Reason: err.Error()})
+			}
+			jobs = append(jobs, job)
+			continue
+		}
+
+		sources := 0
+		for _, set := range []bool{vj.Program != "", vj.Builtin != "", vj.Source != ""} {
+			if set {
+				sources++
+			}
+		}
+		if sources > 1 {
+			errs = append(errs, &analysis.SpecError{Field: loc(i, "program"),
+				Reason: "set at most one of program, builtin, source"})
+			jobs = append(jobs, job)
+			continue
+		}
+		if vj.Program != "" {
+			info, src, ok := s.Programs.Lookup(vj.Program)
+			if !ok {
+				errs = append(errs, &analysis.SpecError{Field: loc(i, "program"), Value: vj.Program,
+					Reason: fmt.Sprintf("unknown program %q: register it via POST /v1/programs", vj.Program)})
+				jobs = append(jobs, job)
+				continue
+			}
+			job.Source = src
+			if job.Func == "" {
+				job.Func = info.Func
+			}
+		}
+		if a.Knobs().Program && job.Builtin == "" && job.Source == "" {
+			errs = append(errs, &analysis.SpecError{Field: loc(i, "program"),
+				Reason: fmt.Sprintf("analysis %q needs a program: set program, builtin, or source", a.Name())})
+		}
+		if a.Knobs().Formula {
+			if vj.Spec.Formula == "" {
+				errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.formula"),
+					Reason: fmt.Sprintf("analysis %q needs a formula", a.Name())})
+			} else if _, _, err := sat.Parse(vj.Spec.Formula); err != nil {
+				errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.formula"),
+					Value: vj.Spec.Formula, Reason: err.Error()})
+			}
+		}
+		if a.Knobs().Path {
+			bad := len(vj.Spec.Path) == 0
+			for _, d := range vj.Spec.Path {
+				if d.Site < 0 {
+					bad = true
+				}
+			}
+			if bad {
+				errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.path"),
+					Reason: "empty or invalid path; want e.g. [{\"Site\": 0, \"Taken\": true}]"})
+			}
+		}
+		// Pair validity only (NaN, lo > hi) — the dimension check needs
+		// the program and happens at run time.
+		if _, err := opt.BroadcastBounds(vj.Spec.Bounds, len(vj.Spec.Bounds)); err != nil {
+			errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.bounds"), Reason: err.Error()})
+		}
+		if _, err := interp.ParseEngine(vj.Spec.Engine); err != nil {
+			errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.engine"),
+				Value: vj.Spec.Engine, Reason: err.Error()})
+		}
+		if _, err := opt.BackendByName(vj.Spec.Backend); err != nil {
+			errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.backend"),
+				Value: vj.Spec.Backend, Reason: err.Error()})
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, errs
+}
+
+// jobSubmitResponse is the 202 body of POST /v1/jobs.
+type jobSubmitResponse struct {
+	ID     string    `json:"id"`
+	Status JobStatus `json:"status"`
+	Jobs   int       `json:"jobs"`
+	// URL and Events locate the job resource and its SSE stream.
+	URL    string `json:"url"`
+	Events string `json:"events"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobSubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		validationProblem(w, "bad request body: "+err.Error(), nil)
+		return
+	}
+	var timeout time.Duration
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d <= 0 {
+			validationProblem(w, "bad job timeout",
+				[]*analysis.SpecError{{Field: "timeout", Value: req.Timeout,
+					Reason: "want a positive Go duration, e.g. 30s"}})
+			return
+		}
+		timeout = d
+	}
+	v1jobs := req.v1jobs()
+	if len(v1jobs) == 0 {
+		validationProblem(w, "no jobs",
+			[]*analysis.SpecError{{Field: "jobs",
+				Reason: "set jobs, or program/builtin/source plus specs"}})
+		return
+	}
+	if len(v1jobs) > maxJobsPerRequest {
+		writeProblem(w, http.StatusBadRequest, problemTooLarge, "batch too large",
+			fmt.Sprintf("%d jobs exceeds the per-request limit of %d", len(v1jobs), maxJobsPerRequest))
+		return
+	}
+	jobs, errs := s.resolveJobs(v1jobs)
+	if len(errs) > 0 {
+		validationProblem(w, fmt.Sprintf("%d validation errors across %d jobs", len(errs), len(v1jobs)), errs)
+		return
+	}
+	rec, err := s.Engine.Submit(nil, jobs, timeout)
+	if err != nil {
+		status, typ := http.StatusServiceUnavailable, problemOverloaded
+		if errors.Is(err, ErrShuttingDown) {
+			typ = problemShutdown
+		}
+		writeProblem(w, status, typ, "cannot accept jobs", err.Error())
+		return
+	}
+	s.requests.Add(1)
+	s.jobs.Add(int64(len(jobs)))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/v1/jobs/"+rec.ID)
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(jobSubmitResponse{
+		ID:     rec.ID,
+		Status: JobRunning,
+		Jobs:   rec.Total,
+		URL:    "/v1/jobs/" + rec.ID,
+		Events: "/v1/jobs/" + rec.ID + "/events",
+	})
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: s.Engine.List()})
+}
+
+// defaultResultPage bounds GET /v1/jobs/{id} result pages when the
+// client does not pass an explicit limit.
+const defaultResultPage = 256
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	// Validate pagination before the lookup, so a malformed request is
+	// a 400 whether or not the job exists.
+	offset, limit := 0, defaultResultPage
+	q := r.URL.Query()
+	var errs []*analysis.SpecError
+	if raw := q.Get("offset"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			errs = append(errs, &analysis.SpecError{Field: "offset", Value: raw,
+				Reason: "want a nonnegative integer"})
+		} else {
+			offset = v
+		}
+	}
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			errs = append(errs, &analysis.SpecError{Field: "limit", Value: raw,
+				Reason: "want a positive integer"})
+		} else {
+			limit = v
+		}
+	}
+	if len(errs) > 0 {
+		validationProblem(w, "bad pagination", errs)
+		return
+	}
+	id := r.PathValue("id")
+	rec, ok := s.Engine.Get(id)
+	if !ok {
+		notFoundProblem(w, "job", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rec.View(offset, limit))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, wasRunning, ok := s.Engine.Cancel(id)
+	if !ok {
+		notFoundProblem(w, "job", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if wasRunning {
+		w.WriteHeader(http.StatusAccepted)
+	}
+	json.NewEncoder(w).Encode(rec.View(0, defaultResultPage))
+}
+
+// handleJobEvents streams a job as Server-Sent Events: one "result"
+// event per job result as it lands, then one "done" event with the
+// final status. A subscriber attaching late replays the existing
+// results first — the stream always delivers the complete sequence.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.Engine.Get(id)
+	if !ok {
+		notFoundProblem(w, "job", id)
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	emit := func(event string, data []byte) {
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// status/done events carry the job header only — the results
+	// themselves are the "result" events.
+	type statusEvent struct {
+		ID        string     `json:"id"`
+		Status    JobStatus  `json:"status"`
+		Jobs      int        `json:"jobs"`
+		Completed int        `json:"completed"`
+		Created   time.Time  `json:"created"`
+		Finished  *time.Time `json:"finished,omitempty"`
+		Reason    string     `json:"reason,omitempty"`
+	}
+	statusJSON := func() []byte {
+		v := rec.Header()
+		b, _ := json.Marshal(statusEvent{
+			ID: v.ID, Status: v.Status, Jobs: v.Jobs, Completed: v.Completed,
+			Created: v.Created, Finished: v.Finished, Reason: v.Reason,
+		})
+		return b
+	}
+
+	emit("status", statusJSON())
+	if FollowJob(r.Context(), rec, func(res JobResult) {
+		emit("result", MarshalResult(res))
+	}) != JobRunning {
+		emit("done", statusJSON())
+	}
+	// JobRunning means the client went away first: just return.
+}

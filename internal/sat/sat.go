@@ -11,6 +11,7 @@
 package sat
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -278,12 +279,17 @@ type Result struct {
 	MinDistance float64
 	// Evals counts R evaluations.
 	Evals int
+	// Canceled reports the search was cut short by context
+	// cancellation; the Unknown verdict then covers an unfinished
+	// budget, not an exhausted one.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
-// Solve decides the formula by weak-distance minimization. A returned
-// model is always verified by concrete evaluation (§5.2 guard), so Sat
-// answers are sound; Unknown answers may be incomplete.
-func Solve(f *Formula, o Options) Result {
+// Solve decides the formula by weak-distance minimization, cancellable
+// through ctx at evaluation granularity. A returned model is always
+// verified by concrete evaluation (§5.2 guard), so Sat answers are
+// sound; Unknown answers may be incomplete.
+func Solve(ctx context.Context, f *Formula, o Options) Result {
 	dim := f.Dim()
 	if dim == 0 {
 		// Ground formula: evaluate directly.
@@ -302,7 +308,7 @@ func Solve(f *Formula, o Options) Result {
 		NewW:   func() core.WeakDistance { return w },
 		Member: f.Eval,
 	}
-	r := core.Solve(prob, core.Options{
+	r := core.Solve(ctx, prob, core.Options{
 		Backend:       o.Backend,
 		Starts:        o.Starts,
 		EvalsPerStart: o.EvalsPerStart,
@@ -313,7 +319,7 @@ func Solve(f *Formula, o Options) Result {
 	if r.Found {
 		return Result{Verdict: Sat, Model: r.X, MinDistance: 0, Evals: r.Evals}
 	}
-	return Result{Verdict: Unknown, MinDistance: r.W, Evals: r.Evals}
+	return Result{Verdict: Unknown, MinDistance: r.W, Evals: r.Evals, Canceled: r.Canceled}
 }
 
 func maxInt(a, b int) int {

@@ -1,6 +1,7 @@
 package sat
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -16,7 +17,7 @@ func solveText(t *testing.T, src string, o Options) (Result, *Formula) {
 	if err != nil {
 		t.Fatalf("parse %q: %v", src, err)
 	}
-	return Solve(f, o), f
+	return Solve(context.Background(), f, o), f
 }
 
 func TestMotivatingConstraintRoundToNearest(t *testing.T) {
@@ -101,7 +102,7 @@ func TestModelsAlwaysVerified(t *testing.T) {
 		if err != nil {
 			t.Fatalf("parse %q: %v", src, err)
 		}
-		r := Solve(f, Options{Seed: 6, Starts: 4, EvalsPerStart: 8000, Bounds: boundsFor(f.Dim(), -50, 50)})
+		r := Solve(context.Background(), f, Options{Seed: 6, Starts: 4, EvalsPerStart: 8000, Bounds: boundsFor(f.Dim(), -50, 50)})
 		if r.Verdict == Sat && !f.Eval(r.Model) {
 			t.Errorf("%q: unsound model %v", src, r.Model)
 		}
@@ -150,7 +151,7 @@ func TestRealDistanceLimitation2(t *testing.T) {
 	// x*x == 0 holds for |x| < ~1.5e-162 by underflow — these ARE
 	// genuine floating-point models (the comparison is over FP values),
 	// so SAT with e.g. x=1e-200 is correct here.
-	r := Solve(f, Options{Seed: 7, RealDist: true, Bounds: []opt.Bound{{Lo: -1, Hi: 1}}})
+	r := Solve(context.Background(), f, Options{Seed: 7, RealDist: true, Bounds: []opt.Bound{{Lo: -1, Hi: 1}}})
 	if r.Verdict != Sat {
 		t.Fatalf("%+v", r)
 	}

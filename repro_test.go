@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/analysis"
@@ -26,14 +27,14 @@ func TestPaperHeadlines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sr := sat.Solve(f, sat.Options{Seed: 1, Bounds: []opt.Bound{{Lo: -4, Hi: 4}}})
+	sr := sat.Solve(context.Background(), f, sat.Options{Seed: 1, Bounds: []opt.Bound{{Lo: -4, Hi: 4}}})
 	if sr.Verdict != sat.Sat || sr.Model[0] != 0.9999999999999999 {
 		t.Errorf("motivating constraint: %+v", sr)
 	}
 
 	// (2) sin boundary conditions (reduced budget; full run in
 	// internal/paper).
-	rep := analysis.BoundaryValues(libm.SinProgram(), analysis.BoundaryOptions{
+	rep := analysis.BoundaryValues(context.Background(), libm.SinProgram(), analysis.BoundaryOptions{
 		Seed: 1, Starts: 48, EvalsPerStart: 4000,
 	})
 	reached := 0
@@ -68,7 +69,7 @@ func TestPaperHeadlines(t *testing.T) {
 	}
 
 	// Bonus: Fig. 2's assertion analysis end to end.
-	r := analysis.AssertionViolations(progs.Fig1a(), []instrument.Decision{
+	r := analysis.AssertionViolations(context.Background(), progs.Fig1a(), []instrument.Decision{
 		{Site: progs.Fig1BranchLT1, Taken: true},
 		{Site: progs.Fig1BranchLT2, Taken: false},
 	}, analysis.ReachOptions{Seed: 1, Bounds: []opt.Bound{{Lo: -10, Hi: 10}}})

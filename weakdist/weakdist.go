@@ -37,10 +37,13 @@
 //	        ctx.Cmp(0, weakdist.LT, x[0], 1)
 //	    },
 //	}
-//	rep := weakdist.BoundaryValues(p, weakdist.BoundaryOptions{Seed: 1})
+//	rep := weakdist.BoundaryValues(context.Background(), p,
+//	    weakdist.BoundaryOptions{Seed: 1})
 package weakdist
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/fp"
@@ -177,8 +180,12 @@ type SolveOptions = core.Options
 type SolveResult = core.Result
 
 // Solve runs Algorithm 2: minimize the weak distance; return a verified
-// solution or "not found".
-func Solve(p Problem, o SolveOptions) SolveResult { return core.Solve(p, o) }
+// solution or "not found". The context cancels the search at
+// weak-distance-evaluation granularity; pass context.Background() for
+// an unbounded run.
+func Solve(ctx context.Context, p Problem, o SolveOptions) SolveResult {
+	return core.Solve(ctx, p, o)
+}
 
 // --- End-user analyses (internal/analysis) ---
 
@@ -190,8 +197,8 @@ type BoundaryReport = analysis.BoundaryReport
 
 // BoundaryValues finds inputs triggering boundary conditions (§4.2,
 // §6.2).
-func BoundaryValues(p *Program, o BoundaryOptions) *BoundaryReport {
-	return analysis.BoundaryValues(p, o)
+func BoundaryValues(ctx context.Context, p *Program, o BoundaryOptions) *BoundaryReport {
+	return analysis.BoundaryValues(ctx, p, o)
 }
 
 // ReachOptions configures ReachPath.
@@ -199,8 +206,8 @@ type ReachOptions = analysis.ReachOptions
 
 // ReachPath finds an input driving the program along the target path
 // (§4.3).
-func ReachPath(p *Program, target []Decision, o ReachOptions) SolveResult {
-	return analysis.ReachPath(p, target, o)
+func ReachPath(ctx context.Context, p *Program, target []Decision, o ReachOptions) SolveResult {
+	return analysis.ReachPath(ctx, p, target, o)
 }
 
 // OverflowOptions configures DetectOverflows.
@@ -211,8 +218,8 @@ type OverflowReport = analysis.OverflowReport
 
 // DetectOverflows runs Algorithm 3: generate inputs overflowing as many
 // floating-point operations as possible (§4.4, §6.3).
-func DetectOverflows(p *Program, o OverflowOptions) *OverflowReport {
-	return analysis.DetectOverflows(p, o)
+func DetectOverflows(ctx context.Context, p *Program, o OverflowOptions) *OverflowReport {
+	return analysis.DetectOverflows(ctx, p, o)
 }
 
 // CoverOptions configures Cover.
@@ -222,7 +229,21 @@ type CoverOptions = analysis.CoverOptions
 type CoverReport = analysis.CoverReport
 
 // Cover runs branch-coverage-based testing (§2 Instance 4).
-func Cover(p *Program, o CoverOptions) *CoverReport { return analysis.Cover(p, o) }
+func Cover(ctx context.Context, p *Program, o CoverOptions) *CoverReport {
+	return analysis.Cover(ctx, p, o)
+}
+
+// NonFiniteOptions configures FindNonFinite.
+type NonFiniteOptions = analysis.NonFiniteOptions
+
+// NonFiniteReport is the NaN/domain-error finder result.
+type NonFiniteReport = analysis.NonFiniteReport
+
+// FindNonFinite generates inputs driving FP operations to non-finite
+// results (the registry's sixth analysis).
+func FindNonFinite(ctx context.Context, p *Program, o NonFiniteOptions) *NonFiniteReport {
+	return analysis.FindNonFinite(ctx, p, o)
+}
 
 // --- Floating-point satisfiability (internal/sat) ---
 
@@ -240,7 +261,9 @@ func ParseFormula(src string) (*Formula, map[string]int, error) { return sat.Par
 
 // SolveSAT decides a floating-point CNF by weak-distance minimization
 // (§2 Instance 5).
-func SolveSAT(f *Formula, o SatOptions) SatResult { return sat.Solve(f, o) }
+func SolveSAT(ctx context.Context, f *Formula, o SatOptions) SatResult {
+	return sat.Solve(ctx, f, o)
+}
 
 // --- Analysis registry and pipeline (internal/analysis, internal/pipeline) ---
 
@@ -278,15 +301,20 @@ func LookupAnalysis(name string) (analysis.Analysis, error) { return analysis.Lo
 // bounds concurrently running jobs (0 = all CPUs).
 func NewPipeline(workers int) *Pipeline { return pipeline.New(workers) }
 
+// AnalysisError is the typed spec/flag validation error shared by the
+// CLIs and the fpserve /v1 problem+json error model.
+type AnalysisError = analysis.SpecError
+
 // Run executes one analysis job on a throwaway pipeline. Callers with
 // many jobs should use RunBatch or a shared NewPipeline so repeated
 // sources hit the module cache.
-func Run(job Job) JobResult { return pipeline.New(1).RunJob(0, job) }
+func Run(ctx context.Context, job Job) JobResult { return pipeline.New(1).RunJob(ctx, 0, job) }
 
 // RunBatch fans the jobs over workers (0 = all CPUs) and returns
-// results in job order — bit-identical for every worker count.
-func RunBatch(jobs []Job, workers int) []JobResult {
-	return pipeline.New(workers).RunBatch(jobs)
+// results in job order — bit-identical for every worker count. The
+// context cancels the batch at weak-distance-evaluation granularity.
+func RunBatch(ctx context.Context, jobs []Job, workers int) []JobResult {
+	return pipeline.New(workers).RunBatch(ctx, jobs)
 }
 
 // --- FPL compilation (internal/lang, internal/ir, internal/interp) ---

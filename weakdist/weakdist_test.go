@@ -1,6 +1,7 @@
 package weakdist_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,7 +29,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	bounds := []weakdist.Bound{{Lo: -100, Hi: 100}}
 
 	// Boundary value analysis.
-	rep := weakdist.BoundaryValues(prog, weakdist.BoundaryOptions{
+	rep := weakdist.BoundaryValues(context.Background(), prog, weakdist.BoundaryOptions{
 		Seed: 1, Starts: 8, Bounds: bounds,
 	})
 	if rep.BoundaryValues == 0 {
@@ -36,20 +37,20 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Path reachability.
-	r := weakdist.ReachPath(prog, []weakdist.Decision{{Site: 0, Taken: false}},
+	r := weakdist.ReachPath(context.Background(), prog, []weakdist.Decision{{Site: 0, Taken: false}},
 		weakdist.ReachOptions{Seed: 2, Bounds: bounds})
 	if !r.Found || r.X[0]*r.X[0] <= 4 {
 		t.Errorf("reach: %v", r)
 	}
 
 	// Overflow detection.
-	ov := weakdist.DetectOverflows(prog, weakdist.OverflowOptions{Seed: 3})
+	ov := weakdist.DetectOverflows(context.Background(), prog, weakdist.OverflowOptions{Seed: 3})
 	if !ov.Found(0) {
 		t.Errorf("overflow not found: %+v", ov)
 	}
 
 	// Coverage.
-	cov := weakdist.Cover(prog, weakdist.CoverOptions{Seed: 4, Bounds: bounds})
+	cov := weakdist.Cover(context.Background(), prog, weakdist.CoverOptions{Seed: 4, Bounds: bounds})
 	if cov.Ratio() != 1 {
 		t.Errorf("coverage %v", cov.Ratio())
 	}
@@ -60,7 +61,7 @@ func TestPublicSAT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := weakdist.SolveSAT(f, weakdist.SatOptions{
+	r := weakdist.SolveSAT(context.Background(), f, weakdist.SatOptions{
 		Seed: 1, Bounds: []weakdist.Bound{{Lo: -4, Hi: 4}},
 	})
 	if r.Model == nil {
@@ -86,7 +87,7 @@ func prog(x double) {
 		t.Errorf("W(1) = %v", got)
 	}
 	// Direct low-level solving through the theory layer.
-	res := weakdist.Solve(weakdist.Problem{
+	res := weakdist.Solve(context.Background(), weakdist.Problem{
 		Name: "fpl", Dim: 1, W: w,
 	}, weakdist.SolveOptions{Seed: 5, Bounds: []weakdist.Bound{{Lo: -50, Hi: 50}}})
 	if !res.Found {
@@ -161,13 +162,13 @@ func TestPublicRegistryPipeline(t *testing.T) {
 			Bounds: []weakdist.Bound{{Lo: -4, Hi: 4}}, Formula: "x < 1 && x + 1 >= 2"}},
 	}
 
-	one := weakdist.Run(jobs[0])
+	one := weakdist.Run(context.Background(), jobs[0])
 	if one.Error != "" || one.Report == nil || one.Program != "prog" {
 		t.Fatalf("Run: %+v", one)
 	}
 
-	serial := weakdist.RunBatch(jobs, 1)
-	parallel := weakdist.RunBatch(jobs, 4)
+	serial := weakdist.RunBatch(context.Background(), jobs, 1)
+	parallel := weakdist.RunBatch(context.Background(), jobs, 4)
 	for i := range jobs {
 		if serial[i].Error != "" {
 			t.Errorf("job %d: %s", i, serial[i].Error)
