@@ -1,0 +1,111 @@
+package analysis_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/instrument"
+	"repro/internal/opt"
+	"repro/internal/progs"
+)
+
+// TestLanesDeterminism is the batch-contract table test, the Lanes twin
+// of TestWorkersDeterminism: for a fixed seed, every analysis client
+// must report identical findings with Lanes=0 (the historical scalar
+// path) and Lanes=8 (lane-parallel VM sweeps through Config.Batch).
+// The interpreter-backed program exercises the real batch engine; the
+// native port exercises the serial ExecuteBatch fallback — both must be
+// invisible in the reports.
+func TestLanesDeterminism(t *testing.T) {
+	bounds := []opt.Bound{{Lo: -100, Hi: 100}}
+	for _, pr := range []struct {
+		name string
+	}{{"native"}, {"interp"}} {
+		p := progs.Fig2()
+		if pr.name == "interp" {
+			p = compileFig2(t)
+		}
+		t.Run("boundary/"+pr.name, func(t *testing.T) {
+			run := func(lanes int) *analysis.BoundaryReport {
+				return analysis.BoundaryValues(context.Background(), p, analysis.BoundaryOptions{
+					Seed: 11, Starts: 8, EvalsPerStart: 1000, Bounds: bounds,
+					Workers: 1, Lanes: lanes,
+				})
+			}
+			scalar, batched := run(0), run(8)
+			if !reflect.DeepEqual(scalar, batched) {
+				t.Errorf("boundary reports differ:\nscalar  %+v\nbatched %+v", scalar, batched)
+			}
+			if scalar.BoundaryValues == 0 {
+				t.Error("no boundary values found (vacuous comparison)")
+			}
+		})
+		t.Run("coverage/"+pr.name, func(t *testing.T) {
+			run := func(lanes int) *analysis.CoverReport {
+				return analysis.Cover(context.Background(), p, analysis.CoverOptions{
+					Seed: 12, EvalsPerRound: 1000, Bounds: bounds,
+					Workers: 1, Lanes: lanes,
+				})
+			}
+			scalar, batched := run(0), run(8)
+			if !reflect.DeepEqual(scalar, batched) {
+				t.Errorf("cover reports differ:\nscalar  %+v\nbatched %+v", scalar, batched)
+			}
+			if scalar.Ratio() != 1 {
+				t.Errorf("coverage %v (vacuous comparison)", scalar.Ratio())
+			}
+		})
+		t.Run("overflow/"+pr.name, func(t *testing.T) {
+			run := func(lanes int) *analysis.OverflowReport {
+				rep := analysis.DetectOverflows(context.Background(), p, analysis.OverflowOptions{
+					Seed: 13, EvalsPerRound: 1500, Workers: 1, Lanes: lanes,
+				})
+				rep.Duration = 0 // wall clock is the one legitimately varying field
+				return rep
+			}
+			scalar, batched := run(0), run(8)
+			if !reflect.DeepEqual(scalar, batched) {
+				t.Errorf("overflow reports differ:\nscalar  %+v\nbatched %+v", scalar, batched)
+			}
+			if len(scalar.Findings) == 0 {
+				t.Error("no overflows found (vacuous comparison)")
+			}
+		})
+		t.Run("nan/"+pr.name, func(t *testing.T) {
+			run := func(lanes int) *analysis.NonFiniteReport {
+				rep := analysis.FindNonFinite(context.Background(), p, analysis.NonFiniteOptions{
+					Seed: 15, EvalsPerRound: 1500, Workers: 1, Lanes: lanes,
+				})
+				rep.Duration = 0
+				return rep
+			}
+			scalar, batched := run(0), run(8)
+			if !reflect.DeepEqual(scalar, batched) {
+				t.Errorf("nan reports differ:\nscalar  %+v\nbatched %+v", scalar, batched)
+			}
+		})
+		t.Run("reach/"+pr.name, func(t *testing.T) {
+			// x <= 1 taken, y <= 4 not taken: (x+1)^2 > 4, i.e. x < -3.
+			target := []instrument.Decision{
+				{Site: 0, Taken: true},
+				{Site: 1, Taken: false},
+			}
+			run := func(lanes int) core.Result {
+				return analysis.ReachPath(context.Background(), p, target, analysis.ReachOptions{
+					Seed: 14, Starts: 8, EvalsPerStart: 2000, Bounds: bounds,
+					Workers: 1, Lanes: lanes,
+				})
+			}
+			scalar, batched := run(0), run(8)
+			if !reflect.DeepEqual(scalar, batched) {
+				t.Errorf("reach results differ:\nscalar  %+v\nbatched %+v", scalar, batched)
+			}
+			if !scalar.Found {
+				t.Error("path not reached (vacuous comparison)")
+			}
+		})
+	}
+}

@@ -38,6 +38,11 @@ type OverflowOptions struct {
 	// are discarded as soon as a consumed round changes L. The report is
 	// identical for every Workers value.
 	Workers int
+	// Lanes sets the batch evaluation width: each round's weak distance
+	// evaluates candidate batches as lane-parallel VM sweeps of up to
+	// Lanes inputs. 0 or 1 keeps the scalar path; the report is
+	// identical for every value.
+	Lanes int
 }
 
 func (o OverflowOptions) evalsPerRound() int {
@@ -83,6 +88,7 @@ func (o OverflowOptions) huntConfig(p *rt.Program, mk func(tracked map[int]bool)
 		retries:       o.retries(),
 		workers:       o.Workers,
 		batchSize:     o.workers(),
+		lanes:         o.Lanes,
 		backend:       o.backend(),
 		bounds:        o.Bounds,
 		monitor:       mk,
@@ -181,6 +187,7 @@ type siteHuntConfig struct {
 	retries       int
 	workers       int
 	batchSize     int
+	lanes         int
 	backend       opt.Minimizer
 	bounds        []opt.Bound
 	monitor       func(tracked map[int]bool) siteMonitor
@@ -247,7 +254,10 @@ func runSiteHunt(ctx context.Context, p *rt.Program, c siteHuntConfig) siteHunt 
 			MaxEvals:   c.evalsPerRound,
 			Bounds:     c.bounds,
 			StopAtZero: true,
-			Ctx:        ctx,
+			Batch: batchFactory(p, c.lanes, func() rt.Monitor {
+				return c.monitor(snapshot)
+			}),
+			Ctx: ctx,
 		})
 
 		// Consume slots in round order, replaying Algorithm 3's state

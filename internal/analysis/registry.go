@@ -56,6 +56,12 @@ type Spec struct {
 	// runtime.NumCPU(), 1 forces serial. Reports are identical for
 	// every value.
 	Workers int `json:"workers,omitempty"`
+	// Lanes sets the batch evaluation width: weak distances evaluate
+	// candidate batches as lane-parallel VM sweeps of up to Lanes
+	// inputs per sweep. 0 or 1 keeps the scalar path; reports are
+	// identical for every value (the batch contract is bit-identity).
+	// Formula-based analyses (xsat) ignore it.
+	Lanes int `json:"lanes,omitempty"`
 	// Engine selects the FPL execution engine ("vm" or "tree"); used by
 	// the program loaders, not the analyses themselves.
 	Engine string `json:"engine,omitempty"`
@@ -272,6 +278,7 @@ func (bvaAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) {
 		ULP:           s.ULP,
 		HighPrecision: s.HighPrecision,
 		Workers:       s.Workers,
+		Lanes:         s.Lanes,
 	}), nil
 }
 
@@ -304,6 +311,7 @@ func (coverageAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, erro
 		Bounds:        s.Bounds,
 		ULP:           s.ULP,
 		Workers:       s.Workers,
+		Lanes:         s.Lanes,
 	}), nil
 }
 
@@ -347,6 +355,7 @@ func (overflowAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, erro
 		Bounds:           s.Bounds,
 		RetriesPerTarget: s.Retries,
 		Workers:          s.Workers,
+		Lanes:            s.Lanes,
 	})
 	run := &OverflowRun{OverflowReport: rep}
 	if in.SF != nil {
@@ -402,6 +411,7 @@ func (reachAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) 
 		Bounds:        s.Bounds,
 		ULP:           s.ULP,
 		Workers:       s.Workers,
+		Lanes:         s.Lanes,
 	})
 	return &ReachRun{Result: r, Program: p.Name, Target: s.Path}, nil
 }
@@ -455,6 +465,8 @@ func (xsatAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) {
 		Bounds:        bounds,
 		RealDist:      s.RealDist,
 		Workers:       s.Workers,
+		// Spec.Lanes is deliberately not threaded: xsat evaluates parsed
+		// formulas, not VM programs, so there is no lane sweep to batch.
 	})
 	return &SatRun{Result: r, Vars: vars}, nil
 }
@@ -488,5 +500,6 @@ func (nanAnalysis) Run(ctx context.Context, in Input, s Spec) (Report, error) {
 		Bounds:           s.Bounds,
 		RetriesPerTarget: s.Retries,
 		Workers:          s.Workers,
+		Lanes:            s.Lanes,
 	}), nil
 }

@@ -1,0 +1,363 @@
+package compile_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/fplgen"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/rt"
+)
+
+// The batch suite holds the lane-parallel BatchMachine to the serial
+// Machine (itself pinned to the tree-walker by the differential suite,
+// and re-pinned directly here): at every lane width, a batched sweep
+// must be bit-identical, lane by lane, to K serial runs — results,
+// monitor observation sequences, assert-failure logs, budget aborts,
+// and early stops, including stops that retire single lanes mid-group.
+
+// laneWidths is the bit-identity sweep: the contract widths {1,2,4,8,16}
+// plus a non-power-of-two width to catch stride/partition assumptions.
+var laneWidths = []int{1, 2, 3, 4, 8, 16}
+
+// serialRef is one lane's expected outcome, computed on the serial VM.
+type serialRef struct {
+	result uint64 // result bits (NaN normalized by sameBits at compare)
+	recs   []obs
+	value  float64
+}
+
+func sameBits(a, b uint64) bool {
+	fa, fb := math.Float64frombits(a), math.Float64frombits(b)
+	return a == b || (math.IsNaN(fa) && math.IsNaN(fb))
+}
+
+// runSerial executes one input on the serial Machine under a fresh
+// tracer, returning the reference outcome.
+func runSerial(vm *compile.Machine, fn *compile.Func, x []float64, maxSteps, stopAt int) serialRef {
+	m := &tracer{stopAt: stopAt}
+	m.Reset()
+	vm.MaxSteps = maxSteps
+	r := vm.Run(rt.NewCtx(m), fn, x)
+	recs := make([]obs, len(m.recs))
+	copy(recs, m.recs)
+	return serialRef{result: math.Float64bits(r), recs: recs, value: m.Value()}
+}
+
+// checkBatchWidths runs every lane width over the input battery and
+// compares each lane against its serial reference. stopAts, when
+// non-nil, gives input i a monitor stopping after stopAts[i] FP-op
+// observations (staggered per lane, so groups retire lanes mid-sweep).
+func checkBatchWidths(t *testing.T, src string, cm *compile.Module, fn *compile.Func, inputs [][]float64, maxSteps int, stopAts []int) {
+	t.Helper()
+	serial := cm.NewMachine()
+	refs := make([]serialRef, len(inputs))
+	serialFails := serialAssertLog(cm, fn, inputs, maxSteps, stopAts)
+	for i, x := range inputs {
+		stop := 0
+		if stopAts != nil {
+			stop = stopAts[i]
+		}
+		refs[i] = runSerial(serial, fn, x, maxSteps, stop)
+	}
+
+	for _, width := range laneWidths {
+		bvm := cm.NewBatchMachine(width)
+		bvm.MaxSteps = maxSteps
+		out := make([]float64, width)
+		for lo := 0; lo < len(inputs); lo += width {
+			hi := lo + width
+			if hi > len(inputs) {
+				hi = len(inputs)
+			}
+			xs := inputs[lo:hi]
+			mons := make([]rt.Monitor, len(xs))
+			tracers := make([]*tracer, len(xs))
+			for i := range xs {
+				tr := &tracer{}
+				if stopAts != nil {
+					tr.stopAt = stopAts[lo+i]
+				}
+				tr.Reset()
+				tracers[i] = tr
+				mons[i] = tr
+			}
+			bvm.Run(mons, fn, xs, out[:len(xs)])
+			for i := range xs {
+				ref := refs[lo+i]
+				if !sameBits(ref.result, math.Float64bits(out[i])) {
+					t.Fatalf("%s(%v) width=%d lane=%d: result serial=%#x batch=%#x\n%s",
+						fn.Name, xs[i], width, i, ref.result, math.Float64bits(out[i]), src)
+				}
+				if tracers[i].Value() != ref.value || !sameTrace(tracers[i].recs, ref.recs) {
+					t.Fatalf("%s(%v) width=%d lane=%d: trace diverges (serial %d obs w=%v, batch %d obs w=%v)\n%s",
+						fn.Name, xs[i], width, i, len(ref.recs), ref.value, len(tracers[i].recs), tracers[i].Value(), src)
+				}
+			}
+		}
+		compareAssertLogs(t, src, fn.Name, width, serialFails, bvm.Failures)
+	}
+}
+
+// serialAssertLog collects the assert failures K serial runs emit, in
+// run order — the order a batched sweep must reproduce lane by lane.
+func serialAssertLog(cm *compile.Module, fn *compile.Func, inputs [][]float64, maxSteps int, stopAts []int) []compile.AssertFailure {
+	vm := cm.NewMachine()
+	vm.MaxSteps = maxSteps
+	for i, x := range inputs {
+		m := &tracer{}
+		if stopAts != nil {
+			m.stopAt = stopAts[i]
+		}
+		m.Reset()
+		vm.Run(rt.NewCtx(m), fn, x)
+	}
+	return vm.Failures
+}
+
+func compareAssertLogs(t *testing.T, src, fn string, width int, want, got []compile.AssertFailure) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s width=%d: serial recorded %d assert failures, batch %d\n%s",
+			fn, width, len(want), len(got), src)
+	}
+	for i := range want {
+		if want[i].Pos != got[i].Pos || want[i].Label != got[i].Label ||
+			fmt.Sprint(want[i].Input) != fmt.Sprint(got[i].Input) {
+			t.Fatalf("%s width=%d: assert failure %d differs: serial=%v batch=%v\n%s",
+				fn, width, i, want[i], got[i], src)
+		}
+	}
+}
+
+// checkBatchProgram runs the full battery — unlimited budget, a budget
+// sweep, and staggered early stops — for one function over the input
+// battery.
+func checkBatchProgram(t *testing.T, src string, cm *compile.Module, fn *compile.Func, inputs [][]float64, budgets int) {
+	t.Helper()
+	checkBatchWidths(t, src, cm, fn, inputs, 0, nil)
+
+	// Budget aborts: the whole battery at every small budget. Lanes in
+	// one group share a step counter by construction; this pins that the
+	// shared counter aborts exactly the lanes, at exactly the
+	// instruction, serial execution would.
+	for budget := 1; budget <= budgets; budget++ {
+		checkBatchWidths(t, src, cm, fn, inputs, budget, nil)
+	}
+
+	// Early stops, staggered so different lanes of one batch stop after
+	// different FP-op counts — the mid-group lane-retirement path.
+	stopAts := make([]int, len(inputs))
+	for i := range stopAts {
+		stopAts[i] = 1 + i%5
+	}
+	checkBatchWidths(t, src, cm, fn, inputs, 0, stopAts)
+}
+
+// batchModule compiles src to flat code.
+func batchModule(t *testing.T, src string) *compile.Module {
+	t.Helper()
+	mod, err := ir.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	cm, err := compile.Compile(mod)
+	if err != nil {
+		t.Fatalf("flat-compile: %v\n%s", err, src)
+	}
+	return cm
+}
+
+// TestBatchLaneIdentityFixtures runs the lane bit-identity battery over
+// every testdata FPL fixture, on every function it declares.
+func TestBatchLaneIdentityFixtures(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fpl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata fixtures found: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, file := range files {
+		srcBytes, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(srcBytes)
+		mod, err := ir.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		cm := batchModule(t, src)
+		for _, name := range mod.Order {
+			dim := mod.Funcs[name].NParams
+			if dim == 0 {
+				continue
+			}
+			checkBatchProgram(t, src, cm, cm.Func(name), fplgen.Inputs(rng, dim), 32)
+		}
+	}
+}
+
+// TestBatchLaneIdentityRandom holds the batch machine to the serial VM
+// over randomly generated modules: the same corpus size as the
+// engine-differential random suite, at every lane width.
+func TestBatchLaneIdentityRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20190622))
+	n := 150
+	if testing.Short() {
+		n = 30
+	}
+	for pi := 0; pi < n; pi++ {
+		src := fplgen.Module(rng)
+		cm := batchModule(t, src)
+		inputs := fplgen.Inputs(rng, 1)[:8]
+		checkBatchProgram(t, src, cm, cm.Func("f"), inputs, 24)
+	}
+}
+
+// TestBatchTreeWalkerIdentity re-pins the batch machine to the
+// tree-walking reference directly (not through the serial VM): weak
+// distances and observation traces of a batched sweep must equal the
+// tree-walker's, per lane, through the rt.Program batch entry point.
+func TestBatchTreeWalkerIdentity(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fpl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata fixtures found: %v", err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, file := range files {
+		srcBytes, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(srcBytes)
+		mod, err := ir.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		tree := interp.New(mod)
+		tree.Engine = interp.EngineTree
+		vm := interp.New(mod)
+		vm.Engine = interp.EngineVM
+		for _, name := range mod.Order {
+			dim := mod.Funcs[name].NParams
+			if dim == 0 {
+				continue
+			}
+			pt, err := tree.Program(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pv, err := vm.Program(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pv.RunBatch == nil {
+				t.Fatalf("%s: VM-backed program has no RunBatch", name)
+			}
+			inputs := fplgen.Inputs(rng, dim)
+			for _, width := range laneWidths {
+				out := make([]float64, width)
+				for lo := 0; lo < len(inputs); lo += width {
+					hi := lo + width
+					if hi > len(inputs) {
+						hi = len(inputs)
+					}
+					xs := inputs[lo:hi]
+					mons := make([]rt.Monitor, len(xs))
+					tracers := make([]*tracer, len(xs))
+					for i := range xs {
+						tracers[i] = &tracer{}
+						mons[i] = tracers[i]
+					}
+					pv.ExecuteBatch(mons, xs, out[:len(xs)])
+					for i, x := range xs {
+						ref := &tracer{}
+						w := pt.Execute(ref, x)
+						if out[i] != w || !sameTrace(tracers[i].recs, ref.recs) {
+							t.Fatalf("%s(%v) width=%d lane=%d: batch diverges from tree-walker\n%s",
+								name, x, width, i, src)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSkipFPOpPath covers the FPOpFree fast path: a boundary-style
+// monitor that declares its FPOp a no-op makes the batch machine skip
+// the per-lane FPOp dispatch entirely, which must not change weak
+// distances or results.
+func TestBatchSkipFPOpPath(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.fpl"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata fixtures found: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, file := range files {
+		srcBytes, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := string(srcBytes)
+		mod, err := ir.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		cm := batchModule(t, src)
+		for _, name := range mod.Order {
+			dim := mod.Funcs[name].NParams
+			if dim == 0 {
+				continue
+			}
+			fn := cm.Func(name)
+			inputs := fplgen.Inputs(rng, dim)
+			serial := cm.NewMachine()
+			for _, width := range laneWidths {
+				bvm := cm.NewBatchMachine(width)
+				out := make([]float64, width)
+				for lo := 0; lo < len(inputs); lo += width {
+					hi := lo + width
+					if hi > len(inputs) {
+						hi = len(inputs)
+					}
+					xs := inputs[lo:hi]
+					mons := make([]rt.Monitor, len(xs))
+					bounds := make([]*skippingBoundary, len(xs))
+					for i := range xs {
+						bounds[i] = &skippingBoundary{}
+						bounds[i].Reset()
+						mons[i] = bounds[i]
+					}
+					bvm.Run(mons, fn, xs, out[:len(xs)])
+					for i, x := range xs {
+						ref := &skippingBoundary{}
+						ref.Reset()
+						serial.MaxSteps = 0
+						r := serial.Run(rt.NewCtx(ref), fn, x)
+						if !sameBits(math.Float64bits(r), math.Float64bits(out[i])) ||
+							math.Float64bits(ref.Value()) != math.Float64bits(bounds[i].Value()) {
+							t.Fatalf("%s(%v) width=%d lane=%d: skip-FPOp path diverges (serial r=%v w=%v, batch r=%v w=%v)\n%s",
+								name, x, width, i, r, ref.Value(), out[i], bounds[i].Value(), src)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// skippingBoundary is countingBoundary plus the FPOpFree declaration,
+// mirroring how internal/instrument's branch-only monitors opt into the
+// batch fast path.
+type skippingBoundary struct{ countingBoundary }
+
+func (m *skippingBoundary) FPOpFree() bool { return true }
+
+var _ rt.FPOpFree = (*skippingBoundary)(nil)

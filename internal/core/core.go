@@ -52,6 +52,13 @@ type Problem struct {
 	// for parallel solving: the shared W is used by at most one
 	// goroutine at a time only in the serial path.
 	NewW func() WeakDistance
+	// NewBatchW, when non-nil, returns an independent batch evaluator of
+	// the same weak distance: Eval(xs, out) must write W(xs[i]) to
+	// out[i], bit-identical to the scalar W, chunking internally into
+	// lane-parallel sweeps of at most `lanes` inputs. Like NewW each
+	// returned instance is single-goroutine and independent of every
+	// other instance. It is consumed only when Options.Lanes > 1.
+	NewBatchW func(lanes int) opt.BatchObjective
 }
 
 // Options configures the Solve driver.
@@ -75,6 +82,14 @@ type Options struct {
 	// runtime.NumCPU(), 1 forces the serial loop. Results are identical
 	// for every value — parallelism only changes wall-clock time.
 	Workers int
+	// Lanes sets the batch evaluation width: backends with natural lane
+	// fillers submit candidate batches that the weak distance evaluates
+	// as lane-parallel VM sweeps of up to Lanes inputs each. 0 or 1
+	// keeps the scalar path; the knob is ignored when the problem
+	// carries no NewBatchW constructor. Like Workers it never changes
+	// results, only throughput — the batch contract is bit-identity
+	// with serial evaluation.
+	Lanes int
 }
 
 func (o Options) backend() opt.Minimizer {
@@ -152,6 +167,14 @@ func Solve(ctx context.Context, p Problem, o Options) Result {
 	backend := o.backend()
 	res := Result{W: math.Inf(1)}
 
+	// One batch evaluator serves every start of the serial loop: starts
+	// run strictly one after another, so the single-goroutine contract
+	// holds, and the instance's monitors are reset per sweep anyway.
+	var batch opt.BatchObjective
+	if o.Lanes > 1 && p.NewBatchW != nil {
+		batch = p.NewBatchW(o.Lanes)
+	}
+
 	for s := 0; s < o.starts(); s++ {
 		if err := ctx.Err(); err != nil {
 			res.Canceled = true
@@ -164,6 +187,7 @@ func Solve(ctx context.Context, p Problem, o Options) Result {
 			StopAtZero: true,
 			Trace:      o.Trace,
 			Ctx:        ctx,
+			Batch:      batch,
 		}
 		r := backend.Minimize(opt.Objective(p.W), p.Dim, cfg)
 		res.Evals += r.Evals
@@ -200,6 +224,15 @@ func Solve(ctx context.Context, p Problem, o Options) Result {
 // first membership-accepted zero — exactly the serial loop's semantics,
 // so Solve returns identical Results for every worker count.
 func solveParallel(ctx context.Context, p Problem, o Options) Result {
+	// Each executed start gets its own batch evaluator, constructed in
+	// the worker goroutine that runs it — same per-start isolation as
+	// the scalar NewW instances.
+	var batchFactory func(int) opt.BatchObjective
+	if o.Lanes > 1 && p.NewBatchW != nil {
+		batchFactory = func(int) opt.BatchObjective {
+			return p.NewBatchW(o.Lanes)
+		}
+	}
 	starts := opt.ParallelStarts(o.backend(), func(int) opt.Objective {
 		return opt.Objective(p.NewW())
 	}, p.Dim, opt.ParallelConfig{
@@ -210,6 +243,7 @@ func solveParallel(ctx context.Context, p Problem, o Options) Result {
 		MaxEvals:   o.evalsPerStart(p.Dim),
 		Bounds:     o.Bounds,
 		StopAtZero: true,
+		Batch:      batchFactory,
 		Accept: func(_ int, r opt.Result) bool {
 			return p.Member == nil || p.Member(r.X)
 		},

@@ -60,29 +60,46 @@ func (sa *SimulatedAnnealing) Minimize(obj Objective, dim int, cfg Config) Resul
 		perRestart = 1
 	}
 	iters := 0
-	cand := make([]float64, dim) // proposal buffer, ping-ponged with cur
+	cand := make([]float64, dim)   // proposal buffer, ping-ponged with cur
+	probeX := make([][]float64, 8) // perturbation probe pool, reused per restart
+	for i := range probeX {
+		probeX[i] = make([]float64, dim)
+	}
+	probeF := make([]float64, 8)
 	for r := 0; r < restarts && !e.done() && e.evals < searchBudget; r++ {
 		restartCap := e.evals + perRestart
 		cur := randPoint(rng, dim, cfg)
 		clampInto(cur, cfg)
 		curF := e.eval(cur)
 
-		// Adaptive initial temperature: the spread of a few probe moves.
+		// Adaptive initial temperature: the spread of a pool of probe
+		// moves, all perturbed from the frozen restart point and scored
+		// as one batch (the perturbation-probe lane filler). The chain
+		// then starts from the best probe, which is where the old
+		// greedy serial walk ended up whenever it mattered.
 		T := sa.InitTemp
 		if T == 0 {
+			for i := range probeX {
+				moves.perturb(rng, cur, cfg, probeX[i])
+			}
+			n := e.evalBatch(probeX, probeF)
+			ref := curF
 			spread := 0.0
 			probes := 0
-			for i := 0; i < 8 && !e.done(); i++ {
-				moves.perturb(rng, cur, cfg, cand)
-				f := e.eval(cand)
-				if !math.IsInf(f, 0) && !math.IsInf(curF, 0) {
-					spread += math.Abs(f - curF)
+			bestI := -1
+			for i := 0; i < n; i++ {
+				f := probeF[i]
+				if !math.IsInf(f, 0) && !math.IsInf(ref, 0) {
+					spread += math.Abs(f - ref)
 					probes++
 				}
 				if f < curF {
-					cur, cand = cand, cur
 					curF = f
+					bestI = i
 				}
+			}
+			if bestI >= 0 {
+				copy(cur, probeX[bestI])
 			}
 			if probes > 0 {
 				T = spread / float64(probes)

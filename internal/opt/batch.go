@@ -1,0 +1,87 @@
+package opt
+
+import "math"
+
+// BatchObjective evaluates the objective at several candidate points in
+// one call — the optimizer side of the batch evaluation contract. For
+// every i, Eval must write to out[i] exactly the value the scalar
+// objective would return for xs[i]; len(out) is always at least
+// len(xs), and implementations must not retain either slice. Batch
+// sizes are chosen by the backend (a DE generation, a simplex poll, a
+// probe pool), so implementations that map batches onto fixed-width
+// lane sweeps chunk internally.
+type BatchObjective interface {
+	Eval(xs [][]float64, out []float64)
+}
+
+// BatchFunc adapts an ordinary function to the BatchObjective
+// interface.
+type BatchFunc func(xs [][]float64, out []float64)
+
+// Eval implements BatchObjective.
+func (f BatchFunc) Eval(xs [][]float64, out []float64) { f(xs, out) }
+
+// evalBatch samples the objective at up to len(xs) points, writing the
+// sanitized values (NaN mapped to +Inf, as in eval) to out and
+// returning how many leading entries were consumed. Bookkeeping —
+// budget, trace, best point, stop-at-zero — is identical to the same
+// sequence of scalar eval calls: the batch is truncated to the
+// remaining budget before dispatch, and consumption stops at the first
+// exact zero under StopAtZero. Entries at and past the returned count
+// are unevaluated or unconsumed; callers must not read them.
+//
+// With cfg.Batch unset this degrades to a serial loop over eval, so
+// backends submit their natural batches unconditionally and stay
+// bit-identical to their pre-batch behavior. With cfg.Batch set, the
+// whole truncated batch is dispatched in one Eval call; cancellation
+// is checked once before the dispatch, never mid-batch, which is
+// exactly the documented granularity: a context firing while a batch
+// is in flight takes effect at the next batch boundary, and no
+// objective dispatch of any kind happens after the cancellation has
+// been observed.
+func (e *evaluator) evalBatch(xs [][]float64, out []float64) int {
+	if e.cfg.Batch == nil {
+		n := 0
+		for i, x := range xs {
+			if e.done() {
+				break
+			}
+			out[i] = e.eval(x)
+			n++
+		}
+		return n
+	}
+	if e.done() {
+		return 0
+	}
+	m := len(xs)
+	if rem := e.max - e.evals; m > rem {
+		m = rem
+	}
+	if m <= 0 {
+		return 0
+	}
+	e.cfg.Batch.Eval(xs[:m], out[:m])
+	n := 0
+	for i := 0; i < m; i++ {
+		e.evals++
+		f := out[i]
+		if math.IsNaN(f) {
+			f = math.Inf(1)
+		}
+		if e.cfg.Trace != nil {
+			e.cfg.Trace.record(xs[i], f)
+		}
+		if f < e.bestF || e.bestX == nil {
+			e.bestF = f
+			e.bestX = append(e.bestX[:0], xs[i]...)
+		}
+		out[i] = f
+		n++
+		if f == 0 && e.cfg.StopAtZero {
+			e.hitZero = true
+			break
+		}
+	}
+	return n
+}

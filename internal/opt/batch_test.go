@@ -1,0 +1,163 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBatchSerialIdentity pins the evalBatch bookkeeping contract:
+// running a backend with Config.Batch set to a serial adapter over the
+// scalar objective is bit-identical to running it without Batch at all
+// — same best point, same value, same evaluation count, same trace,
+// same termination flags. The two paths share every RNG draw (batch
+// assembly consumes the same stream), so any divergence is a
+// bookkeeping bug in the fold.
+func TestBatchSerialIdentity(t *testing.T) {
+	// |x-2| + |y+3| has an exact lattice zero at (2,-3), so the
+	// StopAtZero variant exercises the mid-batch consumption cut.
+	obj := func(x []float64) float64 {
+		return math.Abs(x[0]-2) + math.Abs(x[1]+3)
+	}
+	batch := BatchFunc(func(xs [][]float64, out []float64) {
+		for i, x := range xs {
+			out[i] = obj(x)
+		}
+	})
+	for _, be := range allMinimizers(t) {
+		be := be
+		for _, stop := range []bool{false, true} {
+			name := be.Name()
+			if stop {
+				name += "/stopAtZero"
+			}
+			t.Run(name, func(t *testing.T) {
+				mk := func(b BatchObjective) (Result, *Trace) {
+					tr := &Trace{}
+					r := be.Minimize(obj, 2, Config{
+						Seed:       3,
+						MaxEvals:   3000,
+						Bounds:     []Bound{{Lo: -50, Hi: 50}, {Lo: -50, Hi: 50}},
+						StopAtZero: stop,
+						Trace:      tr,
+						Batch:      b,
+					})
+					return r, tr
+				}
+				rs, ts := mk(nil)
+				rb, tb := mk(batch)
+				if rs.F != rb.F || rs.Evals != rb.Evals || rs.FoundZero != rb.FoundZero ||
+					rs.Exhausted != rb.Exhausted || rs.Iterations != rb.Iterations {
+					t.Fatalf("results diverge:\nserial %+v\nbatch  %+v", rs, rb)
+				}
+				for i := range rs.X {
+					if math.Float64bits(rs.X[i]) != math.Float64bits(rb.X[i]) {
+						t.Fatalf("X[%d] diverges: %v vs %v", i, rs.X, rb.X)
+					}
+				}
+				if ts.Len() != tb.Len() {
+					t.Fatalf("trace lengths diverge: %d vs %d", ts.Len(), tb.Len())
+				}
+				ss, sb := ts.Samples(), tb.Samples()
+				for i := range ss {
+					if ss[i].N != sb[i].N || math.Float64bits(ss[i].F) != math.Float64bits(sb[i].F) {
+						t.Fatalf("trace sample %d diverges: %+v vs %+v", i, ss[i], sb[i])
+					}
+					for j := range ss[i].X {
+						if math.Float64bits(ss[i].X[j]) != math.Float64bits(sb[i].X[j]) {
+							t.Fatalf("trace sample %d input diverges: %v vs %v", i, ss[i].X, sb[i].X)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchBudgetTruncation pins that a batch is truncated to the
+// remaining evaluation budget before dispatch: the batch objective
+// never sees more lanes than MaxEvals permits, and Evals never
+// overshoots.
+func TestBatchBudgetTruncation(t *testing.T) {
+	const budget = 47 // not a multiple of any backend's natural batch size
+	lanes := 0
+	maxSeen := 0
+	batch := BatchFunc(func(xs [][]float64, out []float64) {
+		if len(xs) > maxSeen {
+			maxSeen = len(xs)
+		}
+		for i, x := range xs {
+			lanes++
+			out[i] = 1 + x[0]*x[0]
+		}
+	})
+	r := (&DifferentialEvolution{}).Minimize(func(x []float64) float64 {
+		lanes++
+		return 1 + x[0]*x[0]
+	}, 2, Config{
+		Seed:     1,
+		MaxEvals: budget,
+		Bounds:   []Bound{{Lo: -10, Hi: 10}, {Lo: -10, Hi: 10}},
+		Batch:    batch,
+	})
+	if lanes != budget {
+		t.Errorf("objective executed %d times under a budget of %d", lanes, budget)
+	}
+	if r.Evals != budget {
+		t.Errorf("Evals = %d, want %d", r.Evals, budget)
+	}
+	if maxSeen > budget {
+		t.Errorf("a single batch carried %d lanes, above the whole budget %d", maxSeen, budget)
+	}
+}
+
+// TestParallelStartsBatchFactory pins the ParallelConfig.Batch plumbing:
+// the factory is invoked once per executed start, its product is wired
+// into each start's Config.Batch, and under StopAtZero the short-circuit
+// wrapper stops dispatching real batch work for unconsumable starts.
+func TestParallelStartsBatchFactory(t *testing.T) {
+	const starts = 4
+	obj := func(x []float64) float64 {
+		return math.Abs(x[0] - 1.5)
+	}
+	built := make([]bool, starts)
+	out := ParallelStarts(&DifferentialEvolution{}, func(s int) Objective {
+		return obj
+	}, 1, ParallelConfig{
+		Starts:   starts,
+		Workers:  1,
+		MaxEvals: 200,
+		Bounds:   []Bound{{Lo: -10, Hi: 10}},
+		Batch: func(s int) BatchObjective {
+			built[s] = true
+			return BatchFunc(func(xs [][]float64, out []float64) {
+				for i, x := range xs {
+					out[i] = obj(x)
+				}
+			})
+		},
+	})
+	for s := 0; s < starts; s++ {
+		if !built[s] {
+			t.Errorf("batch factory not invoked for start %d", s)
+		}
+		if out[s].Evals == 0 {
+			t.Errorf("start %d performed no evaluations", s)
+		}
+	}
+
+	// Serial (Workers:1, no batch) and batched runs consume identical
+	// per-start streams, so the merged results must match exactly.
+	ref := ParallelStarts(&DifferentialEvolution{}, func(s int) Objective {
+		return obj
+	}, 1, ParallelConfig{
+		Starts:   starts,
+		Workers:  1,
+		MaxEvals: 200,
+		Bounds:   []Bound{{Lo: -10, Hi: 10}},
+	})
+	for s := range out {
+		if out[s].F != ref[s].F || out[s].Evals != ref[s].Evals || out[s].FoundZero != ref[s].FoundZero {
+			t.Errorf("start %d diverges with batch factory: %+v vs %+v", s, out[s].Result, ref[s].Result)
+		}
+	}
+}

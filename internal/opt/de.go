@@ -10,6 +10,13 @@ import (
 // sanity check: an evolutionary direct-search strategy maintaining a
 // population of candidate points.
 //
+// The implementation is generation-synchronous: every generation builds
+// all np trial vectors from the frozen current population, evaluates
+// them as one batch (Config.Batch), and only then applies selection.
+// This is classic DE (the steady-state variant that folds each trial in
+// immediately is a common serial micro-optimization), and it makes each
+// generation a full natural lane filler for batched objectives.
+//
 // The zero value is ready to use.
 type DifferentialEvolution struct {
 	// PopSize is the population size; zero selects max(15*dim, 30).
@@ -49,7 +56,9 @@ func (de *DifferentialEvolution) Minimize(obj Objective, dim int, cfg Config) Re
 		CR = 0.9
 	}
 
-	// Initialize population.
+	// Initialize the population and score it with one batched sweep.
+	// Members left unevaluated by an exhausted budget keep +Inf fitness
+	// so any later trial can replace them.
 	pop := make([][]float64, np)
 	fit := make([]float64, np)
 	for i := range pop {
@@ -66,55 +75,63 @@ func (de *DifferentialEvolution) Minimize(obj Objective, dim int, cfg Config) Re
 		} else {
 			pop[i] = randPoint(rng, dim, cfg)
 		}
-		if e.done() {
-			fit[i] = math.Inf(1)
-			continue
-		}
-		fit[i] = e.eval(pop[i])
+	}
+	n := e.evalBatch(pop, fit)
+	for i := n; i < np; i++ {
+		fit[i] = math.Inf(1)
 	}
 
-	trial := make([]float64, dim)
+	trials := make([][]float64, np)
+	for i := range trials {
+		trials[i] = make([]float64, dim)
+	}
+	ftr := make([]float64, np)
 	gens := 0
 	for !e.done() {
 		gens++
-		for i := 0; i < np && !e.done(); i++ {
+		// Mutation + crossover for the whole generation, against the
+		// frozen population, then one batch evaluation, then selection
+		// over the evaluated prefix.
+		for i := 0; i < np; i++ {
 			// Pick three distinct members a, b, c != i.
 			a, b, c := distinct3(rng, np, i)
 			jr := rng.Intn(dim)
+			t := trials[i]
 			for j := 0; j < dim; j++ {
 				if j == jr || rng.Float64() < CR {
-					trial[j] = pop[a][j] + F*(pop[b][j]-pop[c][j])
+					t[j] = pop[a][j] + F*(pop[b][j]-pop[c][j])
 				} else {
-					trial[j] = pop[i][j]
+					t[j] = pop[i][j]
 				}
 			}
-			clampInto(trial, cfg)
-			ft := e.eval(trial)
-			if ft <= fit[i] {
-				copy(pop[i], trial)
-				fit[i] = ft
+			clampInto(t, cfg)
+		}
+		n := e.evalBatch(trials, ftr)
+		for i := 0; i < n; i++ {
+			if ftr[i] <= fit[i] {
+				copy(pop[i], trials[i])
+				fit[i] = ftr[i]
 			}
 		}
 	}
 	return e.result(gens)
 }
 
-// distinct3 returns three distinct indices in [0,n) all different from i.
+// distinct3 returns three distinct indices in [0,n) all different from
+// i, by rejection sampling. Written without closures or variadics: it
+// runs once per population member per generation and must not allocate.
 func distinct3(rng *rand.Rand, n, i int) (int, int, int) {
-	pick := func(excl ...int) int {
-	retry:
-		for {
-			v := rng.Intn(n)
-			for _, x := range excl {
-				if v == x {
-					continue retry
-				}
-			}
-			return v
-		}
+	a := i
+	for a == i {
+		a = rng.Intn(n)
 	}
-	a := pick(i)
-	b := pick(i, a)
-	c := pick(i, a, b)
+	b := i
+	for b == i || b == a {
+		b = rng.Intn(n)
+	}
+	c := i
+	for c == i || c == a || c == b {
+		c = rng.Intn(n)
+	}
 	return a, b, c
 }

@@ -63,22 +63,24 @@ type vertex struct {
 // within a run allocate nothing: steady-state minimization performs
 // zero heap allocations per objective evaluation.
 type nmScratch struct {
-	simplex  []vertex  // dim+1 vertices with preallocated coordinate slices
-	seed     []float64 // perturbed start point during simplex seeding
+	simplex  []vertex // dim+1 vertices with preallocated coordinate slices
 	centroid []float64
-	xr       []float64 // reflection point
-	xe       []float64 // expansion point
-	xc       []float64 // contraction point
+	xr       []float64   // reflection point
+	xe       []float64   // expansion point
+	xc       []float64   // contraction point
+	batchX   [][]float64 // gathered vertex pointers for batched polls
+	batchF   []float64   // batched poll values
 }
 
 func newNMScratch(dim int) *nmScratch {
 	s := &nmScratch{
 		simplex:  make([]vertex, dim+1),
-		seed:     make([]float64, dim),
 		centroid: make([]float64, dim),
 		xr:       make([]float64, dim),
 		xe:       make([]float64, dim),
 		xc:       make([]float64, dim),
+		batchX:   make([][]float64, dim+1),
+		batchF:   make([]float64, dim+1),
 	}
 	for i := range s.simplex {
 		s.simplex[i].x = make([]float64, dim)
@@ -102,35 +104,32 @@ func (nm *NelderMead) run(e *evaluator, x0 []float64, cfg Config, scr *nmScratch
 	dim := len(x0)
 
 	// Initial simplex: x0 plus dim perturbed vertices, re-seeded into
-	// the scratch vertices. Perturbation is relative so the simplex is
-	// meaningful at any magnitude (1e-300 or 1e300 alike).
+	// the scratch vertices and scored as one batched poll — the simplex
+	// re-seeding lane filler (Basinhopping performs one per hop).
+	// Perturbation is relative so the simplex is meaningful at any
+	// magnitude (1e-300 or 1e300 alike).
 	simplex := scr.simplex
-	nverts := 0
-	add := func(x []float64) bool {
-		if e.done() {
-			return false
+	for i := 0; i <= dim; i++ {
+		v := &simplex[i]
+		copy(v.x, x0)
+		if i > 0 {
+			h := step * math.Abs(v.x[i-1])
+			if h == 0 {
+				h = step
+			}
+			v.x[i-1] += h
 		}
-		v := &simplex[nverts]
-		copy(v.x, x)
 		clampInto(v.x, cfg)
-		v.f = e.eval(v.x)
-		nverts++
-		return true
+		scr.batchX[i] = v.x
 	}
-	if !add(x0) {
+	n := e.evalBatch(scr.batchX, scr.batchF)
+	for i := 0; i < n; i++ {
+		simplex[i].f = scr.batchF[i]
+	}
+	if n <= dim {
+		// Budget exhausted mid-seeding, exactly where the serial loop
+		// would have bailed.
 		return e.result(0)
-	}
-	for i := 0; i < dim; i++ {
-		xi := scr.seed
-		copy(xi, x0)
-		h := step * math.Abs(xi[i])
-		if h == 0 {
-			h = step
-		}
-		xi[i] += h
-		if !add(xi) {
-			return e.result(0)
-		}
 	}
 
 	centroid, xr, xe, xc := scr.centroid, scr.xr, scr.xe, scr.xc
@@ -200,16 +199,22 @@ func (nm *NelderMead) run(e *evaluator, x0 []float64, cfg Config, scr *nmScratch
 			if fc < ref.f {
 				copyVertex(&simplex[dim], xc, fc)
 			} else {
-				// Shrink toward the best vertex.
+				// Shrink toward the best vertex: move all dim positions
+				// in place, then score them as one batched poll. A
+				// position whose evaluation the budget cut off keeps its
+				// old f; the outer loop exits via done() immediately and
+				// the result comes from the evaluator's best-point
+				// tracking, so the stale pairing is unobservable.
 				for i := 1; i <= dim; i++ {
-					if e.done() {
-						break
-					}
 					for j := 0; j < dim; j++ {
 						simplex[i].x[j] = best.x[j] + sigma*(simplex[i].x[j]-best.x[j])
 					}
 					clampInto(simplex[i].x, cfg)
-					simplex[i].f = e.eval(simplex[i].x)
+					scr.batchX[i-1] = simplex[i].x
+				}
+				n := e.evalBatch(scr.batchX[:dim], scr.batchF[:dim])
+				for i := 0; i < n; i++ {
+					simplex[i+1].f = scr.batchF[i]
 				}
 			}
 		}

@@ -91,9 +91,22 @@ type Config struct {
 	// shared evaluator consults it before every objective evaluation, so
 	// a cancellation or deadline lands within ONE evaluation — no more
 	// objective calls happen after Ctx is done, whatever the backend's
-	// internal phase. Nil means no cancellation (and no per-eval
+	// internal phase. With Batch set the granularity coarsens to one
+	// BATCH: the evaluator checks Ctx before each batch dispatch, so a
+	// cancellation lands within one batch (which is one evaluation for
+	// the serial adapter). Nil means no cancellation (and no per-eval
 	// overhead).
 	Ctx context.Context
+	// Batch, when non-nil, evaluates whole candidate batches in one
+	// call. It must compute exactly the same function as the scalar
+	// objective (typically both wrap one instrumented program: the
+	// scalar one executes a single lane, Batch a lane-parallel sweep).
+	// Backends with natural lane fillers — DE generations, Nelder–Mead
+	// simplex re-seeding polls, annealing probe pools, the multi-start
+	// fan-out — route those phases through it; inherently sequential
+	// phases stay on the scalar objective. Nil runs batches as serial
+	// loops over the scalar objective: always correct, never faster.
+	Batch BatchObjective
 }
 
 func (c Config) maxEvals(def int) int {

@@ -58,6 +58,16 @@ type ParallelConfig struct {
 	// determinism contract — partial results are whatever each start had
 	// sampled when the context fired.
 	Ctx context.Context
+	// Batch, when non-nil, supplies each start's Config.Batch: a batch
+	// objective constructed alongside objective(start) that must
+	// evaluate exactly the same function (typically a lane-parallel
+	// sweep of the same program instance, sharing the scalar wrapper's
+	// monitor family). Like the scalar factory it is invoked once per
+	// executed start, from the worker goroutine that runs it; under
+	// StopAtZero the driver wraps it with the same short-circuit as the
+	// scalar objective, so unconsumable starts stop paying for lane
+	// sweeps too.
+	Batch func(start int) BatchObjective
 }
 
 func (c ParallelConfig) workers() int {
@@ -167,6 +177,10 @@ func ParallelStarts(backend Minimizer, objective func(start int) Objective, dim 
 					tr = &Trace{Cap: cfg.TraceCap}
 				}
 				obj := objective(s)
+				var batch BatchObjective
+				if cfg.Batch != nil {
+					batch = cfg.Batch(s)
+				}
 				if cfg.StopAtZero {
 					// Cooperative cancellation for in-flight starts: once a
 					// lower-index start holds an accepted zero, this start's
@@ -183,6 +197,18 @@ func ParallelStarts(backend Minimizer, objective func(start int) Objective, dim 
 						}
 						return real(x)
 					}
+					if batch != nil {
+						realB := batch
+						batch = BatchFunc(func(xs [][]float64, out []float64) {
+							if int64(s) > minZero.Load() {
+								for i := range xs {
+									out[i] = math.Inf(1)
+								}
+								return
+							}
+							realB.Eval(xs, out)
+						})
+					}
 				}
 				r := backend.Minimize(obj, dim, Config{
 					Seed:       cfg.Seed + int64(s)*cfg.stride(),
@@ -191,6 +217,7 @@ func ParallelStarts(backend Minimizer, objective func(start int) Objective, dim 
 					StopAtZero: cfg.StopAtZero,
 					Trace:      tr,
 					Ctx:        cfg.Ctx,
+					Batch:      batch,
 				})
 				res.Result = r
 				res.Trace = tr
