@@ -48,6 +48,8 @@ func main() {
 		os.Exit(generate(args))
 	case "run":
 		os.Exit(run(args))
+	case "crash":
+		os.Exit(crash(args))
 	case "shrink":
 		os.Exit(shrink(args))
 	case "help", "-h", "-help", "--help":
@@ -60,10 +62,11 @@ func main() {
 }
 
 func usage(w *os.File) {
-	fmt.Fprintln(w, "usage: fpfuzz generate|run|shrink [flags]")
+	fmt.Fprintln(w, "usage: fpfuzz generate|run|crash|shrink [flags]")
 	fmt.Fprintln(w, "  generate -n N [-seed S] [-dims D] [-o DIR]  emit corpus programs")
 	fmt.Fprintln(w, "  run [-n N] [-seed S] [-evals E] [-workers W] [-backends a,b] [-analyses x,y]")
 	fmt.Fprintln(w, "      [-layers engine,backend,replay] [-lanes W1,W2] [-recheck] [-max-violations M] [-v]")
+	fmt.Fprintln(w, "  crash [-rounds R] [-seed S] [-programs P] [-panic-jobs N] [-fault-prob F] [-selftest] [-v]")
 	fmt.Fprintln(w, "  shrink [-inject-div] [-seed S] [-index I] [-lanes W1,W2] [prog.fpl]")
 }
 
@@ -150,6 +153,69 @@ func run(args []string) int {
 	}
 	res := fuzz.Run(o)
 	fmt.Println("fpfuzz:", res.Summary())
+	if !res.Ok() {
+		for i, v := range res.Violations {
+			if i >= 5 {
+				fmt.Fprintf(os.Stderr, "... and %d more violations\n", len(res.Violations)-5)
+				break
+			}
+			fmt.Fprintln(os.Stderr, "VIOLATION", v.String())
+		}
+		return 1
+	}
+	return 0
+}
+
+// crash runs the crash-recovery campaign: a golden durable run, then
+// repeated journal truncations at random offsets with recovery, each
+// required to reproduce the golden results exactly. -selftest tampers
+// a golden expectation and requires the oracle to notice — the proof
+// that a green campaign verified something.
+func crash(args []string) int {
+	fs := flag.NewFlagSet("fpfuzz crash", flag.ContinueOnError)
+	rounds := fs.Int("rounds", 6, "crash offsets to exercise")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	programs := fs.Int("programs", 3, "generated programs (one job batch each)")
+	dims := fs.Int("dims", 3, "cycle entry arity over 1..dims")
+	evals := fs.Int("evals", 60, "weak-distance evaluations per analysis")
+	workers := fs.Int("workers", 0, "pipeline workers (0 = all CPUs); never changes results")
+	analyses := fs.String("analyses", "", "comma-separated analysis subset (default: coverage,overflow,xsat)")
+	panicJobs := fs.Int("panic-jobs", 0, "inject a panic into ~1/N of jobs, golden and recovery alike (0 disables)")
+	faultProb := fs.Float64("fault-prob", 0, "injected fsync-failure probability during recovery (0 disables)")
+	selftest := fs.Bool("selftest", false, "tamper a golden expectation; exit 0 only if the oracle catches it")
+	dir := fs.String("dir", "", "scratch directory for journals (default: temp dir)")
+	verbose := fs.Bool("v", false, "progress output")
+	if err := fs.Parse(args); err != nil {
+		return flagExit(err)
+	}
+	o := fuzz.CrashOptions{
+		Rounds:    *rounds,
+		Seed:      *seed,
+		Programs:  *programs,
+		MaxDims:   *dims,
+		Evals:     *evals,
+		Workers:   *workers,
+		Analyses:  splitList(*analyses),
+		PanicJobs: *panicJobs,
+		FaultProb: *faultProb,
+		Tamper:    *selftest,
+		Dir:       *dir,
+	}
+	if *verbose {
+		o.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "fpfuzz crash: %d/%d rounds\n", done, total)
+		}
+	}
+	res := fuzz.RunCrash(o)
+	fmt.Println("fpfuzz crash:", res.Summary())
+	if *selftest {
+		if res.Ok() {
+			fmt.Fprintln(os.Stderr, "fpfuzz crash: selftest FAILED: the tampered expectation went unnoticed")
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "fpfuzz crash: selftest ok: tampering detected")
+		return 0
+	}
 	if !res.Ok() {
 		for i, v := range res.Violations {
 			if i >= 5 {

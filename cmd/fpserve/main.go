@@ -24,10 +24,17 @@
 //	curl -s -N http://localhost:8035/v1/jobs/job-1/events
 //	curl -s -X DELETE http://localhost:8035/v1/jobs/job-1
 //
+// With -data-dir the job table is durable: every accepted job is
+// journaled before its 202, and on boot the journal is replayed —
+// finished jobs come back with their results, jobs a crash caught
+// running are re-executed from their last durable result (results are
+// content-deterministic, so the recovered output is identical to an
+// uninterrupted run's).
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops
 // accepting jobs, cancels in-flight job contexts (which land inside the
 // minimizers within one objective evaluation), drains connections up to
-// -drain, and exits 0.
+// -drain, journals a clean-shutdown marker, and exits 0.
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/pipeline"
 )
 
@@ -52,6 +60,14 @@ func main() {
 		ttl   = flag.Duration("job-ttl", pipeline.DefaultJobTTL, "retention of finished jobs")
 		table = flag.Int("job-table", pipeline.DefaultMaxTrackedJobs, "max tracked jobs")
 		drain = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+
+		dataDir   = flag.String("data-dir", "", "journal directory for a durable job table (empty = volatile)")
+		syncEvery = flag.Duration("sync-every", journal.DefaultSyncEvery, "journal group-commit interval")
+		compact   = flag.Int64("compact-bytes", journal.DefaultCompactBytes, "journal size that triggers snapshot+compact")
+		inflight  = flag.Int("max-inflight", 0, "load-shedding watermark on accepted-but-unfinished jobs (0 = unlimited)")
+		backlog   = flag.Int64("journal-backlog", pipeline.DefaultStoreBacklog, "load-shedding watermark on unsynced journal bytes")
+		retry     = flag.Duration("retry-after", pipeline.DefaultRetryAfter, "Retry-After hint on 429 load-shedding refusals")
+		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE heartbeat interval on /v1 job event streams (0 disables)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -62,6 +78,43 @@ func main() {
 	srv := pipeline.NewServer(*jobs)
 	srv.Engine.TTL = *ttl
 	srv.Engine.MaxTrackedJobs = *table
+	srv.Engine.MaxInFlight = *inflight
+	srv.Engine.RetryAfter = *retry
+	srv.Engine.Logf = log.Printf
+	srv.Heartbeat = *heartbeat
+	srv.Logf = log.Printf
+	srv.PL.PanicHook = func(idx int, j pipeline.Job, v any, stack []byte) {
+		log.Printf("fpserve: job panic (job index %d, analysis %q): %v\n%s", idx, j.Spec.Analysis, v, stack)
+	}
+
+	var store *pipeline.DurableStore
+	if *dataDir != "" {
+		var err error
+		store, err = pipeline.OpenStore(*dataDir, journal.Options{
+			SyncEvery:    *syncEvery,
+			CompactBytes: *compact,
+		})
+		if err != nil {
+			log.Fatalf("fpserve: opening journal under %s: %v", *dataDir, err)
+		}
+		srv.Engine.Store = store
+		srv.Engine.MaxStoreBacklog = *backlog
+		recovered := store.Recovered()
+		switch {
+		case store.BootRecords() == 0:
+			log.Printf("fpserve: journal %s: initialized", *dataDir)
+		case store.CleanShutdown():
+			log.Printf("fpserve: journal %s: clean shutdown, %d jobs restored", *dataDir, len(recovered))
+		default:
+			log.Printf("fpserve: journal %s: unclean shutdown (%d torn bytes truncated), %d jobs to recover",
+				*dataDir, store.TruncatedBytes(), len(recovered))
+		}
+		restored, requeued := srv.Engine.Recover(recovered)
+		if restored > 0 {
+			log.Printf("fpserve: recovered %d jobs (%d requeued for re-execution)", restored, requeued)
+		}
+	}
+
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
@@ -93,12 +146,19 @@ func main() {
 	defer cancel()
 	// Stop accepting jobs and cancel in-flight job contexts first: the
 	// handlers streaming those jobs finish promptly, so the HTTP drain
-	// below converges instead of waiting on hour-long minimizations.
+	// below converges instead of waiting on hour-long minimizations. A
+	// complete drain also journals the clean-shutdown marker, so the
+	// next boot knows it need not requeue anything.
 	if err := srv.Shutdown(sd); err != nil {
 		log.Printf("fpserve: job engine drain: %v", err)
 	}
 	if err := hs.Shutdown(sd); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("fpserve: http drain: %v", err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			log.Printf("fpserve: closing journal: %v", err)
+		}
 	}
 	log.Printf("fpserve: shutdown complete")
 }

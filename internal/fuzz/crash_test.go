@@ -1,0 +1,59 @@
+package fuzz_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fuzz"
+)
+
+// TestCrashCampaignClean runs a small crash-recovery campaign: every
+// job recoverable from a truncated journal must reach the golden run's
+// results.
+func TestCrashCampaignClean(t *testing.T) {
+	res := fuzz.RunCrash(fuzz.CrashOptions{Rounds: 3, Seed: 1, Programs: 2, Evals: 30})
+	if !res.Ok() {
+		for _, v := range res.Violations {
+			t.Errorf("%s", v.Detail)
+		}
+	}
+	if res.Rounds != 3 || res.Jobs != 2 {
+		t.Errorf("campaign shape: %s", res.Summary())
+	}
+	if res.Recovered == 0 {
+		t.Errorf("no jobs recovered across any round: %s", res.Summary())
+	}
+}
+
+// TestCrashCampaignFaults layers injected worker panics and transient
+// fsync failures on top of the crash rounds; the oracle must still hold
+// (panicked jobs fail identically in golden and recovered runs).
+func TestCrashCampaignFaults(t *testing.T) {
+	res := fuzz.RunCrash(fuzz.CrashOptions{
+		Rounds: 3, Seed: 2, Programs: 2, Evals: 30,
+		PanicJobs: 2, FaultProb: 0.2,
+	})
+	if !res.Ok() {
+		for _, v := range res.Violations {
+			t.Errorf("%s", v.Detail)
+		}
+	}
+}
+
+// TestCrashCampaignSelfTest proves the oracle has teeth: a tampered
+// golden expectation must surface as a violation.
+func TestCrashCampaignSelfTest(t *testing.T) {
+	res := fuzz.RunCrash(fuzz.CrashOptions{Rounds: 2, Seed: 3, Programs: 1, Evals: 30, Tamper: true})
+	if res.Ok() {
+		t.Fatal("tampered expectation produced no violations — the oracle is blind")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Layer == "crash" && strings.Contains(v.Detail, "differs from the uninterrupted run") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations do not include a divergence report: %+v", res.Violations)
+	}
+}

@@ -1,0 +1,97 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// transientError marks an injected or I/O-level journal failure that a
+// caller should retry with backoff: the journal itself is still
+// healthy, the operation just didn't land this time.
+type transientError struct {
+	op  string
+	err error
+}
+
+func (e *transientError) Error() string { return "journal: " + e.op + ": " + e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks the error as retryable for IsTransient (and for
+// pipeline.Retryable, which recognizes the same interface).
+func (e *transientError) Transient() bool { return true }
+
+// IsTransient reports whether err is a retry-with-backoff failure (as
+// opposed to a permanent one like ErrClosed or a corrupt record).
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// injectedSyncError is the failpoint-produced fsync failure.
+type injectedSyncError struct{ n int64 }
+
+func (e *injectedSyncError) Error() string {
+	return fmt.Sprintf("injected fsync failure #%d", e.n)
+}
+func (e *injectedSyncError) Transient() bool { return true }
+
+// Failpoints injects deterministic faults into a journal: fsync
+// failures (transient — the caller's retry path is under test), and a
+// crash cut that tears or drops the append crossing a byte offset (the
+// SIGKILL-between-records and torn-final-record cases). All knobs are
+// driven by one seed so a failing campaign replays exactly.
+type Failpoints struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	sync int64
+
+	// SyncFailEvery makes every Nth fsync fail with a transient
+	// injected error (0 disables). The write is already in the log, so
+	// a retried sync is safe.
+	SyncFailEvery int64
+	// SyncFailProb makes each fsync fail with this probability,
+	// deterministically in the seed (0 disables).
+	SyncFailProb float64
+	// CrashAtOffset, when positive, kills the journal at that log byte
+	// offset: the append that would cross it is cut there — possibly
+	// mid-frame, leaving a torn record — and every later operation
+	// returns ErrClosed, as if the process had been SIGKILLed.
+	CrashAtOffset int64
+}
+
+// NewFailpoints returns a failpoint set whose probabilistic knobs draw
+// from seed.
+func NewFailpoints(seed int64) *Failpoints {
+	return &Failpoints{rng: rand.New(rand.NewSource(seed))}
+}
+
+// syncErr reports the injected failure for the next fsync, if any.
+func (fp *Failpoints) syncErr() error {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.sync++
+	if fp.SyncFailEvery > 0 && fp.sync%fp.SyncFailEvery == 0 {
+		return &injectedSyncError{n: fp.sync}
+	}
+	if fp.SyncFailProb > 0 && fp.rng != nil && fp.rng.Float64() < fp.SyncFailProb {
+		return &injectedSyncError{n: fp.sync}
+	}
+	return nil
+}
+
+// writeCut reports how much of an append at offset off (length n) may
+// be written before the simulated crash, and whether the crash fires.
+func (fp *Failpoints) writeCut(off, n int64) (limit int64, dead bool) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.CrashAtOffset <= 0 || off+n <= fp.CrashAtOffset {
+		return 0, false
+	}
+	limit = fp.CrashAtOffset - off
+	if limit < 0 {
+		limit = 0
+	}
+	return limit, true
+}

@@ -1,0 +1,294 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func rec(typ, job string, data string) Record {
+	var raw json.RawMessage
+	if data != "" {
+		raw = json.RawMessage(data)
+	}
+	return Record{Type: typ, Job: job, Data: raw}
+}
+
+func open(t *testing.T, dir string, o Options) (*Journal, BootInfo) {
+	t.Helper()
+	j, info, err := Open(dir, o)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j, info
+}
+
+// TestAppendReplayRoundTrip: records written across durable and batched
+// appends replay in order after reopen.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, info := open(t, dir, Options{})
+	if len(info.Records) != 0 || info.CleanShutdown {
+		t.Fatalf("fresh dir boot: %+v", info)
+	}
+	want := []Record{
+		rec("submit", "job-1", `{"n":2}`),
+		rec("result", "job-1", `{"index":0}`),
+		rec("result", "job-1", `{"index":1}`),
+		rec("terminal", "job-1", `{"status":"completed"}`),
+	}
+	for i, r := range want {
+		if err := j.Append(r, i == 0 || i == len(want)-1); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, info2 := open(t, dir, Options{})
+	if info2.CleanShutdown {
+		t.Error("no marker was written, but CleanShutdown = true")
+	}
+	if info2.TruncatedBytes != 0 {
+		t.Errorf("clean log reports %d torn bytes", info2.TruncatedBytes)
+	}
+	if len(info2.Records) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(info2.Records), len(want))
+	}
+	for i, r := range info2.Records {
+		if r.Type != want[i].Type || r.Job != want[i].Job || string(r.Data) != string(want[i].Data) {
+			t.Errorf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+// TestTornTailTruncated: a crash mid-write leaves a partial final
+// frame; replay must keep the whole prefix, drop the tail, and truncate
+// the file so subsequent appends extend a valid log.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := open(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		if err := j.Append(rec("result", "job-1", fmt.Sprintf(`{"index":%d}`, i)), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: drop its last 3 bytes.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, info := open(t, dir, Options{})
+	if len(info.Records) != 4 {
+		t.Fatalf("replayed %d records through a torn tail, want 4", len(info.Records))
+	}
+	if info.TruncatedBytes == 0 {
+		t.Error("torn tail not reported")
+	}
+	// The file itself must be truncated back to the durable prefix...
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() >= int64(len(data))-3 {
+		t.Errorf("torn tail not physically truncated: size %d", st.Size())
+	}
+	// ...so that appends after recovery frame correctly.
+	if err := j2.Append(rec("result", "job-1", `{"index":4}`), true); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, info3 := open(t, dir, Options{})
+	if len(info3.Records) != 5 {
+		t.Fatalf("after post-recovery append: %d records, want 5", len(info3.Records))
+	}
+	if got := string(info3.Records[4].Data); got != `{"index":4}` {
+		t.Errorf("final record %s", got)
+	}
+}
+
+// TestCorruptFrameStopsReplay: a flipped payload byte fails the CRC;
+// replay keeps only the prefix before it.
+func TestCorruptFrameStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := open(t, dir, Options{})
+	var off int64
+	for i := 0; i < 4; i++ {
+		if err := j.Append(rec("result", "j", fmt.Sprintf(`{"i":%d}`, i)), true); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			off = j.LogSize() // corrupt inside record 2
+		}
+	}
+	j.Close()
+	path := filepath.Join(dir, logName)
+	data, _ := os.ReadFile(path)
+	data[off+frameHeader+2] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	_, info := open(t, dir, Options{})
+	if len(info.Records) != 2 {
+		t.Fatalf("replayed %d records past a corrupt frame, want 2", len(info.Records))
+	}
+}
+
+// TestSnapshotCompactRoundTrip: compaction moves state to the snapshot,
+// empties the log, and reopen replays snapshot + later appends.
+func TestSnapshotCompactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := open(t, dir, Options{CompactBytes: 1})
+	for i := 0; i < 10; i++ {
+		if err := j.Append(rec("result", "job-1", fmt.Sprintf(`{"i":%d}`, i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !j.ShouldCompact() {
+		t.Fatal("log over threshold but ShouldCompact is false")
+	}
+	state := []Record{
+		rec("submit", "job-1", `{"n":1}`),
+		rec("terminal", "job-1", `{"status":"completed"}`),
+	}
+	if err := j.Compact(state); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if j.LogSize() != 0 {
+		t.Errorf("log size after compact = %d", j.LogSize())
+	}
+	if err := j.Append(rec("submit", "job-2", `{"n":1}`), true); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Compactions != 1 || st.SnapshotBytes == 0 {
+		t.Errorf("stats after compact: %+v", st)
+	}
+	j.Close()
+
+	_, info := open(t, dir, Options{})
+	if info.SnapshotRecords != 2 || len(info.Records) != 3 {
+		t.Fatalf("reopen after compact: %d snapshot records, %d total (want 2, 3)",
+			info.SnapshotRecords, len(info.Records))
+	}
+	if info.Records[2].Job != "job-2" {
+		t.Errorf("log record after snapshot: %+v", info.Records[2])
+	}
+}
+
+// TestCleanShutdownMarker: the marker is only honored in final
+// position — a marker mid-log (from a previous clean stop) does not
+// make the next crash look clean.
+func TestCleanShutdownMarker(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := open(t, dir, Options{})
+	j.Append(rec("submit", "job-1", `{"n":1}`), true)
+	if err := j.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, info := open(t, dir, Options{})
+	if !info.CleanShutdown {
+		t.Fatal("trailing marker not detected")
+	}
+	// The next generation appends and then "crashes" (no marker).
+	j2.Append(rec("submit", "job-2", `{"n":1}`), true)
+	j2.Close()
+	_, info3 := open(t, dir, Options{})
+	if info3.CleanShutdown {
+		t.Error("mid-log marker from a previous generation treated as clean shutdown")
+	}
+}
+
+// TestSyncFailpointTransient: injected fsync failures are transient and
+// a retried sync lands without duplicating the record.
+func TestSyncFailpointTransient(t *testing.T) {
+	dir := t.TempDir()
+	fp := NewFailpoints(1)
+	fp.SyncFailEvery = 1 // every fsync fails...
+	j, _ := open(t, dir, Options{Fail: fp})
+	err := j.Append(rec("submit", "job-1", `{"n":1}`), true)
+	if err == nil {
+		t.Fatal("injected fsync failure did not surface")
+	}
+	if !IsTransient(err) {
+		t.Fatalf("injected failure %v is not transient", err)
+	}
+	if IsTransient(ErrClosed) {
+		t.Error("ErrClosed must not be transient")
+	}
+	fp.SyncFailEvery = 0 // ...until the fault clears
+	if err := j.Sync(); err != nil {
+		t.Fatalf("retried sync: %v", err)
+	}
+	j.Close()
+	_, info := open(t, dir, Options{})
+	if len(info.Records) != 1 {
+		t.Fatalf("retried sync duplicated or lost the record: %d records", len(info.Records))
+	}
+}
+
+// TestCrashAtOffsetTearsFinalRecord: the crash failpoint cuts the
+// append crossing the offset mid-frame; reopen recovers the durable
+// prefix and truncates the torn bytes.
+func TestCrashAtOffsetTearsFinalRecord(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := open(t, dir, Options{})
+	j.Append(rec("submit", "job-1", `{"n":3}`), true)
+	cut := j.LogSize() + 5 // mid-way into the next frame
+	j.Close()
+
+	fp := NewFailpoints(1)
+	fp.CrashAtOffset = cut
+	j2, _ := open(t, dir, Options{Fail: fp})
+	j2.Append(rec("result", "job-1", `{"index":0}`), false) // first frame fits? no — crosses
+	// Every operation after the cut reports the journal dead.
+	if err := j2.Append(rec("result", "job-1", `{"index":1}`), false); err != ErrClosed {
+		t.Fatalf("append after simulated crash: %v, want ErrClosed", err)
+	}
+
+	_, info := open(t, dir, Options{})
+	if len(info.Records) != 1 || info.Records[0].Type != "submit" {
+		t.Fatalf("recovered %d records, want the 1 durable submit", len(info.Records))
+	}
+	if info.TruncatedBytes == 0 {
+		t.Error("torn frame from the crash cut was not truncated")
+	}
+}
+
+// TestGroupCommitBacklog: batched appends accumulate in the backlog and
+// the group-commit timer drains it without an explicit Sync.
+func TestGroupCommitBacklog(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := open(t, dir, Options{SyncEvery: 10 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		if err := j.Append(rec("result", "j", fmt.Sprintf(`{"i":%d}`, i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Backlog() == 0 {
+		t.Fatal("batched appends should be pending before the group commit")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Backlog() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("group-commit timer never drained the backlog")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st := j.Stats(); st.Syncs == 0 {
+		t.Errorf("stats: %+v", st)
+	}
+}

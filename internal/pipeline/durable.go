@@ -1,0 +1,348 @@
+package pipeline
+
+// This file gives the job table its durability: a JobStore hook the
+// engine writes through at every lifecycle transition, and the
+// journal-backed DurableStore fpserve mounts under -data-dir. The
+// record vocabulary is small — submit / start / result / terminal /
+// drop, plus the journal's own clean-shutdown marker — and replay
+// rebuilds the exact table a crashed process had made durable: terminal
+// jobs are restored read-only, jobs caught running are requeued from
+// their last durable result offset (results are content-deterministic
+// per the batch-evaluation contract, so re-execution is safe).
+
+import (
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// JobStore is the job table's storage hook. The engine calls it at
+// every lifecycle transition; a nil store is the volatile (pre-journal)
+// behavior. JobSubmitted must be durable before it returns — it is the
+// acceptance barrier: a job is only "accepted" (202) once its
+// submission can survive a crash. The other appends may batch.
+//
+// Store errors are classified by Retryable: transient failures are
+// retried with backoff by the engine; permanent ones fail the
+// operation.
+type JobStore interface {
+	// JobSubmitted durably records an accepted batch.
+	JobSubmitted(id string, jobs []Job, timeout time.Duration, created time.Time) error
+	// JobStarted records that execution began (again, after a requeue).
+	JobStarted(id string) error
+	// ResultAppended records one completed result, already in wire form.
+	ResultAppended(id string, index int, result json.RawMessage) error
+	// JobTerminal seals a job (completed or canceled).
+	JobTerminal(id string, status JobStatus, reason string, finished time.Time) error
+	// JobDropped records eviction (TTL or capacity), so a compacted
+	// journal does not resurrect evicted jobs.
+	JobDropped(id string) error
+	// Backlog reports unsynced journal bytes — the admission-control
+	// watermark for storage pressure.
+	Backlog() int64
+}
+
+// RecoveredJob is one job rebuilt from the journal at boot.
+type RecoveredJob struct {
+	// ID is the job's original identifier (preserved across restarts).
+	ID string
+	// Jobs is the submitted batch; Timeout and Created its deadline
+	// parameters.
+	Jobs    []Job
+	Timeout time.Duration
+	Created time.Time
+	// Results is the durable result prefix, in wire form. Results are
+	// appended in index order, so len(Results) is the requeue offset.
+	Results []json.RawMessage
+	// Status/Reason/Finished hold the terminal state, when the job
+	// reached one before the crash; Status == JobRunning means the job
+	// was in flight and must be requeued.
+	Status   JobStatus
+	Reason   string
+	Finished time.Time
+	// Restarts counts the start records seen — how many times some
+	// process began executing this job.
+	Restarts int
+}
+
+// Journal record types and payloads.
+const (
+	recSubmit   = "submit"
+	recStart    = "start"
+	recResult   = "result"
+	recTerminal = "terminal"
+	recDrop     = "drop"
+)
+
+type submitData struct {
+	Jobs    []Job     `json:"jobs"`
+	Timeout int64     `json:"timeoutNs,omitempty"`
+	Created time.Time `json:"created"`
+}
+
+type resultData struct {
+	Index  int             `json:"index"`
+	Result json.RawMessage `json:"result"`
+}
+
+type terminalData struct {
+	Status   JobStatus `json:"status"`
+	Reason   string    `json:"reason,omitempty"`
+	Finished time.Time `json:"finished"`
+}
+
+// DurableStore is the journal-backed JobStore. Besides appending, it
+// mirrors the logical job state so it can (a) hand the boot-time
+// recovery set to the engine and (b) compact the journal — rewrite the
+// snapshot from live state and restart the log — once the log crosses
+// its size threshold.
+type DurableStore struct {
+	mu     sync.Mutex
+	j      *journal.Journal
+	jobs   map[string]*RecoveredJob
+	frozen bool
+
+	cleanShutdown bool
+	truncated     int64
+	bootRecords   int
+}
+
+// OpenStore opens (creating if needed) the journal under dir and
+// replays it into the recovery set.
+func OpenStore(dir string, o journal.Options) (*DurableStore, error) {
+	j, info, err := journal.Open(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	s := &DurableStore{
+		j:             j,
+		jobs:          map[string]*RecoveredJob{},
+		cleanShutdown: info.CleanShutdown,
+		truncated:     info.TruncatedBytes,
+		bootRecords:   len(info.Records),
+	}
+	for _, rec := range info.Records {
+		s.apply(rec)
+	}
+	return s, nil
+}
+
+// apply folds one journal record into the mirrored state. Replay and
+// live appends share it, so the mirror can never diverge from what a
+// future boot would rebuild.
+func (s *DurableStore) apply(rec journal.Record) {
+	switch rec.Type {
+	case recSubmit:
+		var d submitData
+		if json.Unmarshal(rec.Data, &d) != nil {
+			return
+		}
+		if _, ok := s.jobs[rec.Job]; ok {
+			return // duplicate submit (snapshot + stale log): first wins
+		}
+		s.jobs[rec.Job] = &RecoveredJob{
+			ID: rec.Job, Jobs: d.Jobs,
+			Timeout: time.Duration(d.Timeout), Created: d.Created,
+			Status: JobRunning,
+		}
+	case recStart:
+		if rj, ok := s.jobs[rec.Job]; ok {
+			rj.Restarts++
+		}
+	case recResult:
+		rj, ok := s.jobs[rec.Job]
+		if !ok {
+			return
+		}
+		var d resultData
+		if json.Unmarshal(rec.Data, &d) != nil {
+			return
+		}
+		// Results land in index order; a replayed duplicate (possible
+		// only from anomalous logs) must not shift later offsets.
+		if d.Index != len(rj.Results) {
+			return
+		}
+		rj.Results = append(rj.Results, d.Result)
+	case recTerminal:
+		rj, ok := s.jobs[rec.Job]
+		if !ok {
+			return
+		}
+		var d terminalData
+		if json.Unmarshal(rec.Data, &d) != nil {
+			return
+		}
+		rj.Status, rj.Reason, rj.Finished = d.Status, d.Reason, d.Finished
+	case recDrop:
+		delete(s.jobs, rec.Job)
+	}
+}
+
+// append journals one record (durable or batched), folds it into the
+// mirror, and compacts when the log has outgrown its threshold.
+func (s *DurableStore) append(rec journal.Record, durable bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return nil // simulated dead process: writes vanish
+	}
+	if err := s.j.Append(rec, durable); err != nil {
+		return err
+	}
+	s.apply(rec)
+	if s.j.ShouldCompact() {
+		// Compaction failures are not fatal to the append — the record
+		// is already durable in the (long) log; the next append retries.
+		s.j.Compact(s.stateLocked())
+	}
+	return nil
+}
+
+// stateLocked serializes the mirror as the snapshot record sequence:
+// per job (in ID order), its submit, durable results, and terminal
+// record. Start and drop records compact away.
+func (s *DurableStore) stateLocked() []journal.Record {
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return jobSeq(ids[a]) < jobSeq(ids[b]) })
+	var recs []journal.Record
+	for _, id := range ids {
+		rj := s.jobs[id]
+		recs = append(recs, journal.Record{Type: recSubmit, Job: id, Data: marshal(submitData{
+			Jobs: rj.Jobs, Timeout: int64(rj.Timeout), Created: rj.Created})})
+		for i, res := range rj.Results {
+			recs = append(recs, journal.Record{Type: recResult, Job: id,
+				Data: marshal(resultData{Index: i, Result: res})})
+		}
+		if rj.Status != JobRunning {
+			recs = append(recs, journal.Record{Type: recTerminal, Job: id, Data: marshal(terminalData{
+				Status: rj.Status, Reason: rj.Reason, Finished: rj.Finished})})
+		}
+	}
+	return recs
+}
+
+func marshal(v any) json.RawMessage {
+	b, _ := json.Marshal(v)
+	return b
+}
+
+// jobSeq extracts the numeric suffix of "job-N" IDs (0 when absent).
+func jobSeq(id string) int64 {
+	n, _ := strconv.ParseInt(strings.TrimPrefix(id, "job-"), 10, 64)
+	return n
+}
+
+// JobSubmitted implements JobStore; the append is durable (the 202
+// acceptance barrier).
+func (s *DurableStore) JobSubmitted(id string, jobs []Job, timeout time.Duration, created time.Time) error {
+	return s.append(journal.Record{Type: recSubmit, Job: id, Data: marshal(submitData{
+		Jobs: jobs, Timeout: int64(timeout), Created: created})}, true)
+}
+
+// JobStarted implements JobStore (batched).
+func (s *DurableStore) JobStarted(id string) error {
+	return s.append(journal.Record{Type: recStart, Job: id}, false)
+}
+
+// ResultAppended implements JobStore (batched: results ride the group
+// commit — a crash may lose the last few, and the requeue re-derives
+// them deterministically).
+func (s *DurableStore) ResultAppended(id string, index int, result json.RawMessage) error {
+	return s.append(journal.Record{Type: recResult, Job: id,
+		Data: marshal(resultData{Index: index, Result: result})}, false)
+}
+
+// JobTerminal implements JobStore; terminal records are durable, so an
+// acknowledged completion survives.
+func (s *DurableStore) JobTerminal(id string, status JobStatus, reason string, finished time.Time) error {
+	return s.append(journal.Record{Type: recTerminal, Job: id, Data: marshal(terminalData{
+		Status: status, Reason: reason, Finished: finished})}, true)
+}
+
+// JobDropped implements JobStore (batched).
+func (s *DurableStore) JobDropped(id string) error {
+	return s.append(journal.Record{Type: recDrop, Job: id}, false)
+}
+
+// Backlog implements JobStore.
+func (s *DurableStore) Backlog() int64 { return s.j.Backlog() }
+
+// Recovered returns the replayed job set in submission order. The
+// engine consumes it once at boot via JobEngine.Recover.
+func (s *DurableStore) Recovered() []RecoveredJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RecoveredJob, 0, len(s.jobs))
+	for _, rj := range s.jobs {
+		cp := *rj
+		cp.Jobs = append([]Job(nil), rj.Jobs...)
+		cp.Results = append([]json.RawMessage(nil), rj.Results...)
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(a, b int) bool { return jobSeq(out[a].ID) < jobSeq(out[b].ID) })
+	return out
+}
+
+// CleanShutdown reports that the previous process exited gracefully
+// (its final journal record was the shutdown marker). False after a
+// crash — the caller logs the difference and expects requeues.
+func (s *DurableStore) CleanShutdown() bool { return s.cleanShutdown }
+
+// TruncatedBytes reports the torn tail dropped at boot.
+func (s *DurableStore) TruncatedBytes() int64 { return s.truncated }
+
+// BootRecords reports how many journal records (snapshot included) the
+// boot replayed — zero distinguishes a freshly initialized journal
+// from one a crash left behind.
+func (s *DurableStore) BootRecords() int { return s.bootRecords }
+
+// Stats exposes the journal counters (served under /stats).
+func (s *DurableStore) Stats() journal.Stats { return s.j.Stats() }
+
+// MarkCleanShutdown durably appends the clean-shutdown marker. Call it
+// only after the engine has drained — it must be the log's final
+// record.
+func (s *DurableStore) MarkCleanShutdown() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.frozen {
+		return nil
+	}
+	return s.j.CleanShutdown()
+}
+
+// Freeze simulates abrupt process death for crash tests: every later
+// append silently vanishes, exactly as writes issued after a SIGKILL
+// would. The in-memory engine keeps running (and failing to persist),
+// which is precisely the state a crashed process's goroutines are in.
+func (s *DurableStore) Freeze() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.frozen = true
+}
+
+// Close syncs and closes the journal.
+func (s *DurableStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.j.Close()
+}
+
+var _ JobStore = (*DurableStore)(nil)
+
+// storeBackoff is the engine's retry schedule for store appends:
+// capped exponential backoff with jitter seeded per job, so concurrent
+// retriers de-synchronize deterministically.
+func storeBackoff(id string) Backoff {
+	return Backoff{Base: 2 * time.Millisecond, Max: 250 * time.Millisecond,
+		Attempts: 6, Seed: jobSeq(id)}
+}

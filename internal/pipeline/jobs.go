@@ -29,6 +29,9 @@ const (
 	// DefaultJobTTL is how long a finished job's results stay
 	// retrievable before eviction.
 	DefaultJobTTL = 15 * time.Minute
+	// DefaultRetryAfter is the backoff hint sent with load-shedding
+	// refusals (429 Retry-After).
+	DefaultRetryAfter = time.Second
 )
 
 // Engine errors, surfaced by Submit.
@@ -36,8 +39,23 @@ var (
 	// ErrShuttingDown: the engine no longer accepts jobs.
 	ErrShuttingDown = errors.New("server is shutting down")
 	// ErrJobTableFull: the table holds MaxTrackedJobs unfinished jobs.
+	// Non-terminal jobs are never evicted for capacity — the submission
+	// is refused (429 + Retry-After on the /v1 surface) instead of
+	// silently dropping tracked state.
 	ErrJobTableFull = errors.New("job table full: all tracked jobs are still running")
 )
+
+// ErrOverloaded is the admission-control refusal: accepting the batch
+// would push in-flight work or journal backlog past a watermark. The
+// /v1 surface renders it as 429 problem+json with a Retry-After hint.
+type ErrOverloaded struct {
+	// Reason names the crossed watermark.
+	Reason string
+	// RetryAfter is the client backoff hint.
+	RetryAfter time.Duration
+}
+
+func (e ErrOverloaded) Error() string { return "overloaded: " + e.Reason }
 
 // Cancellation causes, readable in JobView.Reason.
 var (
@@ -49,8 +67,12 @@ var (
 // JobRecord tracks one submitted batch: its results as they stream in,
 // its lifecycle state, and the cancel handle that makes DELETE and
 // shutdown land inside the minimizers within one objective evaluation.
+// Results are held in wire form (MarshalResult bytes) — the same bytes
+// the journal persists, so a recovered record serves exactly what the
+// pre-crash one did.
 type JobRecord struct {
-	// ID is the engine-assigned job identifier.
+	// ID is the engine-assigned job identifier (stable across
+	// crash-recovery restarts).
 	ID string
 	// Created is the submission time.
 	Created time.Time
@@ -60,17 +82,17 @@ type JobRecord struct {
 	cancel context.CancelCauseFunc
 
 	mu       sync.Mutex
-	results  []JobResult
+	results  []json.RawMessage
 	status   JobStatus
 	reason   string
 	finished time.Time
 	changed  chan struct{} // closed on every append and on finish
 }
 
-// append records one result and wakes every waiter.
-func (rec *JobRecord) append(r JobResult) {
+// append records one wire-form result and wakes every waiter.
+func (rec *JobRecord) append(raw json.RawMessage) {
 	rec.mu.Lock()
-	rec.results = append(rec.results, r)
+	rec.results = append(rec.results, raw)
 	if rec.status == JobRunning {
 		close(rec.changed)
 		rec.changed = make(chan struct{})
@@ -93,13 +115,20 @@ func (rec *JobRecord) finish(cause error) {
 	rec.mu.Unlock()
 }
 
+// terminal snapshots the sealed state for the journal.
+func (rec *JobRecord) terminal() (JobStatus, string, time.Time) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.status, rec.reason, rec.finished
+}
+
 // next returns the results from index from on, the current status, and
 // a channel that signals the next change (closed already if the record
 // is finished).
-func (rec *JobRecord) next(from int) ([]JobResult, JobStatus, <-chan struct{}) {
+func (rec *JobRecord) next(from int) ([]json.RawMessage, JobStatus, <-chan struct{}) {
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
-	var out []JobResult
+	var out []json.RawMessage
 	if from < len(rec.results) {
 		out = append(out, rec.results[from:]...)
 	}
@@ -129,9 +158,9 @@ type JobView struct {
 	NextOffset *int              `json:"nextOffset,omitempty"`
 }
 
-// Header snapshots the record without encoding any results (Results is
-// nil). Listing and event surfaces use it so a large result set is
-// never marshalled just to be thrown away.
+// Header snapshots the record without any results (Results is nil).
+// Listing and event surfaces use it so a large result set is never
+// copied just to be thrown away.
 func (rec *JobRecord) Header() JobView {
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
@@ -178,9 +207,7 @@ func (rec *JobRecord) View(offset, limit int) JobView {
 		if limit > 0 && offset+limit < end {
 			end = offset + limit
 		}
-		for _, r := range rec.results[offset:end] {
-			v.Results = append(v.Results, json.RawMessage(MarshalResult(r)))
-		}
+		v.Results = append(v.Results, rec.results[offset:end]...)
 		if end < len(rec.results) {
 			next := end
 			v.NextOffset = &next
@@ -191,12 +218,29 @@ func (rec *JobRecord) View(offset, limit int) JobView {
 
 // FollowJob delivers every result of rec to emit in order — existing
 // results first (late subscribers replay the full sequence), then new
-// ones as they land — until the record finishes or ctx fires. It
-// returns the record's final status, or JobRunning when ctx ended the
-// subscription first. Both streaming surfaces (the legacy NDJSON
-// response and the /v1 SSE endpoint) follow through here.
-func FollowJob(ctx context.Context, rec *JobRecord, emit func(JobResult)) JobStatus {
+// ones as they land — until the record finishes or ctx fires. Results
+// are in wire form (MarshalResult bytes). It returns the record's final
+// status, or JobRunning when ctx ended the subscription first. Both
+// streaming surfaces (the legacy NDJSON response and the /v1 SSE
+// endpoint) follow through here.
+func FollowJob(ctx context.Context, rec *JobRecord, emit func(result []byte)) JobStatus {
+	return FollowJobHeartbeat(ctx, rec, 0, emit, nil)
+}
+
+// FollowJobHeartbeat is FollowJob with a liveness pulse: whenever
+// heartbeat elapses with the job still running, beat is called — the
+// SSE surface turns it into heartbeat events so a subscriber can tell a
+// stalled-but-alive server from a dead connection. heartbeat <= 0
+// disables the pulse.
+func FollowJobHeartbeat(ctx context.Context, rec *JobRecord, heartbeat time.Duration, emit func(result []byte), beat func()) JobStatus {
 	offset := 0
+	var pulse *time.Timer
+	var pulseC <-chan time.Time
+	if heartbeat > 0 && beat != nil {
+		pulse = time.NewTimer(heartbeat)
+		pulseC = pulse.C
+		defer pulse.Stop()
+	}
 	for {
 		results, status, changed := rec.next(offset)
 		for _, res := range results {
@@ -211,6 +255,9 @@ func FollowJob(ctx context.Context, rec *JobRecord, emit func(JobResult)) JobSta
 		}
 		select {
 		case <-changed:
+		case <-pulseC:
+			beat()
+			pulse.Reset(heartbeat)
 		case <-ctx.Done():
 			return JobRunning
 		}
@@ -226,6 +273,18 @@ type EngineStats struct {
 	Canceled  int64 `json:"canceled"`
 	Active    int   `json:"active"`
 	Tracked   int   `json:"tracked"`
+	// InFlight counts individual jobs accepted but not yet finished —
+	// the admission-control watermark input.
+	InFlight int64 `json:"inFlight"`
+	// Restored/Requeued count boot-time recovery: jobs rebuilt from the
+	// journal, and the subset re-executed because the crash caught them
+	// running.
+	Restored int64 `json:"restored,omitempty"`
+	Requeued int64 `json:"requeued,omitempty"`
+	// Shed counts submissions refused by admission control.
+	Shed int64 `json:"shed,omitempty"`
+	// Panics counts jobs that hit the per-job recover boundary.
+	Panics int64 `json:"panics,omitempty"`
 }
 
 // JobEngine runs submitted batches asynchronously over one shared
@@ -233,11 +292,32 @@ type EngineStats struct {
 // single execution path of fpserve: the /v1 async API and the legacy
 // synchronous /analyze endpoint both submit here, so they share the
 // worker pool, the module cache, and the cancellation plumbing.
+//
+// With Store set the table is durable: every lifecycle transition is
+// journaled (submission durably, before the caller sees the job ID),
+// and Recover rebuilds the table — requeueing interrupted jobs — after
+// a crash.
 type JobEngine struct {
 	// MaxTrackedJobs bounds the job table (0 = DefaultMaxTrackedJobs).
 	MaxTrackedJobs int
 	// TTL is the retention of finished jobs (0 = DefaultJobTTL).
 	TTL time.Duration
+	// Store, when non-nil, is the durable journal hook. Set it before
+	// the first submission.
+	Store JobStore
+	// MaxInFlight is the admission-control watermark on individual
+	// accepted-but-unfinished jobs across all batches (0 = unlimited):
+	// a submission that would cross it is refused with ErrOverloaded.
+	MaxInFlight int
+	// MaxStoreBacklog is the admission-control watermark on unsynced
+	// journal bytes (0 = DefaultStoreBacklog when a Store is set).
+	MaxStoreBacklog int64
+	// RetryAfter is the backoff hint attached to load-shedding refusals
+	// (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+	// Logf, when non-nil, receives operational log lines (store append
+	// failures that exhausted their retries, recovery notes).
+	Logf func(format string, args ...any)
 
 	pl      *Pipeline
 	baseCtx context.Context
@@ -253,7 +333,15 @@ type JobEngine struct {
 	submitted atomic.Int64
 	canceled  atomic.Int64
 	running   atomic.Int64
+	inflight  atomic.Int64
+	restored  atomic.Int64
+	requeued  atomic.Int64
+	shed      atomic.Int64
 }
+
+// DefaultStoreBacklog is the journal-pressure watermark applied when a
+// Store is mounted and MaxStoreBacklog is unset.
+const DefaultStoreBacklog int64 = 8 << 20
 
 // NewJobEngine returns an accepting engine over pl.
 func NewJobEngine(pl *Pipeline) *JobEngine {
@@ -281,6 +369,29 @@ func (e *JobEngine) ttl() time.Duration {
 	return DefaultJobTTL
 }
 
+func (e *JobEngine) retryAfter() time.Duration {
+	if e.RetryAfter > 0 {
+		return e.RetryAfter
+	}
+	return DefaultRetryAfter
+}
+
+func (e *JobEngine) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+// storeOp runs a journal append with capped-exponential-backoff retry,
+// classifying via Retryable: transient journal failures (I/O pressure,
+// injected fsync faults) are retried; permanent ones surface at once.
+func (e *JobEngine) storeOp(id, op string, fn func() error) error {
+	if e.Store == nil {
+		return nil
+	}
+	return Retry(e.baseCtx, op+" "+id, storeBackoff(id), fn)
+}
+
 // Submit accepts a batch, starts it on the shared pipeline, and tracks
 // it in the job table (so /v1 clients can poll, stream, and cancel it
 // by ID), returning immediately with its record.
@@ -290,19 +401,53 @@ func (e *JobEngine) ttl() time.Duration {
 // when parent is non-nil — additionally tied to parent: a parent's
 // cancellation cancels the batch. The async API passes nil because a
 // /v1 job outlives the submission request by design.
+//
+// With a Store mounted, Submit returns only after the submission record
+// is durable: an accepted job (202) survives any later crash.
 func (e *JobEngine) Submit(parent context.Context, jobs []Job, timeout time.Duration) (*JobRecord, error) {
 	return e.submit(parent, jobs, timeout, true)
 }
 
 // SubmitUntracked is Submit for batches whose results are delivered
 // out-of-band: the record never enters the job table (its client never
-// learns a job ID, so retention would be pure leak) and does not count
-// against MaxTrackedJobs — the legacy synchronous /analyze endpoint,
-// whose concurrency is bounded by its open connections, submits here.
-// Shutdown still cancels it (the job context is a child of the
-// engine's), and it still shares the worker pool and counters.
+// learns a job ID, so retention would be pure leak), does not count
+// against MaxTrackedJobs, and is never journaled (its delivery
+// guarantee is the open connection) — the legacy synchronous /analyze
+// endpoint, whose concurrency is bounded by its open connections,
+// submits here. Shutdown still cancels it (the job context is a child
+// of the engine's), and it still shares the worker pool, the
+// admission-control watermarks, and the counters.
 func (e *JobEngine) SubmitUntracked(parent context.Context, jobs []Job) (*JobRecord, error) {
 	return e.submit(parent, jobs, 0, false)
+}
+
+// admitLocked applies the load-shedding watermarks. Callers hold e.mu.
+func (e *JobEngine) admitLocked(n int) error {
+	if max := e.MaxInFlight; max > 0 {
+		if inflight := e.inflight.Load(); inflight+int64(n) > int64(max) {
+			return ErrOverloaded{
+				Reason: fmt.Sprintf("%d jobs in flight + %d submitted exceeds the in-flight watermark of %d",
+					inflight, n, max),
+				RetryAfter: e.retryAfter(),
+			}
+		}
+	}
+	if e.Store != nil {
+		max := e.MaxStoreBacklog
+		if max == 0 {
+			max = DefaultStoreBacklog
+		}
+		if max > 0 {
+			if backlog := e.Store.Backlog(); backlog > max {
+				return ErrOverloaded{
+					Reason: fmt.Sprintf("journal backlog of %d bytes exceeds the watermark of %d",
+						backlog, max),
+					RetryAfter: e.retryAfter(),
+				}
+			}
+		}
+	}
+	return nil
 }
 
 func (e *JobEngine) submit(parent context.Context, jobs []Job, timeout time.Duration, track bool) (*JobRecord, error) {
@@ -312,12 +457,18 @@ func (e *JobEngine) submit(parent context.Context, jobs []Job, timeout time.Dura
 		return nil, ErrShuttingDown
 	}
 	e.sweepLocked(time.Now())
+	if err := e.admitLocked(len(jobs)); err != nil {
+		e.mu.Unlock()
+		e.shed.Add(1)
+		return nil, err
+	}
 	if track && len(e.records) >= e.maxTracked() {
 		// TTL didn't free a slot: evict the oldest finished job to make
-		// room. Only a table full of RUNNING jobs refuses the
-		// submission.
+		// room. Non-terminal (running or queued) jobs are never evicted
+		// — a table full of them refuses the submission instead.
 		if !e.evictOldestFinishedLocked() {
 			e.mu.Unlock()
+			e.shed.Add(1)
 			return nil, ErrJobTableFull
 		}
 	}
@@ -331,6 +482,40 @@ func (e *JobEngine) submit(parent context.Context, jobs []Job, timeout time.Dura
 		changed: make(chan struct{}),
 		cancel:  cancelCause,
 	}
+	e.mu.Unlock()
+
+	// Durability barrier: the submission record must be on disk before
+	// the caller sees the job ID. Outside e.mu — an fsync must not
+	// stall unrelated reads. Transient journal failures retry with
+	// backoff; exhaustion refuses the submission (still Retryable, so
+	// the surface answers 503 + Retry-After rather than losing a job it
+	// acknowledged).
+	if track {
+		if err := e.storeOp(rec.ID, "journal submit", func() error {
+			return e.Store.JobSubmitted(rec.ID, jobs, timeout, rec.Created)
+		}); err != nil {
+			cancelCause(nil)
+			return nil, err
+		}
+	}
+
+	e.mu.Lock()
+	if !e.accepting {
+		// Shutdown raced the durability barrier. The submit record may
+		// already be journaled; seal it there so a reboot does not
+		// resurrect a job whose client was refused.
+		e.mu.Unlock()
+		cancelCause(nil)
+		if track {
+			now := time.Now()
+			if err := e.storeOp(rec.ID, "journal terminal", func() error {
+				return e.Store.JobTerminal(rec.ID, JobCanceled, errShutdown.Error(), now)
+			}); err != nil {
+				e.logf("fpserve: journal: sealing refused submission %s: %v", rec.ID, err)
+			}
+		}
+		return nil, ErrShuttingDown
+	}
 	if track {
 		e.records[rec.ID] = rec
 		e.order = append(e.order, rec.ID)
@@ -339,6 +524,7 @@ func (e *JobEngine) submit(parent context.Context, jobs []Job, timeout time.Dura
 	e.mu.Unlock()
 	e.submitted.Add(1)
 	e.running.Add(1)
+	e.inflight.Add(int64(len(jobs)))
 
 	runCtx := ctx
 	var cancelTimeout context.CancelFunc = func() {}
@@ -354,24 +540,133 @@ func (e *JobEngine) submit(parent context.Context, jobs []Job, timeout time.Dura
 			}
 		}()
 	}
+	e.run(rec, runCtx, cancelCause, cancelTimeout, jobs, 0, track)
+	return rec, nil
+}
 
+// run executes (or, for base > 0, resumes at result offset base) rec's
+// batch on the shared pipeline, journaling every transition. It owns
+// the record's finish. Callers have already incremented wg, running,
+// and inflight.
+func (e *JobEngine) run(rec *JobRecord, ctx context.Context, cancelCause context.CancelCauseFunc, cancelTimeout context.CancelFunc, jobs []Job, base int, journaled bool) {
 	go func() {
 		defer e.wg.Done()
 		defer e.running.Add(-1)
-		e.pl.Stream(runCtx, jobs, rec.append)
+		if journaled {
+			if err := e.storeOp(rec.ID, "journal start", func() error {
+				return e.Store.JobStarted(rec.ID)
+			}); err != nil {
+				e.logf("fpserve: journal: start %s: %v", rec.ID, err)
+			}
+		}
+		e.pl.Stream(ctx, jobs, func(r JobResult) {
+			// A resumed job re-executes only the suffix beyond its last
+			// durable result; indices shift back to batch positions so
+			// the wire output is identical to an uninterrupted run.
+			r.Index += base
+			raw := MarshalResult(r)
+			rec.append(raw)
+			e.inflight.Add(-1)
+			if journaled {
+				if err := e.storeOp(rec.ID, "journal result", func() error {
+					return e.Store.ResultAppended(rec.ID, r.Index, raw)
+				}); err != nil {
+					e.logf("fpserve: journal: result %s[%d]: %v", rec.ID, r.Index, err)
+				}
+			}
+		})
 		var cause error
-		if runCtx.Err() != nil {
-			cause = context.Cause(runCtx)
+		if ctx.Err() != nil {
+			cause = context.Cause(ctx)
 			if cause == nil {
-				cause = runCtx.Err()
+				cause = ctx.Err()
 			}
 			e.canceled.Add(1)
 		}
 		rec.finish(cause)
+		if journaled {
+			status, reason, finished := rec.terminal()
+			if err := e.storeOp(rec.ID, "journal terminal", func() error {
+				return e.Store.JobTerminal(rec.ID, status, reason, finished)
+			}); err != nil {
+				e.logf("fpserve: journal: terminal %s: %v", rec.ID, err)
+			}
+		}
 		cancelTimeout()
 		cancelCause(nil) // release the watcher and the timer chain
 	}()
-	return rec, nil
+}
+
+// Recover rebuilds the job table from a journal replay (see
+// DurableStore.Recovered). Terminal jobs are restored read-only with
+// their full result sets; jobs the crash caught running are requeued —
+// each re-executes only the batch suffix beyond its last durable
+// result, under whatever remains of its original deadline. Results are
+// content-deterministic, so the combined result set is identical to an
+// uninterrupted run's. Call once, before serving.
+func (e *JobEngine) Recover(recovered []RecoveredJob) (restored, requeued int) {
+	for _, rj := range recovered {
+		rj := rj
+		e.mu.Lock()
+		if !e.accepting {
+			e.mu.Unlock()
+			break
+		}
+		if _, ok := e.records[rj.ID]; ok {
+			e.mu.Unlock()
+			continue // duplicate replay entry
+		}
+		if n := jobSeq(rj.ID); n > e.seq {
+			e.seq = n // never reissue a recovered ID
+		}
+		ctx, cancelCause := context.WithCancelCause(e.baseCtx)
+		rec := &JobRecord{
+			ID:      rj.ID,
+			Created: rj.Created,
+			Total:   len(rj.Jobs),
+			results: rj.Results,
+			status:  rj.Status,
+			reason:  rj.Reason,
+			changed: make(chan struct{}),
+			cancel:  cancelCause,
+		}
+		running := rj.Status == JobRunning
+		if !running {
+			rec.finished = rj.Finished
+			close(rec.changed)
+		}
+		e.records[rec.ID] = rec
+		e.order = append(e.order, rec.ID)
+		if running {
+			e.wg.Add(1)
+		}
+		e.mu.Unlock()
+
+		restored++
+		e.restored.Add(1)
+		if !running {
+			cancelCause(nil)
+			continue
+		}
+		requeued++
+		e.requeued.Add(1)
+		e.running.Add(1)
+
+		base := len(rj.Results)
+		remaining := rj.Jobs[base:]
+		e.inflight.Add(int64(len(remaining)))
+		runCtx := ctx
+		var cancelTimeout context.CancelFunc = func() {}
+		if rj.Timeout > 0 {
+			// The deadline is absolute: a job submitted with a 30s
+			// timeout 25s before the crash has 5s left, and one past
+			// its deadline cancels immediately (keeping its durable
+			// results), exactly as the uninterrupted timeline would.
+			runCtx, cancelTimeout = context.WithDeadline(ctx, rj.Created.Add(rj.Timeout))
+		}
+		e.run(rec, runCtx, cancelCause, cancelTimeout, remaining, base, true)
+	}
+	return restored, requeued
 }
 
 // Get resolves a tracked job. Reads also sweep the TTL — a quiet
@@ -428,6 +723,11 @@ func (e *JobEngine) Stats() EngineStats {
 		Canceled:  e.canceled.Load(),
 		Active:    int(e.running.Load()),
 		Tracked:   tracked,
+		InFlight:  e.inflight.Load(),
+		Restored:  e.restored.Load(),
+		Requeued:  e.requeued.Load(),
+		Shed:      e.shed.Load(),
+		Panics:    e.pl.Panics(),
 	}
 }
 
@@ -446,6 +746,7 @@ func (e *JobEngine) sweepLocked(now time.Time) {
 		rec.mu.Unlock()
 		if dead {
 			delete(e.records, id)
+			e.dropLocked(id)
 			continue
 		}
 		keep = append(keep, id)
@@ -453,10 +754,22 @@ func (e *JobEngine) sweepLocked(now time.Time) {
 	e.order = keep
 }
 
+// dropLocked journals an eviction so a compacted journal cannot
+// resurrect the job at the next boot. Callers hold e.mu.
+func (e *JobEngine) dropLocked(id string) {
+	if err := e.storeOp(id, "journal drop", func() error {
+		return e.Store.JobDropped(id)
+	}); err != nil {
+		e.logf("fpserve: journal: drop %s: %v", id, err)
+	}
+}
+
 // evictOldestFinishedLocked makes room for one submission by dropping
-// the oldest finished job, reporting whether it could. Only Submit
-// calls it — capacity eviction must never run from a read path, or
-// polling a full table would destroy fresh results. Callers hold e.mu.
+// the oldest finished job, reporting whether it could. Only terminal
+// jobs are candidates — a running (or queued) job is never evicted, no
+// matter how old — and only Submit calls it: capacity eviction must
+// never run from a read path, or polling a full table would destroy
+// fresh results. Callers hold e.mu.
 func (e *JobEngine) evictOldestFinishedLocked() bool {
 	for i, id := range e.order {
 		rec, ok := e.records[id]
@@ -469,6 +782,7 @@ func (e *JobEngine) evictOldestFinishedLocked() bool {
 		if finished {
 			delete(e.records, id)
 			e.order = append(e.order[:i:i], e.order[i+1:]...)
+			e.dropLocked(id)
 			return true
 		}
 	}
@@ -478,7 +792,9 @@ func (e *JobEngine) evictOldestFinishedLocked() bool {
 // Shutdown stops accepting submissions, cancels every running job —
 // tracked ones with the shutdown reason, then the engine context as
 // the backstop for untracked ones — and waits for them to drain (each
-// lands within one objective evaluation) or for ctx to expire.
+// lands within one objective evaluation) or for ctx to expire. On a
+// complete drain it journals the clean-shutdown marker, so the next
+// boot can tell restart from crash.
 func (e *JobEngine) Shutdown(ctx context.Context) error {
 	e.mu.Lock()
 	e.accepting = false
@@ -498,8 +814,29 @@ func (e *JobEngine) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		if m, ok := e.Store.(interface{ MarkCleanShutdown() error }); ok {
+			if err := m.MarkCleanShutdown(); err != nil {
+				e.logf("fpserve: journal: clean-shutdown marker: %v", err)
+			}
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Kill simulates abrupt process death for crash-recovery testing: the
+// store is frozen first (as a SIGKILL would cut all future writes, in
+// flight or not), then every job context is cancelled so the
+// goroutines of this doomed engine stop burning CPU. Nothing is
+// journaled — no terminal records, no shutdown marker — so a journal
+// reopened afterward replays exactly the state an unclean crash leaves.
+func (e *JobEngine) Kill() {
+	if f, ok := e.Store.(interface{ Freeze() }); ok {
+		f.Freeze()
+	}
+	e.mu.Lock()
+	e.accepting = false
+	e.mu.Unlock()
+	e.stop()
 }

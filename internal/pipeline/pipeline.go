@@ -10,12 +10,16 @@
 package pipeline
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"regexp"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/cli"
@@ -110,9 +114,18 @@ type Pipeline struct {
 	// Cache is the compiled-module cache, shared by every batch (and,
 	// under fpserve, every request).
 	Cache *ModuleCache
+	// InjectPanic is a fault-injection hook: when non-nil and returning
+	// a non-empty message for a job, that job panics with it inside the
+	// recover boundary — exercising the isolation path without a real
+	// bug. Nil in production.
+	InjectPanic func(idx int, j Job) string
+	// PanicHook observes recovered panics (full stack included) — the
+	// server logs them; the wire result carries only the digest.
+	PanicHook func(idx int, j Job, v any, stack []byte)
 
 	semOnce sync.Once
 	sem     chan struct{}
+	panics  atomic.Int64
 }
 
 // New returns a pipeline with a fresh module cache.
@@ -130,6 +143,62 @@ func (pl *Pipeline) slots() chan struct{} {
 		pl.sem = make(chan struct{}, w)
 	})
 	return pl.sem
+}
+
+// Panics reports how many jobs hit the recover boundary since start.
+func (pl *Pipeline) Panics() int64 { return pl.panics.Load() }
+
+// stackAddr matches the run-varying tokens of a goroutine stack trace
+// (heap addresses, frame offsets, goroutine numbers). stackDigest
+// strips them so the same panic site digests identically across runs —
+// the crash-recovery harness compares re-executed results
+// byte-for-byte, and a digest that embedded addresses would break that
+// for injected panics.
+var stackAddr = regexp.MustCompile(`0x[0-9a-f]+|goroutine \d+`)
+
+// stackDigest condenses a panic stack to a short stable fingerprint:
+// the client-visible correlation key for the full stack the server
+// logs. The goroutine header (varying ID) and all addresses are
+// normalized away.
+func stackDigest(stack []byte) string {
+	norm := stack
+	if i := bytes.IndexByte(norm, '\n'); i >= 0 {
+		norm = norm[i+1:] // drop "goroutine N [running]:"
+	}
+	norm = stackAddr.ReplaceAll(norm, []byte("0x?"))
+	sum := sha256.Sum256(norm)
+	return fmt.Sprintf("%x", sum[:6])
+}
+
+// runJobSafe is RunJob behind the per-job recover boundary: a panic —
+// a poisoned program tripping a bug in an analysis, or an injected
+// fault — fails that one job with an internal-error result carrying
+// the stack digest, instead of unwinding the worker goroutine and
+// killing the whole server.
+func (pl *Pipeline) runJobSafe(ctx context.Context, idx int, j Job) (res JobResult) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			return
+		}
+		stack := debug.Stack()
+		pl.panics.Add(1)
+		if pl.PanicHook != nil {
+			pl.PanicHook(idx, j, v, stack)
+		}
+		res = JobResult{
+			Index:    idx,
+			Analysis: j.Spec.Analysis,
+			Failed:   true,
+			Error:    fmt.Sprintf("internal error: panic: %v [stack sha256:%s]", v, stackDigest(stack)),
+		}
+	}()
+	if fp := pl.InjectPanic; fp != nil {
+		if msg := fp(idx, j); msg != "" {
+			panic(msg)
+		}
+	}
+	return pl.RunJob(ctx, idx, j)
 }
 
 // RunJob executes one job. The context cancels it cooperatively at
@@ -249,7 +318,7 @@ func (pl *Pipeline) Stream(ctx context.Context, jobs []Job, emit func(JobResult)
 						Canceled: true, Error: "canceled: " + err.Error()}
 					continue
 				}
-				done[i] <- pl.RunJob(ctx, i, jobs[i])
+				done[i] <- pl.runJobSafe(ctx, i, jobs[i])
 				<-sem
 			}
 		}()

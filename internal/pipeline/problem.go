@@ -3,6 +3,8 @@ package pipeline
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -33,7 +35,19 @@ const (
 	problemTooLarge   = "urn:fpserve:problem:request-too-large"
 	problemOverloaded = "urn:fpserve:problem:overloaded"
 	problemShutdown   = "urn:fpserve:problem:shutting-down"
+	problemInternal   = "urn:fpserve:problem:internal-error"
 )
+
+// setRetryAfter attaches the client backoff hint to a load-shedding or
+// transient-failure response. Retry-After takes whole seconds; the hint
+// rounds up so a 250ms suggestion does not become "retry immediately".
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
 
 // writeProblem writes a problem+json response.
 func writeProblem(w http.ResponseWriter, status int, typ, title, detail string, errs ...*analysis.SpecError) {

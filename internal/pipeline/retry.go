@@ -1,0 +1,117 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryableError marks a failure as transient: the operation did not
+// land, but retrying it (with backoff) is expected to succeed once the
+// underlying pressure — journal I/O contention, a requeue racing a
+// restart — clears. The job engine wraps storage failures in it, and
+// the /v1 surface maps it to 503 + Retry-After instead of failing the
+// request permanently.
+type RetryableError struct {
+	// Op names the failed operation ("journal append", "requeue", ...).
+	Op string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *RetryableError) Error() string { return e.Op + ": " + e.Err.Error() }
+func (e *RetryableError) Unwrap() error { return e.Err }
+
+// Transient marks the error retryable for the journal-side
+// classification interface too, so the two layers agree.
+func (e *RetryableError) Transient() bool { return true }
+
+// Retryable classifies err: a *RetryableError, or anything in the
+// chain declaring Transient() true (the journal's injected and I/O
+// failures), should be retried with backoff; everything else is
+// permanent.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RetryableError
+	if errors.As(err, &re) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Backoff is a capped exponential backoff schedule with deterministic
+// jitter: attempt k waits Base·2^k, capped at Max, each delay jittered
+// by ±25% drawn from the seeded source — so concurrent retriers
+// de-synchronize, but a replayed campaign waits identically.
+type Backoff struct {
+	// Base is the first delay (0 = 5ms).
+	Base time.Duration
+	// Max caps the delay (0 = 1s).
+	Max time.Duration
+	// Attempts bounds total tries (0 = 6).
+	Attempts int
+	// Seed drives the jitter.
+	Seed int64
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 5 * time.Millisecond
+}
+
+func (b Backoff) max() time.Duration {
+	if b.Max > 0 {
+		return b.Max
+	}
+	return time.Second
+}
+
+func (b Backoff) attempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	return 6
+}
+
+// Delay returns the jittered wait before retry attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	d := b.base() << attempt
+	if d <= 0 || d > b.max() {
+		d = b.max()
+	}
+	// ±25% deterministic jitter: the rng is positioned per (seed,
+	// attempt) so a delay can be recomputed without shared state.
+	rng := rand.New(rand.NewSource(b.Seed ^ int64(attempt)*0x9e3779b9))
+	jitter := time.Duration(float64(d) * 0.25 * (2*rng.Float64() - 1))
+	return d + jitter
+}
+
+// Retry runs fn until it succeeds, fails permanently, exhausts the
+// attempt budget, or ctx fires. Only failures Retryable classifies as
+// transient are retried; the last error is returned wrapped with op.
+func Retry(ctx context.Context, op string, b Backoff, fn func() error) error {
+	var err error
+	for attempt := 0; attempt < b.attempts(); attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(b.Delay(attempt - 1)):
+			case <-ctx.Done():
+				return fmt.Errorf("%s: %w (last error: %v)", op, ctx.Err(), err)
+			}
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if !Retryable(err) {
+			return fmt.Errorf("%s: %w", op, err)
+		}
+	}
+	return fmt.Errorf("%s: retries exhausted: %w", op, err)
+}

@@ -3,11 +3,15 @@ package pipeline
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/journal"
 )
 
 // Request is the fpserve analyze payload: either a fully explicit job
@@ -50,9 +54,16 @@ type Server struct {
 	Engine *JobEngine
 	// Programs is the /v1 registered-program store.
 	Programs *ProgramStore
+	// Heartbeat is the SSE liveness-pulse interval for /v1 job event
+	// streams (0 disables heartbeat events).
+	Heartbeat time.Duration
+	// Logf, when non-nil, receives operational log lines (recovered
+	// handler panics).
+	Logf func(format string, args ...any)
 
 	requests atomic.Int64
 	jobs     atomic.Int64
+	panicked atomic.Int64
 }
 
 // NewServer returns a server over a fresh pipeline. workers bounds
@@ -127,7 +138,39 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
-	return mux
+	return s.recovered(mux)
+}
+
+// recovered is the outermost panic boundary: a handler bug (as opposed
+// to a job bug, which the pipeline's per-job boundary absorbs) answers
+// 500 problem+json instead of tearing down the connection with no
+// response, and the full stack goes to the server log keyed by the same
+// digest the client sees.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if err, ok := v.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(v) // deliberate connection abort: not ours to absorb
+			}
+			stack := debug.Stack()
+			s.panicked.Add(1)
+			digest := stackDigest(stack)
+			if s.Logf != nil {
+				s.Logf("fpserve: panic in %s %s [stack sha256:%s]: %v\n%s",
+					r.Method, r.URL.Path, digest, v, stack)
+			}
+			// Headers may already be gone (mid-stream panic); this is
+			// best-effort by construction.
+			writeProblem(w, http.StatusInternalServerError, problemInternal,
+				"internal error",
+				fmt.Sprintf("the request handler panicked [stack sha256:%s]; this is a server bug", digest))
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Request-hardening limits: an analyze/submit body may not exceed
@@ -173,6 +216,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// so a client disconnect cancels the batch mid-minimization.
 	rec, err := s.Engine.SubmitUntracked(r.Context(), jobs)
 	if err != nil {
+		// The legacy surface predates problem+json but still honors the
+		// load-shedding contract: watermark refusals are 429 with a
+		// Retry-After hint, everything else stays 503.
+		var over ErrOverloaded
+		if errors.As(err, &over) {
+			setRetryAfter(w, over.RetryAfter)
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
@@ -181,8 +233,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	FollowJob(r.Context(), rec, func(res JobResult) {
-		w.Write(MarshalResult(res))
+	FollowJob(r.Context(), rec, func(res []byte) {
+		w.Write(res)
 		w.Write([]byte("\n"))
 		if flusher != nil {
 			flusher.Flush()
@@ -211,12 +263,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache    CacheStats  `json:"cache"`
 		Engine   EngineStats `json:"engine"`
 		Programs int         `json:"programs"`
+		// Journal appears when the server runs durably (-data-dir).
+		Journal *journal.Stats `json:"journal,omitempty"`
+		// HandlerPanics counts panics the HTTP recover boundary absorbed
+		// (job panics are counted under engine.panics instead).
+		HandlerPanics int64 `json:"handlerPanics,omitempty"`
 	}{
-		Requests: s.requests.Load(),
-		Jobs:     s.jobs.Load(),
-		Cache:    s.PL.Cache.Stats(),
-		Engine:   s.Engine.Stats(),
-		Programs: s.Programs.Len(),
+		Requests:      s.requests.Load(),
+		Jobs:          s.jobs.Load(),
+		Cache:         s.PL.Cache.Stats(),
+		Engine:        s.Engine.Stats(),
+		Programs:      s.Programs.Len(),
+		HandlerPanics: s.panicked.Load(),
+	}
+	if ds, ok := s.Engine.Store.(*DurableStore); ok {
+		js := ds.Stats()
+		stats.Journal = &js
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)

@@ -300,11 +300,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, err := s.Engine.Submit(nil, jobs, timeout)
 	if err != nil {
-		status, typ := http.StatusServiceUnavailable, problemOverloaded
-		if errors.Is(err, ErrShuttingDown) {
-			typ = problemShutdown
-		}
-		writeProblem(w, status, typ, "cannot accept jobs", err.Error())
+		s.submitProblem(w, err)
 		return
 	}
 	s.requests.Add(1)
@@ -319,6 +315,36 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		URL:    "/v1/jobs/" + rec.ID,
 		Events: "/v1/jobs/" + rec.ID + "/events",
 	})
+}
+
+// submitProblem maps a Submit refusal to its wire form. Load shedding —
+// admission-control watermarks and a job table full of non-terminal
+// jobs — is 429 with a Retry-After hint: the client did nothing wrong,
+// the server is momentarily full. Transient storage failures are 503
+// with the same hint (the server could not make the submission durable
+// right now). Shutdown is 503 without a hint.
+func (s *Server) submitProblem(w http.ResponseWriter, err error) {
+	var over ErrOverloaded
+	switch {
+	case errors.As(err, &over):
+		setRetryAfter(w, over.RetryAfter)
+		writeProblem(w, http.StatusTooManyRequests, problemOverloaded,
+			"too many jobs in flight", err.Error())
+	case errors.Is(err, ErrJobTableFull):
+		setRetryAfter(w, s.Engine.retryAfter())
+		writeProblem(w, http.StatusTooManyRequests, problemOverloaded,
+			"job table full", err.Error()+"; retry after some finish, or cancel one")
+	case errors.Is(err, ErrShuttingDown):
+		writeProblem(w, http.StatusServiceUnavailable, problemShutdown,
+			"cannot accept jobs", err.Error())
+	case Retryable(err):
+		setRetryAfter(w, s.Engine.retryAfter())
+		writeProblem(w, http.StatusServiceUnavailable, problemOverloaded,
+			"submission not durable", err.Error())
+	default:
+		writeProblem(w, http.StatusServiceUnavailable, problemOverloaded,
+			"cannot accept jobs", err.Error())
+	}
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
@@ -388,6 +414,11 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 // event per job result as it lands, then one "done" event with the
 // final status. A subscriber attaching late replays the existing
 // results first — the stream always delivers the complete sequence.
+// While the job runs quietly, periodic "heartbeat" events (every
+// Server.Heartbeat) let the client tell a slow minimization from a dead
+// connection; and when the job ends because the server is draining, a
+// terminal "shutdown" event precedes "done" so the client knows to
+// reconnect elsewhere rather than resubmit.
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	rec, ok := s.Engine.Get(id)
@@ -427,10 +458,16 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	}
 
 	emit("status", statusJSON())
-	if FollowJob(r.Context(), rec, func(res JobResult) {
-		emit("result", MarshalResult(res))
-	}) != JobRunning {
-		emit("done", statusJSON())
+	final := FollowJobHeartbeat(r.Context(), rec, s.Heartbeat, func(res []byte) {
+		emit("result", res)
+	}, func() {
+		emit("heartbeat", statusJSON())
+	})
+	if final == JobRunning {
+		return // the client went away first
 	}
-	// JobRunning means the client went away first: just return.
+	if v := rec.Header(); v.Reason == errShutdown.Error() {
+		emit("shutdown", statusJSON())
+	}
+	emit("done", statusJSON())
 }

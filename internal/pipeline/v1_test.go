@@ -537,7 +537,9 @@ func TestJobTTLEvictionOnRead(t *testing.T) {
 // TestJobCapacityEvictionOnlyOnSubmit: polling a full table must never
 // destroy fresh finished results; only a submission needing the slot
 // evicts (oldest finished first), and a table full of running jobs
-// refuses with 503.
+// refuses with 429 + Retry-After (load shedding, not an outage: the
+// client should back off and retry, and running jobs are never evicted
+// to make room).
 func TestJobCapacityEvictionOnlyOnSubmit(t *testing.T) {
 	srv, ts := v1Server(t, 2)
 	srv.Engine.MaxTrackedJobs = 1
@@ -580,8 +582,14 @@ func TestJobCapacityEvictionOnlyOnSubmit(t *testing.T) {
 		ID string `json:"id"`
 	}](t, data)
 	resp, data = doJSON(t, "POST", ts.URL+"/v1/jobs", quick)
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("submit with running occupant: status %d: %s", resp.StatusCode, data)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("submit with running occupant: status %d, want 429: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 refusal carries no Retry-After hint")
+	}
+	if p := decode[pipeline.ProblemDetails](t, data); p.Status != http.StatusTooManyRequests {
+		t.Errorf("problem body status %d, want 429", p.Status)
 	}
 	// ...but the legacy synchronous endpoint is untracked and unaffected.
 	resp, data = doJSON(t, "POST", ts.URL+"/analyze",
