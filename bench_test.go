@@ -13,6 +13,7 @@ package repro
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -20,6 +21,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/gsl"
 	"repro/internal/instrument"
 	"repro/internal/interp"
@@ -517,6 +519,74 @@ func BenchmarkCoverageFig2(b *testing.B) {
 		})
 		if rep.Ratio() != 1 {
 			b.Fatalf("coverage %v", rep.Ratio())
+		}
+	}
+}
+
+// BenchmarkSolve is the portfolio-scheduler comparison suite: every
+// registered backend (including the portfolio) drives core.Solve on
+// three synthetic weak distances under one budget, reporting
+// time-to-zero (ns/op), evaluations actually consumed (evals/op), and
+// the fraction of seeds solved (solved).
+//
+//   - easy: a smooth slope into a zero band — any descent method solves
+//     it almost immediately; the portfolio must stay within noise of
+//     the best fixed backend here (its probe IS a fixed backend).
+//   - stalled: a deceptive gradient pulling every local method to a
+//     zero-free plateau at the origin, with the only zeros in a narrow
+//     off-gradient pocket. Fixed local backends burn the whole budget
+//     at the plateau; the portfolio detects the stall and escalates to
+//     globally-sampling racers.
+//   - deadend: no zeros at all. Fixed backends must exhaust the budget
+//     by construction; the portfolio's plateau detector exits early,
+//     and the reclaimed evaluations show up as a lower evals/op.
+//
+// Run with
+//
+//	go test -bench=BenchmarkSolve -benchtime=10x
+func BenchmarkSolve(b *testing.B) {
+	mkProb := func(name string, w func([]float64) float64) core.Problem {
+		return core.Problem{Name: name, Dim: 1, W: w,
+			NewW: func() core.WeakDistance { return w }}
+	}
+	fixtures := []struct {
+		prob   core.Problem
+		bounds []opt.Bound
+	}{
+		{mkProb("easy", func(x []float64) float64 {
+			return math.Max(0, math.Abs(x[0]-3)-1)
+		}), []opt.Bound{{Lo: -100, Hi: 100}}},
+		{mkProb("stalled", func(x []float64) float64 {
+			if x[0] > 41 && x[0] < 42 {
+				return 0
+			}
+			return math.Abs(x[0])/100 + 1
+		}), []opt.Bound{{Lo: -100, Hi: 100}}},
+		{mkProb("deadend", func(x []float64) float64 {
+			return x[0]*x[0]/1e4 + 1
+		}), []opt.Bound{{Lo: -100, Hi: 100}}},
+	}
+	for _, fx := range fixtures {
+		for _, name := range opt.BackendNames() {
+			be, err := opt.BackendByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fx.prob.Name+"/"+name, func(b *testing.B) {
+				var evals, solved int
+				for i := 0; i < b.N; i++ {
+					r := core.Solve(context.Background(), fx.prob, core.Options{
+						Backend: be, Starts: 4, EvalsPerStart: 4000,
+						Seed: int64(i) + 1, Bounds: fx.bounds,
+					})
+					evals += r.Evals
+					if r.Found {
+						solved++
+					}
+				}
+				b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+				b.ReportMetric(float64(solved)/float64(b.N), "solved")
+			})
 		}
 	}
 }

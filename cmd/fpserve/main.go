@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof side listener (DefaultServeMux only)
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,11 +69,24 @@ func main() {
 		backlog   = flag.Int64("journal-backlog", pipeline.DefaultStoreBacklog, "load-shedding watermark on unsynced journal bytes")
 		retry     = flag.Duration("retry-after", pipeline.DefaultRetryAfter, "Retry-After hint on 429 load-shedding refusals")
 		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE heartbeat interval on /v1 job event streams (0 disables)")
+		pprofAddr = flag.String("pprof", "", "expose net/http/pprof on this side listener, e.g. localhost:6060 (empty = disabled)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintln(os.Stderr, "fpserve: unexpected arguments:", flag.Args())
 		os.Exit(1)
+	}
+
+	if *pprofAddr != "" {
+		// Profiling stays off the public address: the pprof import
+		// registers on http.DefaultServeMux, which only this side
+		// listener serves — the main server below uses its own mux.
+		go func() {
+			log.Printf("fpserve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("fpserve: pprof listener: %v", err)
+			}
+		}()
 	}
 
 	srv := pipeline.NewServer(*jobs)

@@ -42,6 +42,14 @@ type Spec struct {
 	// Backend names the MO backend (see opt.BackendNames; "" selects
 	// basinhopping).
 	Backend string `json:"backend,omitempty"`
+	// StallWindow tunes the portfolio scheduler's plateau window in
+	// weak-distance evaluations (backend "portfolio" only; 0 selects
+	// 400 × dim).
+	StallWindow int `json:"stallWindow,omitempty"`
+	// StallRatio tunes the portfolio scheduler's minimum relative
+	// best-objective decay per window (backend "portfolio" only; 0
+	// selects 0.01).
+	StallRatio float64 `json:"stallRatio,omitempty"`
 	// ULP selects ULP branch/boundary distances (Limitation-2
 	// mitigation).
 	ULP bool `json:"ulp,omitempty"`
@@ -71,14 +79,47 @@ type Spec struct {
 	Formula string `json:"formula,omitempty"`
 }
 
-// backend resolves the spec's backend name, typing failures as
-// field-level SpecErrors.
+// backend resolves the spec's backend name and applies the portfolio
+// stall knobs, typing failures as field-level SpecErrors.
 func (s Spec) backend() (opt.Minimizer, error) {
 	be, err := opt.BackendByName(s.Backend)
 	if err != nil {
 		return nil, &SpecError{Field: "backend", Value: s.Backend, Reason: err.Error()}
 	}
+	if s.StallWindow < 0 {
+		return nil, &SpecError{Field: "stallWindow", Value: fmt.Sprint(s.StallWindow), Reason: "stallWindow must be >= 0"}
+	}
+	if s.StallRatio < 0 || s.StallRatio >= 1 {
+		return nil, &SpecError{Field: "stallRatio", Value: fmt.Sprint(s.StallRatio), Reason: "stallRatio must be in [0, 1)"}
+	}
+	if s.StallWindow > 0 || s.StallRatio > 0 {
+		pf, ok := opt.AsPortfolio(be)
+		if !ok {
+			field := "stallWindow"
+			if s.StallWindow == 0 {
+				field = "stallRatio"
+			}
+			return nil, &SpecError{Field: field,
+				Reason: fmt.Sprintf("stall knobs tune the portfolio scheduler; backend is %q (want portfolio)", s.Backend)}
+		}
+		pf.StallWindow = s.StallWindow
+		pf.StallRatio = s.StallRatio
+	}
 	return be, nil
+}
+
+// ValidateBackend checks the backend name and the portfolio stall
+// knobs without running anything. Submit-time validators (the /v1 job
+// API) use it to reject knob misuse with a field-located error before
+// a job executes; Run performs the same checks itself.
+func (s Spec) ValidateBackend() *SpecError {
+	if _, err := s.backend(); err != nil {
+		if spe, ok := err.(*SpecError); ok {
+			return spe
+		}
+		return &SpecError{Field: "backend", Value: s.Backend, Reason: err.Error()}
+	}
+	return nil
 }
 
 // Input is what a registered analysis runs on.

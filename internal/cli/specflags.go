@@ -89,6 +89,10 @@ func NewSpecFlags(fs *flag.FlagSet, tool string, a analysis.Analysis) *SpecFlags
 		be = "basinhopping"
 	}
 	fs.StringVar(&sf.spec.Backend, "backend", be, "MO backend ("+strings.Join(opt.BackendNames(), ", ")+")")
+	fs.IntVar(&sf.spec.StallWindow, "stall-window", def.StallWindow,
+		"portfolio plateau window in evaluations (-backend portfolio; 0 = 400 x dim)")
+	fs.Float64Var(&sf.spec.StallRatio, "stall-ratio", def.StallRatio,
+		"portfolio minimum relative best-objective decay per window (-backend portfolio; 0 = 0.01)")
 	fs.IntVar(&sf.spec.Workers, "workers", def.Workers, "parallelism (0 = all CPUs, 1 = serial)")
 	fs.IntVar(&sf.spec.Lanes, "lanes", def.Lanes,
 		"batch evaluation width: lane-parallel VM sweep size (0 or 1 = scalar)")

@@ -134,6 +134,56 @@ type Result struct {
 	// then. Omitted from JSON when false so pre-context wire formats are
 	// unchanged.
 	Canceled bool `json:"canceled,omitempty"`
+	// Reclaimed counts evaluations that executed starts returned unused
+	// (early backend exit: a converged local search, or the portfolio
+	// scheduler detecting that every stage plateaued). Omitted when
+	// zero, so fixed budget-exhausting backends keep their wire format.
+	Reclaimed int `json:"reclaimed,omitempty"`
+	// BonusStarts counts the extra restarts funded by reclaimed budget
+	// (they are included in Restarts). Omitted when zero.
+	BonusStarts int `json:"bonusStarts,omitempty"`
+	// Stages aggregates the backend's per-stage attribution across all
+	// consumed starts (portfolio runs only): evaluations summed per
+	// stage backend, best value minimized. Omitted for single-backend
+	// runs.
+	Stages []opt.StageResult `json:"stages,omitempty"`
+}
+
+// mergeStages folds one start's stage attribution into the aggregate:
+// evals summed per backend in first-appearance order, Best minimized,
+// the boolean outcomes OR-ed. Consumed starts are folded in start
+// order, so the aggregate is as deterministic as the per-start results.
+func mergeStages(agg []opt.StageResult, stages []opt.StageResult) []opt.StageResult {
+	for _, st := range stages {
+		merged := false
+		for i := range agg {
+			if agg[i].Backend == st.Backend {
+				agg[i].Evals += st.Evals
+				if st.Best < agg[i].Best {
+					agg[i].Best = st.Best
+				}
+				agg[i].Improved = agg[i].Improved || st.Improved
+				agg[i].FoundZero = agg[i].FoundZero || st.FoundZero
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			agg = append(agg, st)
+		}
+	}
+	return agg
+}
+
+// bonusStarts converts reclaimed evaluations into extra restarts: one
+// per full per-start budget, capped at the original start count so a
+// pathological early-exit backend cannot more than double the schedule.
+func bonusStarts(reclaimed, budget, starts int) int {
+	k := reclaimed / budget
+	if k > starts {
+		k = starts
+	}
+	return k
 }
 
 // String renders the result in the paper's reporting style.
@@ -175,14 +225,17 @@ func Solve(ctx context.Context, p Problem, o Options) Result {
 		batch = p.NewBatchW(o.Lanes)
 	}
 
-	for s := 0; s < o.starts(); s++ {
+	budget := o.evalsPerStart(p.Dim)
+	// run executes start s and folds it, reporting whether the search is
+	// decided (solution in hand, or cancelled).
+	run := func(s int) bool {
 		if err := ctx.Err(); err != nil {
 			res.Canceled = true
-			return res
+			return true
 		}
 		cfg := opt.Config{
 			Seed:       o.Seed + int64(s)*1000003,
-			MaxEvals:   o.evalsPerStart(p.Dim),
+			MaxEvals:   budget,
 			Bounds:     o.Bounds,
 			StopAtZero: true,
 			Trace:      o.Trace,
@@ -192,6 +245,7 @@ func Solve(ctx context.Context, p Problem, o Options) Result {
 		r := backend.Minimize(opt.Objective(p.W), p.Dim, cfg)
 		res.Evals += r.Evals
 		res.Restarts++
+		res.Stages = mergeStages(res.Stages, r.Stages)
 		if r.F < res.W {
 			res.W = r.F
 		}
@@ -208,11 +262,35 @@ func Solve(ctx context.Context, p Problem, o Options) Result {
 				res.Found = true
 				res.X = r.X
 				res.W = 0
-				return res
+				return true
 			}
 		}
 		if r.Canceled {
 			res.Canceled = true
+			return true
+		}
+		// The start finished undecided without exhausting its budget
+		// (portfolio early exit, converged local search, rejected zero):
+		// the leftover is reclaimable.
+		if r.Evals < budget {
+			res.Reclaimed += budget - r.Evals
+		}
+		return false
+	}
+	for s := 0; s < o.starts(); s++ {
+		if run(s) {
+			return res
+		}
+	}
+	// Budget reallocation: every evaluation a start returned unused
+	// (portfolio early exit, converged local search) funds extra
+	// restarts for the still-unsolved problem — one bonus round, seeds
+	// continuing the same derivation, so the outcome is a pure function
+	// of the options. Backends that always exhaust their budget reclaim
+	// nothing and keep the historical schedule exactly.
+	for j, k := 0, bonusStarts(res.Reclaimed, budget, o.starts()); j < k; j++ {
+		res.BonusStarts++
+		if run(o.starts() + j) {
 			return res
 		}
 	}
@@ -233,49 +311,75 @@ func solveParallel(ctx context.Context, p Problem, o Options) Result {
 			return p.NewBatchW(o.Lanes)
 		}
 	}
-	starts := opt.ParallelStarts(o.backend(), func(int) opt.Objective {
-		return opt.Objective(p.NewW())
-	}, p.Dim, opt.ParallelConfig{
-		Starts:     o.starts(),
-		Workers:    o.Workers,
-		Seed:       o.Seed,
-		SeedStride: 1000003,
-		MaxEvals:   o.evalsPerStart(p.Dim),
-		Bounds:     o.Bounds,
-		StopAtZero: true,
-		Batch:      batchFactory,
-		Accept: func(_ int, r opt.Result) bool {
-			return p.Member == nil || p.Member(r.X)
-		},
-		Ctx: ctx,
-	})
+	budget := o.evalsPerStart(p.Dim)
+	launch := func(n int, seed int64) []opt.StartResult {
+		return opt.ParallelStarts(o.backend(), func(int) opt.Objective {
+			return opt.Objective(p.NewW())
+		}, p.Dim, opt.ParallelConfig{
+			Starts:     n,
+			Workers:    o.Workers,
+			Seed:       seed,
+			SeedStride: 1000003,
+			MaxEvals:   budget,
+			Bounds:     o.Bounds,
+			StopAtZero: true,
+			Batch:      batchFactory,
+			Accept: func(_ int, r opt.Result) bool {
+				return p.Member == nil || p.Member(r.X)
+			},
+			Ctx: ctx,
+		})
+	}
 
 	res := Result{W: math.Inf(1)}
-	for _, sr := range starts {
-		res.Evals += sr.Evals
-		if sr.Evals > 0 || !sr.Canceled {
-			res.Restarts++
-			if sr.F < res.W {
-				res.W = sr.F
+	// fold merges one scheduled batch in start order — exactly the
+	// serial loop's bookkeeping, including the reclaimed-budget
+	// accounting — and reports whether the search is decided.
+	fold := func(starts []opt.StartResult, bonus bool) bool {
+		for _, sr := range starts {
+			res.Evals += sr.Evals
+			if sr.Evals > 0 || !sr.Canceled {
+				res.Restarts++
+				if bonus {
+					res.BonusStarts++
+				}
+				res.Stages = mergeStages(res.Stages, sr.Stages)
+				if sr.F < res.W {
+					res.W = sr.F
+				}
+			}
+			// As in the serial loop: a start holding an accepted zero wins
+			// over its (simultaneous) cancellation flag.
+			if sr.FoundZero {
+				if sr.ZeroAccepted {
+					res.Found = true
+					res.X = sr.X
+					res.W = 0
+					return true
+				}
+				res.Rejected++
+			}
+			if sr.Canceled {
+				// Stop folding — the slots after a cancelled start are
+				// cancelled or unreliable too.
+				res.Canceled = true
+				return true
+			}
+			if sr.Evals < budget && !sr.Skipped {
+				res.Reclaimed += budget - sr.Evals
 			}
 		}
-		// As in the serial loop: a start holding an accepted zero wins
-		// over its (simultaneous) cancellation flag.
-		if sr.FoundZero {
-			if sr.ZeroAccepted {
-				res.Found = true
-				res.X = sr.X
-				res.W = 0
-				return res
-			}
-			res.Rejected++
-		}
-		if sr.Canceled {
-			// Stop folding — the slots after a cancelled start are
-			// cancelled or unreliable too.
-			res.Canceled = true
-			return res
-		}
+		return false
+	}
+	if fold(launch(o.starts(), o.Seed), false) {
+		return res
+	}
+	// Budget reallocation, as in the serial loop: one bonus round funded
+	// by the reclaimed evaluations, seeds continuing the same per-start
+	// derivation — so the result is identical to the serial path and to
+	// every other worker count.
+	if k := bonusStarts(res.Reclaimed, budget, o.starts()); k > 0 {
+		fold(launch(k, o.Seed+int64(o.starts())*1000003), true)
 	}
 	return res
 }

@@ -1,0 +1,41 @@
+package fuzz_test
+
+import (
+	"testing"
+
+	"repro/internal/fuzz"
+	"repro/internal/opt"
+)
+
+// TestBackendOracleCoversPortfolio: the layer-2 backend differential
+// draws its default lineup from the opt registry, so registering the
+// portfolio scheduler put it in every campaign automatically — and its
+// claimed zeros must survive the same replay/witness oracle as the
+// fixed backends, including under the oracle's tiny 300-eval default
+// budget (smaller than one plateau window).
+func TestBackendOracleCoversPortfolio(t *testing.T) {
+	found := false
+	for _, name := range opt.BackendNames() {
+		if name == "portfolio" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("portfolio missing from opt.BackendNames — campaigns would skip it")
+	}
+
+	const src = `
+func prog(x double) {
+    if (x <= 1.0) { x = x + 1.0; }
+    var y double = x * x;
+    if (y <= 4.0) { x = x - 1.0; }
+}`
+	for _, seed := range []int64{1, 2, 3} {
+		if v := fuzz.CheckBackends(src, "prog", fuzz.BackendCheck{
+			Backends: []string{"portfolio"},
+			Seed:     seed,
+		}); len(v) != 0 {
+			t.Errorf("seed %d: portfolio violated the backend oracle: %+v", seed, v)
+		}
+	}
+}

@@ -190,11 +190,13 @@ func RunCrash(o CrashOptions) *CrashResult {
 	}
 	if o.Tamper {
 		// Self-test: a corrupted expectation must surface as a
-		// violation in every round that recovers the tampered job.
+		// violation. Every job is tampered — picking one at random (map
+		// iteration order) made the self-test flaky, since a short
+		// truncation prefix can leave the chosen job out of every
+		// round's comparison set.
 		for id := range expect {
 			if len(expect[id]) > 0 {
 				expect[id][0] += `{"tampered":true}`
-				break
 			}
 		}
 	}

@@ -20,6 +20,7 @@ var backendFactories = []struct {
 	{"random", []string{"randomsearch"}, func() Minimizer { return &RandomSearch{} }},
 	{"neldermead", []string{"nm"}, func() Minimizer { return &NelderMead{} }},
 	{"anneal", []string{"sa", "simulatedannealing"}, func() Minimizer { return &SimulatedAnnealing{} }},
+	{"portfolio", []string{"auto"}, func() Minimizer { return &Portfolio{} }},
 }
 
 // BackendNames lists the canonical backend names accepted by
@@ -65,19 +66,109 @@ func BroadcastBounds(bs []Bound, dim int) ([]Bound, error) {
 	return out, nil
 }
 
-// BackendByName resolves a backend spelling (canonical name or alias,
-// case-insensitive; empty selects Basinhopping) to a fresh Minimizer.
-func BackendByName(name string) (Minimizer, error) {
+// newBackend resolves a backend spelling to a fresh, undecorated
+// Minimizer and its canonical name. The portfolio scheduler builds its
+// stage backends through this raw path so their evaluations are
+// attributed to the portfolio run, not double-counted as standalone
+// runs.
+func newBackend(name string) (Minimizer, bool) {
 	want := strings.ToLower(name)
 	for _, f := range backendFactories {
 		if want == f.name {
-			return f.mk(), nil
+			return f.mk(), true
 		}
 		for _, a := range f.aliases {
 			if want == a {
-				return f.mk(), nil
+				return f.mk(), true
 			}
 		}
 	}
-	return nil, fmt.Errorf("unknown backend %q (%s)", name, strings.Join(BackendNames(), ", "))
+	return nil, false
+}
+
+// canonicalBackendName maps any accepted spelling (alias,
+// case-insensitive) to the canonical registry name; unknown spellings
+// are returned lowercased.
+func canonicalBackendName(name string) string {
+	want := strings.ToLower(name)
+	for _, f := range backendFactories {
+		if want == f.name {
+			return f.name
+		}
+		for _, a := range f.aliases {
+			if want == a {
+				return f.name
+			}
+		}
+	}
+	return want
+}
+
+// BackendByName resolves a backend spelling (canonical name or alias,
+// case-insensitive; empty selects Basinhopping) to a fresh Minimizer.
+// The returned minimizer is instrumented: every Minimize records its
+// consumed evaluations in the process-wide EvalCounts ledger under the
+// canonical name (portfolio stages under "portfolio/<stage>").
+func BackendByName(name string) (Minimizer, error) {
+	m, ok := newBackend(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q (%s)", name, strings.Join(BackendNames(), ", "))
+	}
+	return countedBackend(canonicalBackendName(name), m), nil
+}
+
+// countedBackend decorates a minimizer with EvalCounts recording,
+// preserving the LocalMinimizer capability when the underlying backend
+// has it.
+func countedBackend(name string, m Minimizer) Minimizer {
+	c := countedMinimizer{name: name, m: m}
+	if lm, ok := m.(LocalMinimizer); ok {
+		return &countedLocalMinimizer{countedMinimizer: c, lm: lm}
+	}
+	return &c
+}
+
+type countedMinimizer struct {
+	name string
+	m    Minimizer
+}
+
+func (c *countedMinimizer) Name() string { return c.m.Name() }
+
+// Unwrap exposes the undecorated backend (e.g. for clients configuring
+// Portfolio knobs on a BackendByName result).
+func (c *countedMinimizer) Unwrap() Minimizer { return c.m }
+
+func (c *countedMinimizer) Minimize(obj Objective, dim int, cfg Config) Result {
+	r := c.m.Minimize(obj, dim, cfg)
+	recordBackendEvals(c.name, r)
+	return r
+}
+
+type countedLocalMinimizer struct {
+	countedMinimizer
+	lm LocalMinimizer
+}
+
+func (c *countedLocalMinimizer) MinimizeFrom(obj Objective, x0 []float64, cfg Config) Result {
+	r := c.lm.MinimizeFrom(obj, x0, cfg)
+	recordBackendEvals(c.name, r)
+	return r
+}
+
+// AsPortfolio unwraps any decorator chain and reports whether the
+// minimizer is (or wraps) the portfolio scheduler, returning it for
+// configuration.
+func AsPortfolio(m Minimizer) (*Portfolio, bool) {
+	for m != nil {
+		if p, ok := m.(*Portfolio); ok {
+			return p, true
+		}
+		u, ok := m.(interface{ Unwrap() Minimizer })
+		if !ok {
+			return nil, false
+		}
+		m = u.Unwrap()
+	}
+	return nil, false
 }

@@ -132,6 +132,12 @@ type Result struct {
 	Exhausted  bool      // the evaluation budget ran out
 	Canceled   bool      // Config.Ctx was done before the search finished
 	Iterations int       // backend-specific outer iterations
+	// Stages attributes the evaluations to the portfolio scheduler's
+	// backend stages, in lineup order. Nil for single-backend runs.
+	Stages []StageResult `json:"stages,omitempty"`
+	// Winner names the stage backend holding the final best point
+	// (portfolio runs only; empty when no stage ever improved on +Inf).
+	Winner string `json:"winner,omitempty"`
 }
 
 // Minimizer is a global optimization backend.

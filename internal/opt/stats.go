@@ -1,0 +1,53 @@
+package opt
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file keeps the process-wide evaluation ledger behind the
+// BackendByName decorator: how many objective evaluations each backend
+// has consumed since process start, with portfolio runs additionally
+// attributed per stage ("portfolio/<stage backend>"). fpserve surfaces
+// the ledger on /stats; it exists for observability, so it is
+// deliberately global, lock-free on the hot path, and never consulted
+// by the schedulers themselves.
+
+var evalCounters sync.Map // canonical backend name -> *atomic.Int64
+
+func addEvalCount(name string, n int) {
+	if n <= 0 {
+		return
+	}
+	c, ok := evalCounters.Load(name)
+	if !ok {
+		c, _ = evalCounters.LoadOrStore(name, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(int64(n))
+}
+
+// recordBackendEvals folds one Minimize outcome into the ledger.
+func recordBackendEvals(name string, r Result) {
+	addEvalCount(name, r.Evals)
+	for _, st := range r.Stages {
+		addEvalCount(name+"/"+st.Backend, st.Evals)
+	}
+}
+
+// EvalCounts snapshots the process-wide objective-evaluation ledger:
+// total evaluations per backend registry name, accumulated by every
+// minimizer resolved through BackendByName since process start.
+// Portfolio totals appear under "portfolio" with per-stage attribution
+// under "portfolio/<stage>". The map is a copy; nil when nothing has
+// been recorded.
+func EvalCounts() map[string]int64 {
+	var out map[string]int64
+	evalCounters.Range(func(k, v any) bool {
+		if out == nil {
+			out = make(map[string]int64)
+		}
+		out[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return out
+}

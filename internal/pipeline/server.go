@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/journal"
+	"repro/internal/opt"
 )
 
 // Request is the fpserve analyze payload: either a fully explicit job
@@ -268,13 +269,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// HandlerPanics counts panics the HTTP recover boundary absorbed
 		// (job panics are counted under engine.panics instead).
 		HandlerPanics int64 `json:"handlerPanics,omitempty"`
+		// EvalsByBackend is the process-wide objective-evaluation ledger
+		// per MO backend (portfolio stages under "portfolio/<stage>").
+		EvalsByBackend map[string]int64 `json:"evalsByBackend,omitempty"`
 	}{
-		Requests:      s.requests.Load(),
-		Jobs:          s.jobs.Load(),
-		Cache:         s.PL.Cache.Stats(),
-		Engine:        s.Engine.Stats(),
-		Programs:      s.Programs.Len(),
-		HandlerPanics: s.panicked.Load(),
+		Requests:       s.requests.Load(),
+		Jobs:           s.jobs.Load(),
+		Cache:          s.PL.Cache.Stats(),
+		Engine:         s.Engine.Stats(),
+		Programs:       s.Programs.Len(),
+		HandlerPanics:  s.panicked.Load(),
+		EvalsByBackend: opt.EvalCounts(),
 	}
 	if ds, ok := s.Engine.Store.(*DurableStore); ok {
 		js := ds.Stats()

@@ -243,9 +243,9 @@ func (s *Server) resolveJobs(v1jobs []V1Job) ([]Job, []*analysis.SpecError) {
 			errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.engine"),
 				Value: vj.Spec.Engine, Reason: err.Error()})
 		}
-		if _, err := opt.BackendByName(vj.Spec.Backend); err != nil {
-			errs = append(errs, &analysis.SpecError{Field: loc(i, "spec.backend"),
-				Value: vj.Spec.Backend, Reason: err.Error()})
+		if spe := vj.Spec.ValidateBackend(); spe != nil {
+			errs = append(errs, &analysis.SpecError{Field: loc(i, "spec."+spe.Field),
+				Value: spe.Value, Reason: spe.Reason})
 		}
 		jobs = append(jobs, job)
 	}
