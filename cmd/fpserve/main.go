@@ -31,6 +31,14 @@
 // content-deterministic, so the recovered output is identical to an
 // uninterrupted run's).
 //
+// With -coordinator the node executes nothing locally: it fans each
+// job batch over a fleet of fpserve workers (-workers host:port,... or
+// -fleet file), routing jobs by the consistent hash of their program's
+// content address so worker module caches stay hot. Workers that stop
+// answering health probes leave the ring and their unfinished jobs are
+// requeued onto survivors; results are byte-identical to a single-node
+// run either way. See docs/api.md ("Coordinator mode").
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: it stops
 // accepting jobs, cancels in-flight job contexts (which land inside the
 // minimizers within one objective evaluation), drains connections up to
@@ -47,9 +55,11 @@ import (
 	_ "net/http/pprof" // -pprof side listener (DefaultServeMux only)
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/journal"
 	"repro/internal/pipeline"
 )
@@ -70,6 +80,12 @@ func main() {
 		retry     = flag.Duration("retry-after", pipeline.DefaultRetryAfter, "Retry-After hint on 429 load-shedding refusals")
 		heartbeat = flag.Duration("heartbeat", 15*time.Second, "SSE heartbeat interval on /v1 job event streams (0 disables)")
 		pprofAddr = flag.String("pprof", "", "expose net/http/pprof on this side listener, e.g. localhost:6060 (empty = disabled)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a fleet coordinator: fan job batches over -workers instead of executing locally")
+		workers     = flag.String("workers", "", "comma-separated fpserve workers (host:port,...) for -coordinator")
+		fleet       = flag.String("fleet", "", "file listing one fpserve worker per line (comments with #) for -coordinator")
+		probeEvery  = flag.Duration("probe-every", cluster.DefaultProbeEvery, "worker health-probe interval in -coordinator mode")
+		deadAfter   = flag.Int("dead-after", cluster.DefaultDeadAfter, "consecutive failed probes before a worker leaves the ring")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -99,6 +115,34 @@ func main() {
 	srv.Logf = log.Printf
 	srv.PL.PanicHook = func(idx int, j pipeline.Job, v any, stack []byte) {
 		log.Printf("fpserve: job panic (job index %d, analysis %q): %v\n%s", idx, j.Spec.Analysis, v, stack)
+	}
+
+	// Coordinator mode installs the fleet Runner BEFORE journal
+	// recovery: jobs a crash caught running are then re-executed across
+	// the fleet, not on this node's local pipeline.
+	var coord *cluster.Coordinator
+	if *coordinator {
+		members, err := fleetMembers(*workers, *fleet)
+		if err != nil {
+			log.Fatalf("fpserve: %v", err)
+		}
+		coord, err = cluster.New(cluster.Config{
+			Workers:    members,
+			ProbeEvery: *probeEvery,
+			DeadAfter:  *deadAfter,
+			Seed:       time.Now().UnixNano(),
+			Logf:       log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("fpserve: %v", err)
+		}
+		coord.Start()
+		srv.Engine.Runner = coord.Run
+		srv.Engine.AdmitHook = coord.Admit
+		srv.ClusterStats = coord.StatsDoc
+		log.Printf("fpserve: coordinating %d workers: %s", len(members), strings.Join(members, ", "))
+	} else if *workers != "" || *fleet != "" {
+		log.Fatalf("fpserve: -workers/-fleet require -coordinator")
 	}
 
 	var store *pipeline.DurableStore
@@ -169,10 +213,42 @@ func main() {
 	if err := hs.Shutdown(sd); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("fpserve: http drain: %v", err)
 	}
+	if coord != nil {
+		coord.Close()
+	}
 	if store != nil {
 		if err := store.Close(); err != nil {
 			log.Printf("fpserve: closing journal: %v", err)
 		}
 	}
 	log.Printf("fpserve: shutdown complete")
+}
+
+// fleetMembers merges the -workers list and the -fleet file into the
+// worker set for coordinator mode.
+func fleetMembers(workers, fleetFile string) ([]string, error) {
+	var members []string
+	for _, w := range strings.Split(workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			members = append(members, w)
+		}
+	}
+	if fleetFile != "" {
+		data, err := os.ReadFile(fleetFile)
+		if err != nil {
+			return nil, fmt.Errorf("reading fleet file: %w", err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			if line = strings.TrimSpace(line); line != "" {
+				members = append(members, line)
+			}
+		}
+	}
+	if len(members) == 0 {
+		return nil, errors.New("-coordinator needs workers (-workers host:port,... or -fleet file)")
+	}
+	return members, nil
 }

@@ -1,0 +1,317 @@
+package fuzz
+
+// This file is the fleet load harness: it replays an fplgen-generated
+// workload against a coordinator — either a running one, by URL, or an
+// in-process coordinator + fleet it spins up itself — with concurrent
+// submitters, honoring 429 backpressure, and reports end-to-end
+// throughput plus the coordinator's per-worker routing attribution.
+// It is both the `fpfuzz load` CLI and the BENCH_PIPELINE jobs/s
+// harness.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/pipeline"
+)
+
+// LoadOptions configures a load run.
+type LoadOptions struct {
+	// Target is the base URL of a running coordinator (or single
+	// fpserve node). Empty spins up an in-process fleet of Workers
+	// nodes behind an in-process coordinator instead.
+	Target string
+	// Workers is the in-process fleet size when Target is empty; 0
+	// selects 2.
+	Workers int
+	// Programs is the number of generated programs; 0 selects 8.
+	Programs int
+	// Batches is the number of job batches replayed; 0 selects 2 per
+	// program. Batches cycle over the programs, so every program is
+	// submitted repeatedly — the workload that rewards cache-affine
+	// routing.
+	Batches int
+	// Concurrency is the number of parallel submitters; 0 selects 4.
+	Concurrency int
+	// Seed derives the workload; MaxDims cycles arity (0 selects 3);
+	// Evals is the per-analysis budget (0 selects 60).
+	Seed    int64
+	MaxDims int
+	Evals   int
+	// Analyses restricts the per-program spec list.
+	Analyses []string
+	// Logf, when non-nil, receives the in-process coordinator's log.
+	Logf func(format string, args ...any)
+}
+
+func (o LoadOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 2
+}
+
+func (o LoadOptions) programs() int {
+	if o.Programs > 0 {
+		return o.Programs
+	}
+	return 8
+}
+
+func (o LoadOptions) batches() int {
+	if o.Batches > 0 {
+		return o.Batches
+	}
+	return 2 * o.programs()
+}
+
+func (o LoadOptions) concurrency() int {
+	if o.Concurrency > 0 {
+		return o.Concurrency
+	}
+	return 4
+}
+
+func (o LoadOptions) evals() int {
+	if o.Evals > 0 {
+		return o.Evals
+	}
+	return 60
+}
+
+// LoadResult is the outcome of a load run.
+type LoadResult struct {
+	// Batches and Jobs count the replayed workload; Duration the
+	// wall-clock from first submit to last terminal result.
+	Batches  int
+	Jobs     int
+	Duration time.Duration
+	// JobsPerSec is Jobs / Duration.
+	JobsPerSec float64
+	// Retried429 counts submissions the target shed (and the harness
+	// retried after the Retry-After hint).
+	Retried429 int64
+	// Stats is the target's /stats document after the run (nil if it
+	// could not be fetched).
+	Stats json.RawMessage
+	// WorkerStats are the individual workers' /stats documents, keyed
+	// by address (self-hosted mode only) — the per-worker module-cache
+	// hit rates that show routing locality.
+	WorkerStats map[string]json.RawMessage
+	// Violations are harness failures (submission errors, non-completed
+	// jobs), in discovery order.
+	Violations []Violation
+}
+
+// Ok reports a clean run.
+func (r *LoadResult) Ok() bool { return len(r.Violations) == 0 }
+
+// Summary is a one-line outcome.
+func (r *LoadResult) Summary() string {
+	return fmt.Sprintf("%d batches (%d jobs) in %v: %.1f jobs/s, %d shed-retries: %d violations",
+		r.Batches, r.Jobs, r.Duration.Round(time.Millisecond), r.JobsPerSec,
+		r.Retried429, len(r.Violations))
+}
+
+// loadV builds a load-layer violation.
+func loadV(format string, args ...any) Violation {
+	return Violation{Layer: "load", Detail: fmt.Sprintf(format, args...)}
+}
+
+// RunLoad executes a load run.
+func RunLoad(o LoadOptions) *LoadResult {
+	res := &LoadResult{}
+
+	target := o.Target
+	var workerAddrs []string
+	if target == "" {
+		// Self-hosted mode: an in-process fleet behind an in-process
+		// coordinator, all sharing this machine — the per-node numbers
+		// measure coordinator overhead and routing, not extra hardware.
+		nodes := make([]*httptest.Server, o.workers())
+		addrs := make([]string, o.workers())
+		var srvs []*pipeline.Server
+		for i := range nodes {
+			srv := pipeline.NewServer(1)
+			nodes[i] = httptest.NewServer(srv.Handler())
+			addrs[i] = nodes[i].URL
+			srvs = append(srvs, srv)
+		}
+		workerAddrs = addrs
+		coord, err := cluster.New(cluster.Config{Workers: addrs, Seed: o.Seed, Logf: o.Logf})
+		if err != nil {
+			res.Violations = append(res.Violations, loadV("coordinator: %v", err))
+			return res
+		}
+		coord.Start()
+		front := pipeline.NewServer(1)
+		front.Engine.Runner = coord.Run
+		front.Engine.AdmitHook = coord.Admit
+		front.ClusterStats = coord.StatsDoc
+		fts := httptest.NewServer(front.Handler())
+		target = fts.URL
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			front.Engine.Shutdown(ctx)
+			cancel()
+			fts.Close()
+			coord.Close()
+			for i, n := range nodes {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				srvs[i].Engine.Shutdown(ctx)
+				cancel()
+				n.Close()
+			}
+		}()
+	}
+	cli := &cluster.Client{Base: target}
+
+	// The workload: fplgen programs registered up front by content
+	// address, batches referencing them (the recorded-workload replay
+	// shape: programs are reused, results are re-derived).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	var specsFor [][]pipeline.V1Job
+	for i := 0; i < o.programs(); i++ {
+		src, _, _, rng := generateProgram(o.Seed, i, o.MaxDims)
+		id, err := cli.RegisterProgram(ctx, src, "f")
+		if err != nil {
+			res.Violations = append(res.Violations, loadV("registering program %d: %v", i, err))
+			return res
+		}
+		var jobs []pipeline.V1Job
+		for _, spec := range analysisSpecs(src, rng, progSeed(o.Seed, i),
+			Options{Evals: o.evals(), Analyses: o.Analyses}) {
+			vj := pipeline.V1Job{Spec: spec}
+			if spec.Formula == "" {
+				vj.Program = id
+			}
+			jobs = append(jobs, vj)
+		}
+		specsFor = append(specsFor, jobs)
+	}
+	batches := make([][]pipeline.V1Job, o.batches())
+	for i := range batches {
+		batches[i] = specsFor[i%len(specsFor)]
+		res.Jobs += len(batches[i])
+	}
+	res.Batches = len(batches)
+
+	// Replay: Concurrency submitters drain the batch queue, each
+	// submitting, honoring 429 Retry-After, and polling its job to a
+	// terminal state before taking the next batch.
+	var (
+		mu      sync.Mutex
+		retried atomic.Int64
+		next    atomic.Int64
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	for s := 0; s < o.concurrency(); s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batches) || ctx.Err() != nil {
+					return
+				}
+				id, err := submitWithRetry(ctx, cli, batches[i], &retried)
+				if err != nil {
+					mu.Lock()
+					res.Violations = append(res.Violations, loadV("batch %d: %v", i, err))
+					mu.Unlock()
+					continue
+				}
+				if err := pollTerminal(ctx, cli, id, len(batches[i])); err != nil {
+					mu.Lock()
+					res.Violations = append(res.Violations, loadV("batch %d (%s): %v", i, id, err))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	if res.Duration > 0 {
+		res.JobsPerSec = float64(res.Jobs) / res.Duration.Seconds()
+	}
+	res.Retried429 = retried.Load()
+	if stats, err := cli.Stats(ctx); err == nil {
+		res.Stats = stats
+	}
+	if len(workerAddrs) > 0 {
+		res.WorkerStats = map[string]json.RawMessage{}
+		for _, addr := range workerAddrs {
+			wc := &cluster.Client{Base: addr}
+			if stats, err := wc.Stats(ctx); err == nil {
+				res.WorkerStats[addr] = stats
+			}
+		}
+	}
+	return res
+}
+
+// submitWithRetry submits one batch, sleeping out 429 Retry-After
+// hints (counted) until the target accepts it.
+func submitWithRetry(ctx context.Context, cli *cluster.Client, jobs []pipeline.V1Job, retried *atomic.Int64) (string, error) {
+	b := pipeline.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	for attempt := 0; ; attempt++ {
+		id, err := cli.SubmitJobs(ctx, jobs)
+		if err == nil {
+			return id, nil
+		}
+		var busy *cluster.ErrWorkerBusy
+		if !errors.As(err, &busy) {
+			return "", err
+		}
+		retried.Add(1)
+		delay := busy.RetryAfter
+		if d := b.Delay(min(attempt, 6)); d > delay {
+			delay = d
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+}
+
+// pollTerminal pages a job until it is terminal and fully served,
+// requiring every job to complete.
+func pollTerminal(ctx context.Context, cli *cluster.Client, id string, jobs int) error {
+	served := 0
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		view, err := cli.Page(ctx, id, served, 256)
+		if err != nil {
+			return err
+		}
+		served += len(view.Results)
+		if view.Status != pipeline.JobRunning && view.NextOffset == nil {
+			if view.Status != pipeline.JobCompleted {
+				return fmt.Errorf("ended %q with %d/%d results", view.Status, served, jobs)
+			}
+			if served != jobs {
+				return fmt.Errorf("completed with %d/%d results", served, jobs)
+			}
+			return nil
+		}
+		if len(view.Results) == 0 {
+			select {
+			case <-time.After(5 * time.Millisecond):
+			case <-ctx.Done():
+			}
+		}
+	}
+}

@@ -87,6 +87,23 @@ type JobRecord struct {
 	reason   string
 	finished time.Time
 	changed  chan struct{} // closed on every append and on finish
+	subs     int           // live followers; pins the record against eviction
+}
+
+// subscribe pins the record against TTL and capacity eviction for the
+// lifetime of one follower: a subscriber mid-replay must be able to
+// re-poll and reconnect by ID until it has seen the terminal event, so
+// the job may not vanish from the table under it.
+func (rec *JobRecord) subscribe() {
+	rec.mu.Lock()
+	rec.subs++
+	rec.mu.Unlock()
+}
+
+func (rec *JobRecord) unsubscribe() {
+	rec.mu.Lock()
+	rec.subs--
+	rec.mu.Unlock()
 }
 
 // append records one wire-form result and wakes every waiter.
@@ -202,16 +219,23 @@ func (rec *JobRecord) View(offset, limit int) JobView {
 		offset = 0
 		v.Offset = 0
 	}
+	end := offset
 	if offset < len(rec.results) {
-		end := len(rec.results)
+		end = len(rec.results)
 		if limit > 0 && offset+limit < end {
 			end = offset + limit
 		}
 		v.Results = append(v.Results, rec.results[offset:end]...)
-		if end < len(rec.results) {
-			next := end
-			v.NextOffset = &next
-		}
+	}
+	// NextOffset is the resume cursor: present whenever more results
+	// exist now, or may yet land (the job is still running). On a
+	// running job it is always set and monotone — an offset past the
+	// current count yields an empty page whose cursor holds the client's
+	// place — so a poller never loses its position to an empty page and
+	// never mistakes "caught up" for "complete".
+	if end < len(rec.results) || rec.status == JobRunning {
+		next := end
+		v.NextOffset = &next
 	}
 	return v
 }
@@ -233,6 +257,8 @@ func FollowJob(ctx context.Context, rec *JobRecord, emit func(result []byte)) Jo
 // stalled-but-alive server from a dead connection. heartbeat <= 0
 // disables the pulse.
 func FollowJobHeartbeat(ctx context.Context, rec *JobRecord, heartbeat time.Duration, emit func(result []byte), beat func()) JobStatus {
+	rec.subscribe()
+	defer rec.unsubscribe()
 	offset := 0
 	var pulse *time.Timer
 	var pulseC <-chan time.Time
@@ -248,6 +274,19 @@ func FollowJobHeartbeat(ctx context.Context, rec *JobRecord, heartbeat time.Dura
 		}
 		offset += len(results)
 		if len(results) > 0 {
+			// Result traffic is liveness: push the next pulse a full
+			// heartbeat out, draining a tick that fired while emit ran —
+			// otherwise the stale tick delivers a spurious heartbeat the
+			// instant the stream goes quiet.
+			if pulse != nil {
+				if !pulse.Stop() {
+					select {
+					case <-pulse.C:
+					default:
+					}
+				}
+				pulse.Reset(heartbeat)
+			}
 			continue // drain fully before blocking
 		}
 		if status != JobRunning {
@@ -263,6 +302,18 @@ func FollowJobHeartbeat(ctx context.Context, rec *JobRecord, heartbeat time.Dura
 		}
 	}
 }
+
+// Runner executes one batch — or, on crash recovery, the suffix of one
+// — and emits each result as wire bytes (MarshalResult form) tagged
+// with its final batch index. base is the batch position of jobs[0]:
+// emitted indices are base+i, and emission must be in batch order. The
+// contract is the batch-evaluation contract: exactly one result per
+// job, byte-identical to a local run. The engine's default runner is
+// the local pipeline; fpserve's coordinator mode installs a fleet
+// dispatcher here, and everything downstream — journal, job table,
+// pagination, SSE — is unchanged, consuming the emitted bytes no
+// matter which node produced them.
+type Runner func(ctx context.Context, jobs []Job, base int, emit func(index int, result json.RawMessage))
 
 // EngineStats is the job engine's counter snapshot.
 type EngineStats struct {
@@ -315,6 +366,15 @@ type JobEngine struct {
 	// RetryAfter is the backoff hint attached to load-shedding refusals
 	// (0 = DefaultRetryAfter).
 	RetryAfter time.Duration
+	// Runner, when non-nil, replaces local pipeline execution (see
+	// Runner). Set it before the first submission or recovery.
+	Runner Runner
+	// AdmitHook, when non-nil, is consulted by admission control before
+	// the local watermarks; an error (conventionally ErrOverloaded)
+	// refuses the submission. The coordinator aggregates fleet-level
+	// backpressure — worker 429/Retry-After signals, a dead fleet —
+	// into this hook.
+	AdmitHook func(jobs int) error
 	// Logf, when non-nil, receives operational log lines (store append
 	// failures that exhausted their retries, recovery notes).
 	Logf func(format string, args ...any)
@@ -423,6 +483,11 @@ func (e *JobEngine) SubmitUntracked(parent context.Context, jobs []Job) (*JobRec
 
 // admitLocked applies the load-shedding watermarks. Callers hold e.mu.
 func (e *JobEngine) admitLocked(n int) error {
+	if e.AdmitHook != nil {
+		if err := e.AdmitHook(n); err != nil {
+			return err
+		}
+	}
 	if max := e.MaxInFlight; max > 0 {
 		if inflight := e.inflight.Load(); inflight+int64(n) > int64(max) {
 			return ErrOverloaded{
@@ -559,19 +624,18 @@ func (e *JobEngine) run(rec *JobRecord, ctx context.Context, cancelCause context
 				e.logf("fpserve: journal: start %s: %v", rec.ID, err)
 			}
 		}
-		e.pl.Stream(ctx, jobs, func(r JobResult) {
-			// A resumed job re-executes only the suffix beyond its last
-			// durable result; indices shift back to batch positions so
-			// the wire output is identical to an uninterrupted run.
-			r.Index += base
-			raw := MarshalResult(r)
+		run := e.Runner
+		if run == nil {
+			run = e.localRun
+		}
+		run(ctx, jobs, base, func(index int, raw json.RawMessage) {
 			rec.append(raw)
 			e.inflight.Add(-1)
 			if journaled {
 				if err := e.storeOp(rec.ID, "journal result", func() error {
-					return e.Store.ResultAppended(rec.ID, r.Index, raw)
+					return e.Store.ResultAppended(rec.ID, index, raw)
 				}); err != nil {
-					e.logf("fpserve: journal: result %s[%d]: %v", rec.ID, r.Index, err)
+					e.logf("fpserve: journal: result %s[%d]: %v", rec.ID, index, err)
 				}
 			}
 		})
@@ -595,6 +659,17 @@ func (e *JobEngine) run(rec *JobRecord, ctx context.Context, cancelCause context
 		cancelTimeout()
 		cancelCause(nil) // release the watcher and the timer chain
 	}()
+}
+
+// localRun is the default Runner: the shared worker pool. A resumed
+// job re-executes only the suffix beyond its last durable result;
+// indices shift back to batch positions so the wire output is
+// identical to an uninterrupted run's.
+func (e *JobEngine) localRun(ctx context.Context, jobs []Job, base int, emit func(int, json.RawMessage)) {
+	e.pl.Stream(ctx, jobs, func(r JobResult) {
+		r.Index += base
+		emit(r.Index, MarshalResult(r))
+	})
 }
 
 // Recover rebuilds the job table from a journal replay (see
@@ -742,7 +817,11 @@ func (e *JobEngine) sweepLocked(now time.Time) {
 			continue
 		}
 		rec.mu.Lock()
-		dead := rec.status != JobRunning && now.Sub(rec.finished) > ttl
+		// A record with live followers is pinned no matter how stale:
+		// evicting it mid-replay would 404 the subscriber's next poll or
+		// reconnect before it ever saw the terminal event. The sweep
+		// reclaims it on the first pass after the last follower detaches.
+		dead := rec.status != JobRunning && rec.subs == 0 && now.Sub(rec.finished) > ttl
 		rec.mu.Unlock()
 		if dead {
 			delete(e.records, id)
@@ -777,7 +856,9 @@ func (e *JobEngine) evictOldestFinishedLocked() bool {
 			continue
 		}
 		rec.mu.Lock()
-		finished := rec.status != JobRunning
+		// Pinned like the TTL sweep: a subscribed record is not a free
+		// slot, even under capacity pressure.
+		finished := rec.status != JobRunning && rec.subs == 0
 		rec.mu.Unlock()
 		if finished {
 			delete(e.records, id)

@@ -61,6 +61,11 @@ type Server struct {
 	// Logf, when non-nil, receives operational log lines (recovered
 	// handler panics).
 	Logf func(format string, args ...any)
+	// ClusterStats, when non-nil, contributes a "cluster" document to
+	// /stats — fpserve's coordinator mode plugs its per-worker routing,
+	// requeue, and shed counters in here. A func-valued hook (rather
+	// than a concrete type) keeps pipeline free of a cluster import.
+	ClusterStats func() any
 
 	requests atomic.Int64
 	jobs     atomic.Int64
@@ -272,6 +277,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		// EvalsByBackend is the process-wide objective-evaluation ledger
 		// per MO backend (portfolio stages under "portfolio/<stage>").
 		EvalsByBackend map[string]int64 `json:"evalsByBackend,omitempty"`
+		// Cluster appears in coordinator mode: per-worker routing,
+		// requeue, and shed counters.
+		Cluster any `json:"cluster,omitempty"`
 	}{
 		Requests:       s.requests.Load(),
 		Jobs:           s.jobs.Load(),
@@ -284,6 +292,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if ds, ok := s.Engine.Store.(*DurableStore); ok {
 		js := ds.Stats()
 		stats.Journal = &js
+	}
+	if s.ClusterStats != nil {
+		stats.Cluster = s.ClusterStats()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(stats)

@@ -1,0 +1,81 @@
+package pipeline_test
+
+// Goroutine-leak audit of the /v1 events endpoint under early client
+// hangup, in the style of TestStreamCancelNoGoroutineLeak: the
+// heartbeat timer and the per-subscriber follow loop must wind down
+// when the client disconnects, not only when the job completes.
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSSEDisconnectNoGoroutineLeak subscribes to a long-running job's
+// event stream with an aggressive heartbeat, drops the connection
+// after the first event, and requires every goroutine the
+// subscription spawned — handler, follow loop, pulse timer chain — to
+// be gone. The job itself keeps running (a disconnect is not a
+// cancellation); it is cancelled at the end through the normal DELETE
+// path.
+func TestSSEDisconnectNoGoroutineLeak(t *testing.T) {
+	srv, ts := v1Server(t, 2)
+	srv.Heartbeat = 20 * time.Millisecond
+
+	resp, data := doJSON(t, "POST", ts.URL+"/v1/jobs", longReachBody(""))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	sub := decode[struct {
+		ID     string `json:"id"`
+		Events string `json:"events"`
+	}](t, data)
+
+	before := runtime.NumGoroutine()
+	const subscribers = 4
+	for i := 0; i < subscribers; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+sub.Events, nil)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Read up to the first heartbeat so the stream is demonstrably
+		// live (status event, then pulses), then hang up mid-stream.
+		sc := bufio.NewScanner(res.Body)
+		seenBeat := false
+		for !seenBeat && sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "event: heartbeat") {
+				seenBeat = true
+			}
+		}
+		if !seenBeat {
+			t.Fatalf("subscriber %d: stream ended before the first heartbeat: %v", i, sc.Err())
+		}
+		cancel()
+		res.Body.Close()
+	}
+
+	const slack = 2
+	if after := stableGoroutines(before+slack, 10*time.Second); after > before+slack {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutines: %d before, %d after %d dropped SSE subscribers\n%s",
+			before, after, subscribers, buf[:runtime.Stack(buf, true)])
+	}
+
+	// The job must still be running and cancellable — a hangup only
+	// ends the subscription.
+	resp, data = doJSON(t, "DELETE", ts.URL+"/v1/jobs/"+sub.ID, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE after disconnects: status %d (want 202 still-running): %s", resp.StatusCode, data)
+	}
+}
