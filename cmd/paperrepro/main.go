@@ -9,6 +9,7 @@
 //	paperrepro -table 3        # GSL overflow summary
 //	paperrepro -table 4        # per-operation Bessel overflows
 //	paperrepro -table 5        # inconsistencies and confirmed bugs
+//	paperrepro -lifted -table 3  # GSL study over the Go-frontend-lifted corpus
 //	paperrepro -fig 3 -fig 4   # weak-distance graphs + samplings
 //	paperrepro -fig 7          # characteristic-function ablation
 //	paperrepro -fig 9          # sin condition-discovery series
@@ -56,6 +57,8 @@ func main() {
 	budget := flag.Int("budget", 0, "evaluation budget scale (0 = defaults)")
 	workers := flag.Int("workers", 0, "parallel search workers (0 = all CPUs, 1 = serial)")
 	engine := flag.String("engine", "vm", "FPL execution engine: vm (compiled flat code) or tree (reference tree-walker)")
+	lifted := flag.Bool("lifted", false,
+		"run the GSL study (tables 3-5) over the corpus lifted from the real Go sources by the Go frontend, cross-checking the curated findings")
 	fpl := flag.String("fpl", "", "measure instrumented eval throughput of this FPL file under -engine and exit")
 	fn := flag.String("fn", "", "entry function for -fpl (default: first declared)")
 	evals := flag.Int("evals", 1_000_000, "evaluations to time with -fpl")
@@ -101,7 +104,16 @@ func main() {
 	}
 	var gslStudy *paper.GSLStudyResult
 	if want(tables, 3) || want(tables, 4) || want(tables, 5) {
-		gslStudy = paper.GSLStudyWorkers(*seed, *budget, *workers)
+		if *lifted {
+			var err error
+			gslStudy, err = paper.GSLStudyLiftedWorkers(*seed, *budget, *workers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperrepro: -lifted:", err)
+				os.Exit(1)
+			}
+		} else {
+			gslStudy = paper.GSLStudyWorkers(*seed, *budget, *workers)
+		}
 	}
 
 	if want(tables, 1) {

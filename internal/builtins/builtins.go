@@ -17,12 +17,26 @@ var Unary = map[string]func(float64) float64{
 	"sin":   math.Sin,
 	"cos":   math.Cos,
 	"tan":   math.Tan,
+	"asin":  math.Asin,
+	"acos":  math.Acos,
+	"atan":  math.Atan,
+	"sinh":  math.Sinh,
+	"cosh":  math.Cosh,
+	"tanh":  math.Tanh,
 	"sqrt":  math.Sqrt,
+	"cbrt":  math.Cbrt,
 	"fabs":  math.Abs,
 	"exp":   math.Exp,
+	"exp2":  math.Exp2,
+	"expm1": math.Expm1,
 	"log":   math.Log,
+	"log2":  math.Log2,
+	"log10": math.Log10,
+	"log1p": math.Log1p,
 	"floor": math.Floor,
 	"ceil":  math.Ceil,
+	"trunc": math.Trunc,
+	"round": math.Round,
 	// highword(x) returns float64(high32(bits(x)) & 0x7fffffff): the
 	// sign-masked upper half of x's IEEE-754 representation — glibc's
 	// branch dispatch key (the paper's Fig. 8), exactly representable
@@ -33,9 +47,13 @@ var Unary = map[string]func(float64) float64{
 
 // Binary maps each 2-argument builtin to its implementation.
 var Binary = map[string]func(float64, float64) float64{
-	"pow":  math.Pow,
-	"fmin": math.Min,
-	"fmax": math.Max,
+	"pow":      math.Pow,
+	"fmin":     math.Min,
+	"fmax":     math.Max,
+	"fmod":     math.Mod,
+	"atan2":    math.Atan2,
+	"hypot":    math.Hypot,
+	"copysign": math.Copysign,
 }
 
 // Highword implements the highword builtin.

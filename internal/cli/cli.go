@@ -4,17 +4,16 @@
 package cli
 
 import (
-	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/gofront"
 	"repro/internal/gsl"
 	"repro/internal/instrument"
 	"repro/internal/interp"
-	"repro/internal/ir"
 	"repro/internal/libm"
 	"repro/internal/opt"
 	"repro/internal/progs"
@@ -53,21 +52,36 @@ func Builtin(name string) (*rt.Program, error) {
 	return mk(), nil
 }
 
-// LoadFPL compiles an FPL source file and wraps the named function
-// (empty = sole or first function) as an instrumentable program.
+// LoadFPL compiles a source file — FPL, or Go when the path ends in
+// .go — and wraps the named function (empty = sole or first function)
+// as an instrumentable program.
 func LoadFPL(path, fn string) (*interp.Interp, *rt.Program, error) {
-	return LoadFPLEngine(path, fn, interp.DefaultEngine)
+	return LoadSource(path, "", fn, interp.DefaultEngine)
 }
 
 // LoadFPLEngine is LoadFPL with an explicit execution engine.
 func LoadFPLEngine(path, fn string, eng interp.Engine) (*interp.Interp, *rt.Program, error) {
+	return LoadSource(path, "", fn, eng)
+}
+
+// LoadSource compiles a source file under lang ("fpl" or "go"; empty =
+// detect from the path extension, .go meaning Go) and wraps the named
+// function as an instrumentable program. Compile errors carry
+// file:line:col positions for both languages.
+func LoadSource(path, lang, fn string, eng interp.Engine) (*interp.Interp, *rt.Program, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	mod, err := ir.Compile(string(src))
+	var lg gofront.Lang
+	if lang == "" {
+		lg = gofront.DetectLang(path)
+	} else if lg, err = gofront.ParseLang(lang); err != nil {
+		return nil, nil, err
+	}
+	mod, err := gofront.CompileSource(lg, path, string(src))
 	if err != nil {
-		return nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, nil, err
 	}
 	if fn == "" {
 		fn = mod.Order[0]
@@ -81,21 +95,27 @@ func LoadFPLEngine(path, fn string, eng interp.Engine) (*interp.Interp, *rt.Prog
 	return it, p, nil
 }
 
-// Resolve loads either a built-in (-builtin name) or an FPL file.
+// Resolve loads either a built-in (-builtin name) or a source file.
 func Resolve(builtin, file, fn string) (*rt.Program, error) {
 	return ResolveEngine(builtin, file, fn, interp.DefaultEngine)
 }
 
-// ResolveEngine is Resolve with an explicit execution engine for FPL
-// files (built-ins are native ports and ignore it).
+// ResolveEngine is Resolve with an explicit execution engine for
+// source files (built-ins are native ports and ignore it).
 func ResolveEngine(builtin, file, fn string, eng interp.Engine) (*rt.Program, error) {
+	return ResolveLang(builtin, file, "", fn, eng)
+}
+
+// ResolveLang is ResolveEngine with an explicit source language (empty
+// = detect from the file extension).
+func ResolveLang(builtin, file, lang, fn string, eng interp.Engine) (*rt.Program, error) {
 	switch {
 	case builtin != "" && file != "":
 		return nil, analysis.Specf("program", "", "use either -builtin or a source file, not both")
 	case builtin != "":
 		return Builtin(builtin)
 	case file != "":
-		_, p, err := LoadFPLEngine(file, fn, eng)
+		_, p, err := LoadSource(file, lang, fn, eng)
 		return p, err
 	}
 	return nil, analysis.Specf("program", "", "no program: pass -builtin NAME or a source file (builtins: %s)",

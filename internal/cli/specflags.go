@@ -33,6 +33,7 @@ type SpecFlags struct {
 	bounds  string
 	path    string
 	engine  string
+	lang    string
 	// Timeout is the -timeout wall-clock budget (0 = none). Context
 	// cancellation lands within one weak-distance evaluation, so the
 	// tool renders whatever partial report the analysis had at expiry.
@@ -51,6 +52,7 @@ func NewSpecFlags(fs *flag.FlagSet, tool string, a analysis.Analysis) *SpecFlags
 		fs.StringVar(&sf.builtin, "builtin", "", "built-in program name ("+strings.Join(BuiltinNames(), ", ")+")")
 		fs.StringVar(&sf.fn, "func", "", "function to analyze (FPL files)")
 		fs.StringVar(&sf.engine, "engine", "", "FPL execution engine: vm or tree (default vm)")
+		fs.StringVar(&sf.lang, "lang", "", "source language: fpl or go (default: by file extension, .go = go)")
 	}
 	fs.Int64Var(&sf.spec.Seed, "seed", def.Seed, "random seed")
 	if k.Starts {
@@ -151,7 +153,7 @@ func (sf *SpecFlags) Resolve(args []string) (analysis.Input, analysis.Spec, erro
 		if err != nil {
 			return in, sf.spec, &analysis.SpecError{Field: "engine", Value: sf.engine, Reason: err.Error()}
 		}
-		p, err := ResolveEngine(sf.builtin, file, sf.fn, eng)
+		p, err := ResolveLang(sf.builtin, file, sf.lang, sf.fn, eng)
 		if err != nil {
 			return in, sf.spec, err
 		}

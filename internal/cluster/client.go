@@ -132,16 +132,17 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
-// RegisterProgram registers source on the worker and returns its
-// content address. Registration is idempotent — re-registering an
-// already-known program is a 200 no-op — which is what makes lazy
-// at-first-routing registration safe.
-func (c *Client) RegisterProgram(ctx context.Context, source, fn string) (string, error) {
+// RegisterProgram registers source (written in lang; empty = fpl) on
+// the worker and returns its content address. Registration is
+// idempotent — re-registering an already-known program is a 200 no-op
+// — which is what makes lazy at-first-routing registration safe.
+func (c *Client) RegisterProgram(ctx context.Context, source, lang, fn string) (string, error) {
 	var info pipeline.ProgramInfo
 	err := c.do(ctx, http.MethodPost, "/v1/programs", struct {
 		Source string `json:"source"`
+		Lang   string `json:"lang,omitempty"`
 		Func   string `json:"func,omitempty"`
-	}{Source: source, Func: fn}, &info)
+	}{Source: source, Lang: lang, Func: fn}, &info)
 	if err != nil {
 		return "", err
 	}

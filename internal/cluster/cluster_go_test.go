@@ -1,0 +1,110 @@
+package cluster_test
+
+// Coordinator e2e over Go-frontend jobs: a mixed FPL+Go batch fanned
+// over real workers must be byte-identical to a single-node run, with
+// the coordinator forwarding each job's language through its lazy
+// program registration.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cluster"
+	"repro/internal/pipeline"
+)
+
+// goTestProgram generates the i-th distinct Go source; different
+// constants give different content addresses, so the batch spreads over
+// the ring just like the FPL one.
+func goTestProgram(i int) string {
+	return fmt.Sprintf(
+		"package prog\n\nimport \"math\"\n\nfunc f(x float64, y float64) float64 {\n\tif x < %d.0 {\n\t\treturn math.Hypot(x, y)\n\t}\n\treturn x * %d.5\n}\n",
+		i+1, i+2)
+}
+
+// testGoBatch interleaves FPL and Go jobs over n program pairs with
+// specsPer analyses each.
+func testGoBatch(n, specsPer, evals int) []pipeline.Job {
+	var jobs []pipeline.Job
+	analyses := []string{"coverage", "overflow", "nan"}
+	for p := 0; p < n; p++ {
+		for s := 0; s < specsPer; s++ {
+			spec := analysis.Spec{
+				Analysis: analyses[s%len(analyses)],
+				Seed:     int64(p*100 + s + 1),
+				Evals:    evals,
+				Workers:  1,
+			}
+			switch spec.Analysis {
+			case "coverage":
+				spec.Stall = 2
+			case "overflow", "nan":
+				spec.Rounds = 4
+				spec.Retries = 1
+			}
+			if p%2 == 0 {
+				jobs = append(jobs, pipeline.Job{Source: goTestProgram(p), Lang: "go", Func: "f", Spec: spec})
+			} else {
+				jobs = append(jobs, pipeline.Job{Source: testProgram(p), Func: "f", Spec: spec})
+			}
+		}
+	}
+	return jobs
+}
+
+// TestCoordinatorGoByteIdentity fans a mixed FPL+Go batch over two
+// workers and demands results byte-identical to the single-node run:
+// the Go frontend's language annotation survives the coordinator's
+// registration round-trip.
+func TestCoordinatorGoByteIdentity(t *testing.T) {
+	jobs := testGoBatch(6, 3, 60)
+	want := goldenRun(t, jobs)
+
+	ws := startWorkers(t, 2, 0)
+	eng, coord := coordEngine(t, ws, cluster.Config{Seed: 11})
+	got := followAll(t, eng, jobs, pipeline.JobCompleted)
+
+	if len(got) != len(want) {
+		t.Fatalf("cluster run returned %d results, single node %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("result %d differs from the single-node run:\n%s\nvs\n%s", i, want[i], got[i])
+		}
+	}
+	st := coord.Stats()
+	if st.Dispatched != int64(len(jobs)) {
+		t.Fatalf("dispatched %d, want %d", st.Dispatched, len(jobs))
+	}
+	// The Go sources were registered lazily on whichever workers their
+	// hash routed to — with languages intact, or the jobs above would
+	// have failed to compile as FPL.
+	for _, w := range st.Workers {
+		if w.Routed > 0 && w.Programs == 0 {
+			t.Fatalf("worker %s routed %d jobs but registered no programs", w.Name, w.Routed)
+		}
+	}
+	// Every worker's program store must agree with the language each
+	// source was submitted under.
+	wantLang := map[string]string{}
+	for _, j := range jobs {
+		lang := j.Lang
+		if lang == "" {
+			lang = "fpl"
+		}
+		wantLang[pipeline.SourceID(j.Source)] = lang
+	}
+	sawGo := false
+	for _, w := range ws {
+		for _, info := range w.srv.Programs.List() {
+			if want, ok := wantLang[info.ID]; !ok || info.Lang != want {
+				t.Fatalf("worker %s program %s registered with lang %q, want %q", w.name(), info.ID, info.Lang, want)
+			}
+			sawGo = sawGo || info.Lang == "go"
+		}
+	}
+	if !sawGo {
+		t.Fatal("no worker registered a Go program")
+	}
+}

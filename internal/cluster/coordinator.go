@@ -535,7 +535,7 @@ func (c *Coordinator) runGroup(ctx context.Context, w *workerState, jobs []pipel
 			continue
 		}
 		rctx, cancel := context.WithTimeout(ctx, c.httpTimeout())
-		_, err := w.client.RegisterProgram(rctx, src, "")
+		_, err := w.client.RegisterProgram(rctx, src, jobs[i].Lang, "")
 		cancel()
 		if err != nil {
 			if ctx.Err() != nil {

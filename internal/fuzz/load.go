@@ -181,7 +181,7 @@ func RunLoad(o LoadOptions) *LoadResult {
 	var specsFor [][]pipeline.V1Job
 	for i := 0; i < o.programs(); i++ {
 		src, _, _, rng := generateProgram(o.Seed, i, o.MaxDims)
-		id, err := cli.RegisterProgram(ctx, src, "f")
+		id, err := cli.RegisterProgram(ctx, src, "", "f")
 		if err != nil {
 			res.Violations = append(res.Violations, loadV("registering program %d: %v", i, err))
 			return res

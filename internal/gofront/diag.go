@@ -1,0 +1,61 @@
+package gofront
+
+import (
+	"errors"
+	"fmt"
+	"go/scanner"
+	"strings"
+)
+
+// Diagnostic is a typed, position-carrying frontend error: a parse
+// error, a type-check error, or a subset violation. Line and Col are
+// 1-based; File is empty for anonymous (inline) sources, which then
+// render as "line:col: msg" like FPL diagnostics.
+type Diagnostic struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (d *Diagnostic) Error() string {
+	switch {
+	case d.Line == 0:
+		return d.Msg
+	case d.File == "":
+		return fmt.Sprintf("%d:%d: %s", d.Line, d.Col, d.Msg)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s", d.File, d.Line, d.Col, d.Msg)
+}
+
+// DiagnosticList is an ordered collection of diagnostics (a type-check
+// pass can report several). It is itself an error; Error renders one
+// diagnostic per line.
+type DiagnosticList []*Diagnostic
+
+func (l DiagnosticList) Error() string {
+	msgs := make([]string, len(l))
+	for i, d := range l {
+		msgs[i] = d.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// parseDiagnostics converts a go/parser error (a scanner.ErrorList in
+// practice) into typed diagnostics.
+func parseDiagnostics(err error) error {
+	var list scanner.ErrorList
+	if !errors.As(err, &list) {
+		return &Diagnostic{Msg: err.Error()}
+	}
+	out := make(DiagnosticList, len(list))
+	for i, e := range list {
+		out[i] = &Diagnostic{
+			File: e.Pos.Filename,
+			Line: e.Pos.Line,
+			Col:  e.Pos.Column,
+			Msg:  e.Msg,
+		}
+	}
+	return out
+}

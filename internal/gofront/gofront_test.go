@@ -1,0 +1,510 @@
+package gofront_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gofront"
+	"repro/internal/interp"
+)
+
+// run compiles src through the Go frontend and executes fn under eng.
+func run(t *testing.T, src, fn string, eng interp.Engine, args []float64) float64 {
+	t.Helper()
+	mod, err := gofront.Compile("prog.go", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	it := interp.New(mod)
+	it.Engine = eng
+	got, err := it.Run(fn, args)
+	if err != nil {
+		t.Fatalf("run %s: %v", fn, err)
+	}
+	return got
+}
+
+// both executes fn under both engines, requiring bit-identical results.
+func both(t *testing.T, src, fn string, args []float64) float64 {
+	t.Helper()
+	tree := run(t, src, fn, interp.EngineTree, args)
+	vm := run(t, src, fn, interp.EngineVM, args)
+	if math.Float64bits(tree) != math.Float64bits(vm) {
+		t.Fatalf("%s(%v): tree %x, vm %x", fn, args, math.Float64bits(tree), math.Float64bits(vm))
+	}
+	return tree
+}
+
+func TestParseLang(t *testing.T) {
+	cases := []struct {
+		in   string
+		want gofront.Lang
+		ok   bool
+	}{
+		{"", gofront.LangFPL, true},
+		{"fpl", gofront.LangFPL, true},
+		{"go", gofront.LangGo, true},
+		{"golang", gofront.LangGo, true},
+		{"rust", "", false},
+	}
+	for _, c := range cases {
+		got, err := gofront.ParseLang(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseLang(%q): err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseLang(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if err := func() error { _, err := gofront.ParseLang("rust"); return err }(); err == nil ||
+		!strings.Contains(err.Error(), "unknown language") {
+		t.Errorf("ParseLang(rust) error = %v, want unknown language", err)
+	}
+}
+
+func TestDetectLang(t *testing.T) {
+	if lg := gofront.DetectLang("prog.go"); lg != gofront.LangGo {
+		t.Errorf("DetectLang(prog.go) = %q", lg)
+	}
+	for _, p := range []string{"prog.fpl", "prog", "go", "dir.go/prog.fpl"} {
+		if lg := gofront.DetectLang(p); lg != gofront.LangFPL {
+			t.Errorf("DetectLang(%q) = %q, want fpl", p, lg)
+		}
+	}
+}
+
+// TestExecution pins the lowering semantics against natively compiled
+// closures over the same expressions: the same control flow and
+// arithmetic, bit for bit, under both engines.
+func TestExecution(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		fn     string
+		args   []float64
+		native func(a []float64) float64
+	}{
+		{"arith", `package p
+func f(x, y float64) float64 { return (x+y)*x - y/x }`,
+			"f", []float64{3.5, -2.25},
+			func(a []float64) float64 { return (a[0]+a[1])*a[0] - a[1]/a[0] }},
+		{"neg", `package p
+func f(x float64) float64 { return -x + +x*2.0 }`,
+			"f", []float64{1.75},
+			func(a []float64) float64 { return -a[0] + a[0]*2.0 }},
+		{"ifelse", `package p
+func f(x float64) float64 {
+	if x < 0.0 {
+		return -x
+	} else if x == 0.0 {
+		return 1.0
+	}
+	return x * 2.0
+}`, "f", []float64{-4.5}, func(a []float64) float64 {
+			if a[0] < 0.0 {
+				return -a[0]
+			} else if a[0] == 0.0 {
+				return 1.0
+			}
+			return a[0] * 2.0
+		}},
+		{"ifinit", `package p
+import "math"
+func f(x float64) float64 {
+	if y := math.Abs(x); y > 1.0 {
+		return y
+	}
+	return 1.0
+}`, "f", []float64{-3.0}, func(a []float64) float64 {
+			if y := math.Abs(a[0]); y > 1.0 {
+				return y
+			}
+			return 1.0
+		}},
+		{"forloop", `package p
+func f(n float64) float64 {
+	s := 0.0
+	for i := 0.0; i < n; i += 1.0 {
+		s += i * i
+	}
+	return s
+}`, "f", []float64{17.0}, func(a []float64) float64 {
+			s := 0.0
+			for i := 0.0; i < a[0]; i += 1.0 {
+				s += i * i
+			}
+			return s
+		}},
+		{"breakcontinue", `package p
+func f(n float64) float64 {
+	s := 0.0
+	for i := 0.0; i < n; i += 1.0 {
+		if i == 3.0 {
+			continue
+		}
+		if i > 7.0 {
+			break
+		}
+		s += i
+	}
+	return s
+}`, "f", []float64{100.0}, func(a []float64) float64 {
+			s := 0.0
+			for i := 0.0; i < a[0]; i += 1.0 {
+				if i == 3.0 {
+					continue
+				}
+				if i > 7.0 {
+					break
+				}
+				s += i
+			}
+			return s
+		}},
+		{"condloop", `package p
+func f(x float64) float64 {
+	for x > 1.0 {
+		x = x / 2.0
+	}
+	return x
+}`, "f", []float64{937.25}, func(a []float64) float64 {
+			x := a[0]
+			for x > 1.0 {
+				x = x / 2.0
+			}
+			return x
+		}},
+		{"shortcircuit", `package p
+func f(x, y float64) float64 {
+	if x > 0.0 && y/x > 2.0 || x == -1.0 {
+		return 1.0
+	}
+	return 0.0
+}`, "f", []float64{-1.0, 5.0}, func(a []float64) float64 {
+			if a[0] > 0.0 && a[1]/a[0] > 2.0 || a[0] == -1.0 {
+				return 1.0
+			}
+			return 0.0
+		}},
+		{"calls", `package p
+func sq(x float64) float64 { return x * x }
+func f(x float64) float64  { return sq(x+1.0) + sq(x-1.0) }`,
+			"f", []float64{2.5},
+			func(a []float64) float64 {
+				sq := func(x float64) float64 { return x * x }
+				return sq(a[0]+1.0) + sq(a[0]-1.0)
+			}},
+		{"parallelassign", `package p
+func f(n float64) float64 {
+	a := 0.0
+	b := 1.0
+	for i := 0.0; i < n; i += 1.0 {
+		a, b = b, a+b
+	}
+	return a
+}`, "f", []float64{30.0}, func(x []float64) float64 {
+			a, b := 0.0, 1.0
+			for i := 0.0; i < x[0]; i += 1.0 {
+				a, b = b, a+b
+			}
+			return a
+		}},
+		{"incdec", `package p
+func f(x float64) float64 {
+	x++
+	x++
+	x--
+	return x
+}`, "f", []float64{0.5}, func(a []float64) float64 { return a[0] + 1.0 }},
+		{"opassign", `package p
+func f(x float64) float64 {
+	x *= 3.0
+	x -= 1.0
+	x /= 7.0
+	x += 0.25
+	return x
+}`, "f", []float64{11.5}, func(a []float64) float64 {
+			x := a[0]
+			x *= 3.0
+			x -= 1.0
+			x /= 7.0
+			x += 0.25
+			return x
+		}},
+		{"mathbuiltins", `package p
+import "math"
+func f(x, y float64) float64 {
+	return math.Expm1(x) + math.Log1p(y) + math.Hypot(x, y) + math.Copysign(x, -y) + math.Cbrt(y)
+}`, "f", []float64{0.125, 2.5}, func(a []float64) float64 {
+			return math.Expm1(a[0]) + math.Log1p(a[1]) + math.Hypot(a[0], a[1]) +
+				math.Copysign(a[0], -a[1]) + math.Cbrt(a[1])
+		}},
+		{"float64conv", `package p
+func f(x float64) float64 { return float64(x) * 2.0 }`,
+			"f", []float64{3.25}, func(a []float64) float64 { return a[0] * 2.0 }},
+		{"vardecl", `package p
+func f(x float64) float64 {
+	var a float64
+	var b = x * 2.0
+	var c float64 = 1.5
+	a = b + c
+	return a
+}`, "f", []float64{2.0}, func(x []float64) float64 { return x[0]*2.0 + 1.5 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := both(t, c.src, c.fn, c.args)
+			want := c.native(c.args)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s(%v) = %x (%g), native %x (%g)", c.fn, c.args,
+					math.Float64bits(got), got, math.Float64bits(want), want)
+			}
+		})
+	}
+}
+
+// TestConstantFolding pins the frontend's untyped-constant arithmetic
+// against gc's: both fold in arbitrary precision and round once, so the
+// lifted bits must equal the natively compiled bits.
+func TestConstantFolding(t *testing.T) {
+	cases := []struct {
+		name   string
+		expr   string
+		native float64
+	}{
+		{"quarterpi", "0.25 * math.Pi", 0.25 * math.Pi},
+		{"log2e", "math.Log2E", math.Log2E},
+		{"log10e", "math.Log10E", math.Log10E},
+		{"maxfloat", "math.MaxFloat64", math.MaxFloat64},
+		{"smallest", "math.SmallestNonzeroFloat64", math.SmallestNonzeroFloat64},
+		{"sqrt2half", "math.Sqrt2 / 2.0", math.Sqrt2 / 2.0},
+		{"third", "1.0 / 3.0", 1.0 / 3.0},
+		{"exact", "16.0/7.0 + 9.0/7.0", 16.0/7.0 + 9.0/7.0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			imp := ""
+			if strings.Contains(c.expr, "math.") {
+				imp = "import \"math\"\n"
+			}
+			src := "package p\n" + imp + "func f(x float64) float64 { _ = x; return " + c.expr + " }\n"
+			got := both(t, src, "f", []float64{0})
+			if math.Float64bits(got) != math.Float64bits(c.native) {
+				t.Errorf("%s = %x, native %x", c.expr, math.Float64bits(got), math.Float64bits(c.native))
+			}
+		})
+	}
+}
+
+// TestSubsetRejections: everything outside the numeric subset is
+// refused at compile time with a typed, positioned diagnostic — never
+// silently mis-lowered.
+func TestSubsetRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"goroutine", `package p
+func g(x float64) float64 { return x }
+func f(x float64) float64 {
+	go g(x)
+	return x
+}`, "goroutines are outside the analyzable subset"},
+		{"defer", `package p
+func g(x float64) float64 { return x }
+func f(x float64) float64 {
+	defer g(x)
+	return x
+}`, "defer is outside the analyzable subset"},
+		{"stringvar", `package p
+func f(x float64) float64 {
+	s := "hello"
+	_ = s
+	return x
+}`, "outside the analyzable subset"},
+		{"intparam", `package p
+func f(n int) float64 { return 1.0 }`, "only float64 parameters"},
+		{"float32param", `package p
+func f(x float32) float64 { return 1.0 }`, "only float64 parameters"},
+		{"slice", `package p
+func f(x float64) float64 {
+	xs := []float64{x}
+	return xs[0]
+}`, "outside the analyzable subset"},
+		{"map", `package p
+func f(x float64) float64 {
+	m := map[float64]float64{}
+	return m[x]
+}`, "outside the analyzable subset"},
+		{"channel", `package p
+func f(x float64) float64 {
+	c := make(chan float64, 1)
+	c <- x
+	return <-c
+}`, "outside the analyzable subset"},
+		{"pointer", `package p
+func f(x float64) float64 {
+	p := &x
+	return *p
+}`, "outside the analyzable subset"},
+		{"switch", `package p
+func f(x float64) float64 {
+	switch {
+	case x > 0.0:
+		return x
+	}
+	return -x
+}`, "switch is outside the analyzable subset"},
+		{"rangeloop", `package p
+func f(x float64) float64 {
+	for range 3 {
+		x += 1.0
+	}
+	return x
+}`, "range loops are outside the analyzable subset"},
+		{"goto", `package p
+func f(x float64) float64 {
+	goto done
+done:
+	return x
+}`, "outside the analyzable subset"},
+		{"globalvar", `package p
+var g = 1.0
+func f(x float64) float64 { return x + g }`,
+			"package-level variables are outside the analyzable subset"},
+		{"typedecl", `package p
+type T float64
+func f(x float64) float64 { return x }`,
+			"type declarations are outside the analyzable subset"},
+		{"generic", `package p
+func f[T any](x float64) float64 { return x }`,
+			"generic functions are outside the analyzable subset"},
+		{"variadic", `package p
+func f(xs ...float64) float64 { return 0.0 }`,
+			"variadic functions are outside the analyzable subset"},
+		{"namedresult", `package p
+func f(x float64) (r float64) {
+	r = x
+	return
+}`, "named results are outside the analyzable subset"},
+		{"tworesults", `package p
+func f(x float64) (float64, float64) { return x, x }`,
+			"exactly one float64 result"},
+		{"badimport", `package p
+import "fmt"
+func f(x float64) float64 {
+	fmt.Println(x)
+	return x
+}`, "outside the analyzable subset"},
+		// math.Gamma is real Go but not a registered builtin: the
+		// frontend's synthetic math package omits it, so the type
+		// checker reports it undefined at compile time.
+		{"unknownmathfn", `package p
+import "math"
+func f(x float64) float64 { return math.Gamma(x) }`,
+			"undefined: math.Gamma"},
+		{"modulo", `package p
+func f(x float64) float64 { return x % 2.0 }`, "operator % not defined"},
+		{"nofuncs", `package p`, "no functions"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := gofront.Compile("prog.go", c.src)
+			if err == nil {
+				t.Fatalf("compiled, want rejection containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err.Error(), c.want)
+			}
+			// Every rejection is typed and positioned: a *Diagnostic or a
+			// DiagnosticList whose entries carry prog.go:line:col.
+			var d *gofront.Diagnostic
+			var dl gofront.DiagnosticList
+			switch {
+			case errors.As(err, &d):
+			case errors.As(err, &dl) && len(dl) > 0:
+				d = dl[0]
+			default:
+				t.Fatalf("error %T is not a gofront diagnostic", err)
+			}
+			if c.name == "nofuncs" {
+				return // module-level: no single source position
+			}
+			if d.File != "prog.go" || d.Line <= 0 || d.Col <= 0 {
+				t.Fatalf("diagnostic %+v lacks a file:line:col position", d)
+			}
+			if !strings.Contains(err.Error(), "prog.go:") {
+				t.Fatalf("error %q does not render the file position", err.Error())
+			}
+		})
+	}
+}
+
+// TestSyntaxErrorPosition: parse errors are diagnostics too.
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := gofront.Compile("broken.go", "package p\nfunc f(x float64 float64 {\n")
+	if err == nil {
+		t.Fatal("parsed, want syntax error")
+	}
+	if !strings.Contains(err.Error(), "broken.go:") {
+		t.Fatalf("syntax error %q lacks the file position", err)
+	}
+}
+
+// TestCompileSourceDispatch: the shared entry point routes each
+// language to its frontend, and FPL errors carry the filename too.
+func TestCompileSourceDispatch(t *testing.T) {
+	goSrc := "package p\nfunc f(x float64) float64 { return x }\n"
+	fplSrc := "func f(x double) { x = x + 1.0; }"
+	if _, err := gofront.CompileSource(gofront.LangGo, "a.go", goSrc); err != nil {
+		t.Fatalf("go dispatch: %v", err)
+	}
+	if _, err := gofront.CompileSource(gofront.LangFPL, "a.fpl", fplSrc); err != nil {
+		t.Fatalf("fpl dispatch: %v", err)
+	}
+	if _, err := gofront.CompileSource(gofront.LangFPL, "", fplSrc); err != nil {
+		t.Fatalf("fpl inline dispatch: %v", err)
+	}
+	// Cross-language confusion is a compile error, not a mis-parse.
+	if _, err := gofront.CompileSource(gofront.LangGo, "a.go", fplSrc); err == nil {
+		t.Fatal("FPL source compiled as Go")
+	}
+	_, err := gofront.CompileSource(gofront.LangFPL, "b.fpl", "func f(x double) { x = y; }")
+	if err == nil || !strings.Contains(err.Error(), "b.fpl:") {
+		t.Fatalf("FPL error %v lacks the b.fpl position", err)
+	}
+}
+
+// TestSiteLabelsCarryPositions: instrumented op/branch sites of lifted
+// code are labeled file:line:col, so analysis reports point back into
+// the Go source.
+func TestSiteLabelsCarryPositions(t *testing.T) {
+	src := `package p
+func f(x float64) float64 {
+	if x > 1.0 {
+		return x * 2.0
+	}
+	return x
+}`
+	mod, err := gofront.Compile("prog.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mod.BranchSites) == 0 || len(mod.OpSites) == 0 {
+		t.Fatalf("no instrumented sites: %d branches, %d ops", len(mod.BranchSites), len(mod.OpSites))
+	}
+	for _, b := range mod.BranchSites {
+		if !strings.Contains(b.Label, "prog.go:") {
+			t.Errorf("branch label %q lacks the source position", b.Label)
+		}
+	}
+	for _, o := range mod.OpSites {
+		if !strings.Contains(o.Label, "prog.go:") {
+			t.Errorf("op label %q lacks the source position", o.Label)
+		}
+	}
+}

@@ -1,0 +1,925 @@
+package gofront
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/fp"
+	"repro/internal/ir"
+	"repro/internal/lang"
+	"repro/internal/rt"
+)
+
+// goLowerer lowers one type-checked Go file into an ir.Module. Variable
+// binding is object-keyed: go/types already resolved every identifier
+// to its object, so shadowing and := redeclaration need no scope stack.
+type goLowerer struct {
+	fset *token.FileSet
+	info *types.Info
+	mod  *ir.Module
+	fn   *ir.Func
+	cur  int // current block index
+
+	vars  map[types.Object]ir.Reg
+	loops []loopFrame
+}
+
+// loopFrame records where break and continue jump inside the innermost
+// enclosing for loop.
+type loopFrame struct {
+	brk, cont int
+}
+
+func (l *goLowerer) lowerFile(file *ast.File) (*ir.Module, error) {
+	l.mod = &ir.Module{Funcs: map[string]*ir.Func{}}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.IMPORT, token.CONST:
+				// Imports were vetted by the type checker; constants
+				// fold at their uses.
+			case token.VAR:
+				return nil, l.errf(d.Pos(), "package-level variables are outside the analyzable subset (analyzed functions must not read mutable global state)")
+			default:
+				return nil, l.errf(d.Pos(), "type declarations are outside the analyzable subset")
+			}
+		case *ast.FuncDecl:
+			if err := l.lowerFuncDecl(d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(l.mod.Order) == 0 {
+		return nil, &Diagnostic{Msg: "source declares no functions"}
+	}
+	if err := l.mod.Verify(); err != nil {
+		return nil, fmt.Errorf("lowering produced invalid IR: %w", err)
+	}
+	if err := l.mod.Link(); err != nil {
+		return nil, err
+	}
+	return l.mod, nil
+}
+
+func (l *goLowerer) lowerFuncDecl(fd *ast.FuncDecl) error {
+	if fd.Recv != nil {
+		return l.errf(fd.Pos(), "methods are outside the analyzable subset")
+	}
+	if fd.Type.TypeParams != nil {
+		return l.errf(fd.Pos(), "generic functions are outside the analyzable subset")
+	}
+	if fd.Body == nil {
+		return l.errf(fd.Pos(), "function %s has no body (assembly and external functions cannot be analyzed)", fd.Name.Name)
+	}
+	obj, ok := l.info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return l.errf(fd.Pos(), "internal: no type object for function %s", fd.Name.Name)
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Variadic() {
+		return l.errf(fd.Pos(), "variadic functions are outside the analyzable subset")
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if !isFloat64(sig.Params().At(i).Type()) {
+			return l.errf(fd.Pos(), "function %s: parameter %s: %s — analyzed functions take only float64 parameters",
+				fd.Name.Name, sig.Params().At(i).Name(), subsetTypeMsg(sig.Params().At(i).Type()))
+		}
+	}
+	if sig.Results().Len() != 1 || !isFloat64(sig.Results().At(0).Type()) {
+		return l.errf(fd.Pos(), "function %s must return exactly one float64 result", fd.Name.Name)
+	}
+	if fd.Type.Results != nil {
+		for _, field := range fd.Type.Results.List {
+			if len(field.Names) > 0 {
+				return l.errf(fd.Pos(), "named results are outside the analyzable subset")
+			}
+		}
+	}
+
+	l.fn = &ir.Func{
+		Name:    fd.Name.Name,
+		NParams: sig.Params().Len(),
+		Ret:     ir.RetF,
+	}
+	l.vars = map[types.Object]ir.Reg{}
+	l.loops = nil
+	for i := 0; i < sig.Params().Len(); i++ {
+		r := l.newReg(ir.RegF)
+		l.vars[sig.Params().At(i)] = r
+	}
+	// Parameter idents in the AST resolve to objects recorded in
+	// info.Defs; map those too (they may differ from sig's objects for
+	// blank parameters, and matching both is harmless).
+	if fd.Type.Params != nil {
+		i := 0
+		for _, field := range fd.Type.Params.List {
+			if len(field.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := l.info.Defs[name]; obj != nil {
+					l.vars[obj] = ir.Reg(i)
+				}
+				i++
+			}
+		}
+	}
+
+	l.newBlock()
+	l.cur = 0
+	if err := l.lowerBlockStmt(fd.Body); err != nil {
+		return err
+	}
+	if !l.terminated() {
+		// The type checker guarantees all paths return (missing return
+		// is a type error), but unreachable tails still need a
+		// terminator for well-formed IR.
+		z := l.newReg(ir.RegF)
+		pos := l.pos(fd.Pos())
+		l.emit(ir.Instr{Op: ir.ConstF, Dst: z, Val: 0, Site: ir.NoSite, Pos: pos})
+		l.emit(ir.Instr{Op: ir.Ret, A: z, Site: ir.NoSite, Pos: pos})
+	}
+	l.mod.Funcs[fd.Name.Name] = l.fn
+	l.mod.Order = append(l.mod.Order, fd.Name.Name)
+	return nil
+}
+
+// --- machinery ---
+
+func (l *goLowerer) newReg(k ir.RegKind) ir.Reg {
+	l.fn.Kinds = append(l.fn.Kinds, k)
+	return ir.Reg(len(l.fn.Kinds) - 1)
+}
+
+func (l *goLowerer) newBlock() int {
+	l.fn.Blocks = append(l.fn.Blocks, ir.Block{})
+	return len(l.fn.Blocks) - 1
+}
+
+func (l *goLowerer) emit(in ir.Instr) {
+	b := &l.fn.Blocks[l.cur]
+	b.Instrs = append(b.Instrs, in)
+}
+
+func (l *goLowerer) terminated() bool {
+	b := l.fn.Blocks[l.cur]
+	if len(b.Instrs) == 0 {
+		return false
+	}
+	switch b.Instrs[len(b.Instrs)-1].Op {
+	case ir.Jmp, ir.CondJmp, ir.Ret:
+		return true
+	}
+	return false
+}
+
+func (l *goLowerer) pos(p token.Pos) lang.Pos {
+	pp := l.fset.Position(p)
+	return lang.Pos{Line: pp.Line, Col: pp.Column}
+}
+
+func (l *goLowerer) errf(p token.Pos, format string, args ...any) *Diagnostic {
+	pp := l.fset.Position(p)
+	return &Diagnostic{
+		File: pp.Filename,
+		Line: pp.Line,
+		Col:  pp.Column,
+		Msg:  fmt.Sprintf(format, args...),
+	}
+}
+
+func (l *goLowerer) siteLabel(p token.Pos, text string) string {
+	return fmt.Sprintf("%s: %s", l.fset.Position(p), text)
+}
+
+func (l *goLowerer) newOpSite(p token.Pos, text string) int {
+	id := len(l.mod.OpSites)
+	l.mod.OpSites = append(l.mod.OpSites, rt.OpInfo{ID: id, Label: l.siteLabel(p, text)})
+	return id
+}
+
+func (l *goLowerer) newBranchSite(p token.Pos, text string, op fp.CmpOp) int {
+	id := len(l.mod.BranchSites)
+	l.mod.BranchSites = append(l.mod.BranchSites, rt.BranchInfo{ID: id, Label: l.siteLabel(p, text), Op: op})
+	return id
+}
+
+func isFloat64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Bool || b.Kind() == types.UntypedBool)
+}
+
+// subsetTypeMsg names why a type is outside the subset, in terms a user
+// can act on.
+func subsetTypeMsg(t types.Type) string {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsString != 0:
+			return "strings are outside the analyzable subset"
+		case u.Info()&types.IsInteger != 0:
+			return "integer types are outside the analyzable subset (use float64 arithmetic)"
+		case u.Info()&types.IsComplex != 0:
+			return "complex numbers are outside the analyzable subset"
+		case u.Kind() == types.Float32:
+			return "float32 is outside the analyzable subset (only float64 is modeled)"
+		case u.Info()&types.IsBoolean != 0:
+			return "bool-typed values are supported only in conditions"
+		}
+	case *types.Slice:
+		return "slices are outside the analyzable subset"
+	case *types.Array:
+		return "arrays are outside the analyzable subset"
+	case *types.Map:
+		return "maps are outside the analyzable subset"
+	case *types.Chan:
+		return "channels are outside the analyzable subset"
+	case *types.Pointer:
+		return "pointers are outside the analyzable subset"
+	case *types.Struct:
+		return "structs are outside the analyzable subset"
+	case *types.Interface:
+		return "interfaces are outside the analyzable subset"
+	case *types.Signature:
+		return "function values are outside the analyzable subset"
+	}
+	return fmt.Sprintf("type %s is outside the analyzable subset", t)
+}
+
+// --- statements ---
+
+func (l *goLowerer) lowerBlockStmt(b *ast.BlockStmt) error {
+	for _, s := range b.List {
+		if l.terminated() {
+			// Unreachable code after return/break; lower into a fresh
+			// dead block to keep the IR well formed.
+			l.cur = l.newBlock()
+		}
+		if err := l.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *goLowerer) lowerStmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return l.lowerBlockStmt(s)
+
+	case *ast.EmptyStmt:
+		return nil
+
+	case *ast.DeclStmt:
+		return l.lowerDeclStmt(s)
+
+	case *ast.AssignStmt:
+		return l.lowerAssign(s)
+
+	case *ast.IncDecStmt:
+		return l.lowerIncDec(s)
+
+	case *ast.IfStmt:
+		return l.lowerIf(s)
+
+	case *ast.ForStmt:
+		return l.lowerFor(s)
+
+	case *ast.BranchStmt:
+		return l.lowerBranch(s)
+
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return l.errf(s.Pos(), "return must carry exactly one float64 value")
+		}
+		v, err := l.lowerExpr(s.Results[0])
+		if err != nil {
+			return err
+		}
+		if l.fn.Kinds[v] != ir.RegF {
+			return l.errf(s.Pos(), "return value must be float64")
+		}
+		l.emit(ir.Instr{Op: ir.Ret, A: v, Site: ir.NoSite, Pos: l.pos(s.Pos())})
+		return nil
+
+	case *ast.ExprStmt:
+		// An expression statement is necessarily a call; lower it for
+		// uniformity and discard the result (subset functions are pure,
+		// so this cannot hide effects).
+		_, err := l.lowerExpr(s.X)
+		return err
+
+	case *ast.GoStmt:
+		return l.errf(s.Pos(), "goroutines are outside the analyzable subset")
+	case *ast.DeferStmt:
+		return l.errf(s.Pos(), "defer is outside the analyzable subset")
+	case *ast.SelectStmt:
+		return l.errf(s.Pos(), "select is outside the analyzable subset")
+	case *ast.SendStmt:
+		return l.errf(s.Pos(), "channel sends are outside the analyzable subset")
+	case *ast.RangeStmt:
+		return l.errf(s.Pos(), "range loops are outside the analyzable subset (use a counted for loop over float64)")
+	case *ast.SwitchStmt:
+		return l.errf(s.Pos(), "switch is outside the analyzable subset (use if/else chains)")
+	case *ast.TypeSwitchStmt:
+		return l.errf(s.Pos(), "type switches are outside the analyzable subset")
+	case *ast.LabeledStmt:
+		return l.errf(s.Pos(), "labeled statements are outside the analyzable subset")
+	}
+	return l.errf(s.Pos(), "unsupported statement %T", s)
+}
+
+func (l *goLowerer) lowerDeclStmt(s *ast.DeclStmt) error {
+	d, ok := s.Decl.(*ast.GenDecl)
+	if !ok {
+		return l.errf(s.Pos(), "unsupported declaration %T", s.Decl)
+	}
+	switch d.Tok {
+	case token.CONST:
+		return nil // folded at each use
+	case token.VAR:
+	default:
+		return l.errf(d.Pos(), "type declarations are outside the analyzable subset")
+	}
+	for _, spec := range d.Specs {
+		vs := spec.(*ast.ValueSpec)
+		if len(vs.Values) != 0 && len(vs.Values) != len(vs.Names) {
+			return l.errf(vs.Pos(), "multi-value initialization is outside the analyzable subset")
+		}
+		for i, name := range vs.Names {
+			obj := l.info.Defs[name]
+			if obj == nil {
+				return l.errf(name.Pos(), "internal: no type object for %s", name.Name)
+			}
+			var kind ir.RegKind
+			switch {
+			case isFloat64(obj.Type()):
+				kind = ir.RegF
+			case isBool(obj.Type()):
+				kind = ir.RegB
+			default:
+				return l.errf(name.Pos(), "variable %s: %s", name.Name, subsetTypeMsg(obj.Type()))
+			}
+			r := l.newReg(kind)
+			pos := l.pos(name.Pos())
+			if len(vs.Values) > 0 {
+				v, err := l.lowerExpr(vs.Values[i])
+				if err != nil {
+					return err
+				}
+				if l.fn.Kinds[v] != kind {
+					return l.errf(vs.Values[i].Pos(), "initializer kind mismatch for %s", name.Name)
+				}
+				l.emit(ir.Instr{Op: ir.Mov, Dst: r, A: v, Site: ir.NoSite, Pos: pos})
+			} else if kind == ir.RegF {
+				l.emit(ir.Instr{Op: ir.ConstF, Dst: r, Val: 0, Site: ir.NoSite, Pos: pos})
+			} else {
+				l.emit(ir.Instr{Op: ir.ConstB, Dst: r, BVal: false, Site: ir.NoSite, Pos: pos})
+			}
+			if name.Name != "_" {
+				l.vars[obj] = r
+			}
+		}
+	}
+	return nil
+}
+
+// assignTok maps an op-assign token to its IR opcode.
+var assignTok = map[token.Token]ir.Opcode{
+	token.ADD_ASSIGN: ir.FAdd,
+	token.SUB_ASSIGN: ir.FSub,
+	token.MUL_ASSIGN: ir.FMul,
+	token.QUO_ASSIGN: ir.FDiv,
+}
+
+func (l *goLowerer) lowerAssign(s *ast.AssignStmt) error {
+	if op, ok := assignTok[s.Tok]; ok {
+		// x op= y is one floating-point operation, exactly like the
+		// native build: one op site.
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return l.errf(s.Pos(), "internal: malformed op-assignment")
+		}
+		dst, err := l.lvalue(s.Lhs[0])
+		if err != nil {
+			return err
+		}
+		if l.fn.Kinds[dst] != ir.RegF {
+			return l.errf(s.Pos(), "%s requires a float64 variable", s.Tok)
+		}
+		v, err := l.lowerExpr(s.Rhs[0])
+		if err != nil {
+			return err
+		}
+		if l.fn.Kinds[v] != ir.RegF {
+			return l.errf(s.Rhs[0].Pos(), "%s requires a float64 operand", s.Tok)
+		}
+		text := fmt.Sprintf("%s %s %s", types.ExprString(s.Lhs[0]), s.Tok, types.ExprString(s.Rhs[0]))
+		site := l.newOpSite(s.Pos(), text)
+		l.emit(ir.Instr{Op: op, Dst: dst, A: dst, B: v, Site: site, Pos: l.pos(s.Pos()), Label: text})
+		return nil
+	}
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+	case token.REM_ASSIGN:
+		return l.errf(s.Pos(), "%% is outside the analyzable subset (use math.Mod)")
+	default:
+		return l.errf(s.Pos(), "%s is outside the analyzable subset", s.Tok)
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return l.errf(s.Pos(), "multi-value assignment is outside the analyzable subset")
+	}
+
+	// Go evaluates all right-hand sides before any assignment takes
+	// effect; with more than one target, copy values into temporaries
+	// first so a, b = b, a works.
+	vals := make([]ir.Reg, len(s.Rhs))
+	for i, rhs := range s.Rhs {
+		v, err := l.lowerExpr(rhs)
+		if err != nil {
+			return err
+		}
+		if len(s.Lhs) > 1 {
+			t := l.newReg(l.fn.Kinds[v])
+			l.emit(ir.Instr{Op: ir.Mov, Dst: t, A: v, Site: ir.NoSite, Pos: l.pos(rhs.Pos())})
+			v = t
+		}
+		vals[i] = v
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return l.errf(lhs.Pos(), "assignment target must be a variable (%s)", subsetTypeMsg(l.info.TypeOf(lhs)))
+		}
+		if id.Name == "_" {
+			continue
+		}
+		pos := l.pos(lhs.Pos())
+		if s.Tok == token.DEFINE {
+			if obj := l.info.Defs[id]; obj != nil {
+				// Fresh declaration: bind a new register of the value's
+				// kind.
+				r := l.newReg(l.fn.Kinds[vals[i]])
+				l.vars[obj] = r
+				l.emit(ir.Instr{Op: ir.Mov, Dst: r, A: vals[i], Site: ir.NoSite, Pos: pos})
+				continue
+			}
+			// Redeclaration in a := with at least one new name: plain
+			// assignment to the existing register.
+		}
+		dst, err := l.lvalue(id)
+		if err != nil {
+			return err
+		}
+		if l.fn.Kinds[dst] != l.fn.Kinds[vals[i]] {
+			return l.errf(lhs.Pos(), "assignment kind mismatch for %s", id.Name)
+		}
+		l.emit(ir.Instr{Op: ir.Mov, Dst: dst, A: vals[i], Site: ir.NoSite, Pos: pos})
+	}
+	return nil
+}
+
+// lvalue resolves an assignable expression to its register.
+func (l *goLowerer) lvalue(e ast.Expr) (ir.Reg, error) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return -1, l.errf(e.Pos(), "assignment target must be a variable (%s)", subsetTypeMsg(l.info.TypeOf(e)))
+	}
+	obj := l.info.Uses[id]
+	if obj == nil {
+		obj = l.info.Defs[id]
+	}
+	if obj == nil {
+		return -1, l.errf(e.Pos(), "internal: unresolved identifier %s", id.Name)
+	}
+	r, ok := l.vars[obj]
+	if !ok {
+		return -1, l.errf(e.Pos(), "cannot assign to %s (not a local float64/bool variable)", id.Name)
+	}
+	return r, nil
+}
+
+func (l *goLowerer) lowerIncDec(s *ast.IncDecStmt) error {
+	dst, err := l.lvalue(s.X)
+	if err != nil {
+		return err
+	}
+	if l.fn.Kinds[dst] != ir.RegF {
+		return l.errf(s.Pos(), "%s requires a float64 variable", s.Tok)
+	}
+	op := ir.FAdd
+	if s.Tok == token.DEC {
+		op = ir.FSub
+	}
+	one := l.newReg(ir.RegF)
+	pos := l.pos(s.Pos())
+	l.emit(ir.Instr{Op: ir.ConstF, Dst: one, Val: 1, Site: ir.NoSite, Pos: pos})
+	text := types.ExprString(s.X) + s.Tok.String()
+	site := l.newOpSite(s.Pos(), text)
+	l.emit(ir.Instr{Op: op, Dst: dst, A: dst, B: one, Site: site, Pos: pos, Label: text})
+	return nil
+}
+
+func (l *goLowerer) lowerCond(e ast.Expr) (ir.Reg, error) {
+	c, err := l.lowerExpr(e)
+	if err != nil {
+		return -1, err
+	}
+	if l.fn.Kinds[c] != ir.RegB {
+		return -1, l.errf(e.Pos(), "condition must be a bool expression")
+	}
+	return c, nil
+}
+
+func (l *goLowerer) lowerIf(s *ast.IfStmt) error {
+	if s.Init != nil {
+		if err := l.lowerStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	cond, err := l.lowerCond(s.Cond)
+	if err != nil {
+		return err
+	}
+	pos := l.pos(s.Pos())
+	thenB := l.newBlock()
+	joinB := l.newBlock()
+	elseB := joinB
+	if s.Else != nil {
+		elseB = l.newBlock()
+	}
+	l.emit(ir.Instr{Op: ir.CondJmp, A: cond, Target: thenB, Else: elseB, Site: ir.NoSite, Pos: pos})
+	l.cur = thenB
+	if err := l.lowerBlockStmt(s.Body); err != nil {
+		return err
+	}
+	if !l.terminated() {
+		l.emit(ir.Instr{Op: ir.Jmp, Target: joinB, Site: ir.NoSite, Pos: pos})
+	}
+	if s.Else != nil {
+		l.cur = elseB
+		if err := l.lowerStmt(s.Else); err != nil {
+			return err
+		}
+		if !l.terminated() {
+			l.emit(ir.Instr{Op: ir.Jmp, Target: joinB, Site: ir.NoSite, Pos: pos})
+		}
+	}
+	l.cur = joinB
+	return nil
+}
+
+func (l *goLowerer) lowerFor(s *ast.ForStmt) error {
+	if s.Init != nil {
+		if err := l.lowerStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	pos := l.pos(s.Pos())
+	headB := l.newBlock()
+	bodyB := l.newBlock()
+	exitB := l.newBlock()
+	contB := headB
+	if s.Post != nil {
+		contB = l.newBlock()
+	}
+	l.emit(ir.Instr{Op: ir.Jmp, Target: headB, Site: ir.NoSite, Pos: pos})
+	l.cur = headB
+	if s.Cond != nil {
+		cond, err := l.lowerCond(s.Cond)
+		if err != nil {
+			return err
+		}
+		l.emit(ir.Instr{Op: ir.CondJmp, A: cond, Target: bodyB, Else: exitB, Site: ir.NoSite, Pos: pos})
+	} else {
+		l.emit(ir.Instr{Op: ir.Jmp, Target: bodyB, Site: ir.NoSite, Pos: pos})
+	}
+	l.cur = bodyB
+	l.loops = append(l.loops, loopFrame{brk: exitB, cont: contB})
+	err := l.lowerBlockStmt(s.Body)
+	l.loops = l.loops[:len(l.loops)-1]
+	if err != nil {
+		return err
+	}
+	if !l.terminated() {
+		l.emit(ir.Instr{Op: ir.Jmp, Target: contB, Site: ir.NoSite, Pos: pos})
+	}
+	if s.Post != nil {
+		l.cur = contB
+		if err := l.lowerStmt(s.Post); err != nil {
+			return err
+		}
+		if !l.terminated() {
+			l.emit(ir.Instr{Op: ir.Jmp, Target: headB, Site: ir.NoSite, Pos: pos})
+		}
+	}
+	l.cur = exitB
+	return nil
+}
+
+func (l *goLowerer) lowerBranch(s *ast.BranchStmt) error {
+	if s.Label != nil {
+		return l.errf(s.Pos(), "labeled %s is outside the analyzable subset", s.Tok)
+	}
+	switch s.Tok {
+	case token.BREAK, token.CONTINUE:
+		if len(l.loops) == 0 {
+			return l.errf(s.Pos(), "%s outside a for loop", s.Tok)
+		}
+		frame := l.loops[len(l.loops)-1]
+		target := frame.brk
+		if s.Tok == token.CONTINUE {
+			target = frame.cont
+		}
+		l.emit(ir.Instr{Op: ir.Jmp, Target: target, Site: ir.NoSite, Pos: l.pos(s.Pos())})
+		return nil
+	case token.GOTO:
+		return l.errf(s.Pos(), "goto is outside the analyzable subset")
+	}
+	return l.errf(s.Pos(), "%s is outside the analyzable subset", s.Tok)
+}
+
+// --- expressions ---
+
+func (l *goLowerer) lowerExpr(e ast.Expr) (ir.Reg, error) {
+	// Constant subexpressions fold first, through go/types'
+	// arbitrary-precision evaluator — exactly the semantics gc applies
+	// to untyped constants, so 0.25*math.Pi lowers to the same bits the
+	// native build computes.
+	if tv, ok := l.info.Types[e]; ok && tv.Value != nil {
+		switch tv.Value.Kind() {
+		case constant.Float, constant.Int:
+			f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+			r := l.newReg(ir.RegF)
+			l.emit(ir.Instr{Op: ir.ConstF, Dst: r, Val: f, Site: ir.NoSite, Pos: l.pos(e.Pos())})
+			return r, nil
+		case constant.Bool:
+			r := l.newReg(ir.RegB)
+			l.emit(ir.Instr{Op: ir.ConstB, Dst: r, BVal: constant.BoolVal(tv.Value), Site: ir.NoSite, Pos: l.pos(e.Pos())})
+			return r, nil
+		default:
+			return -1, l.errf(e.Pos(), "%s", subsetTypeMsg(tv.Type))
+		}
+	}
+
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return l.lowerExpr(e.X)
+
+	case *ast.Ident:
+		obj := l.info.Uses[e]
+		if obj == nil {
+			return -1, l.errf(e.Pos(), "internal: unresolved identifier %s", e.Name)
+		}
+		if _, ok := obj.(*types.Func); ok {
+			return -1, l.errf(e.Pos(), "function values are outside the analyzable subset")
+		}
+		r, ok := l.vars[obj]
+		if !ok {
+			return -1, l.errf(e.Pos(), "%s: %s", e.Name, subsetTypeMsg(obj.Type()))
+		}
+		return r, nil
+
+	case *ast.UnaryExpr:
+		return l.lowerUnary(e)
+
+	case *ast.BinaryExpr:
+		return l.lowerBinary(e)
+
+	case *ast.CallExpr:
+		return l.lowerCall(e)
+
+	case *ast.FuncLit:
+		return -1, l.errf(e.Pos(), "function literals are outside the analyzable subset")
+	case *ast.CompositeLit:
+		return -1, l.errf(e.Pos(), "%s", subsetTypeMsg(l.info.TypeOf(e)))
+	case *ast.IndexExpr:
+		return -1, l.errf(e.Pos(), "indexing is outside the analyzable subset (%s)", subsetTypeMsg(l.info.TypeOf(e.X)))
+	case *ast.SliceExpr:
+		return -1, l.errf(e.Pos(), "slicing is outside the analyzable subset")
+	case *ast.StarExpr:
+		return -1, l.errf(e.Pos(), "pointers are outside the analyzable subset")
+	case *ast.TypeAssertExpr:
+		return -1, l.errf(e.Pos(), "type assertions are outside the analyzable subset")
+	case *ast.SelectorExpr:
+		return -1, l.errf(e.Pos(), "selector %s is outside the analyzable subset", types.ExprString(e))
+	}
+	return -1, l.errf(e.Pos(), "unsupported expression %T", e)
+}
+
+func (l *goLowerer) lowerUnary(e *ast.UnaryExpr) (ir.Reg, error) {
+	switch e.Op {
+	case token.SUB:
+		x, err := l.lowerExpr(e.X)
+		if err != nil {
+			return -1, err
+		}
+		if l.fn.Kinds[x] != ir.RegF {
+			return -1, l.errf(e.Pos(), "unary minus requires a float64 operand")
+		}
+		// Sign flips are exact: FNeg, no op site — matching FPL and the
+		// paper's LLVM-level site inventory.
+		r := l.newReg(ir.RegF)
+		l.emit(ir.Instr{Op: ir.FNeg, Dst: r, A: x, Site: ir.NoSite, Pos: l.pos(e.Pos())})
+		return r, nil
+	case token.ADD:
+		return l.lowerExpr(e.X)
+	case token.NOT:
+		x, err := l.lowerExpr(e.X)
+		if err != nil {
+			return -1, err
+		}
+		if l.fn.Kinds[x] != ir.RegB {
+			return -1, l.errf(e.Pos(), "! requires a bool operand")
+		}
+		r := l.newReg(ir.RegB)
+		l.emit(ir.Instr{Op: ir.Not, Dst: r, A: x, Site: ir.NoSite, Pos: l.pos(e.Pos())})
+		return r, nil
+	case token.AND:
+		return -1, l.errf(e.Pos(), "pointers are outside the analyzable subset")
+	case token.ARROW:
+		return -1, l.errf(e.Pos(), "channel receives are outside the analyzable subset")
+	}
+	return -1, l.errf(e.Pos(), "operator %s is outside the analyzable subset", e.Op)
+}
+
+// cmpTok maps Go comparison tokens to IR comparison predicates.
+var cmpTok = map[token.Token]fp.CmpOp{
+	token.LSS: fp.LT,
+	token.LEQ: fp.LE,
+	token.GTR: fp.GT,
+	token.GEQ: fp.GE,
+	token.EQL: fp.EQ,
+	token.NEQ: fp.NE,
+}
+
+// arithTok maps Go arithmetic tokens to IR opcodes.
+var arithTok = map[token.Token]ir.Opcode{
+	token.ADD: ir.FAdd,
+	token.SUB: ir.FSub,
+	token.MUL: ir.FMul,
+	token.QUO: ir.FDiv,
+}
+
+func (l *goLowerer) lowerBinary(e *ast.BinaryExpr) (ir.Reg, error) {
+	switch e.Op {
+	case token.LAND, token.LOR:
+		return l.lowerShortCircuit(e)
+	}
+	if pred, ok := cmpTok[e.Op]; ok {
+		if !isFloat64(l.info.TypeOf(e.X)) || !isFloat64(l.info.TypeOf(e.Y)) {
+			return -1, l.errf(e.Pos(), "comparison of non-float64 values: %s", subsetTypeMsg(l.info.TypeOf(e.X)))
+		}
+		x, err := l.lowerExpr(e.X)
+		if err != nil {
+			return -1, err
+		}
+		y, err := l.lowerExpr(e.Y)
+		if err != nil {
+			return -1, err
+		}
+		text := types.ExprString(e)
+		r := l.newReg(ir.RegB)
+		site := l.newBranchSite(e.Pos(), text, pred)
+		l.emit(ir.Instr{Op: ir.FCmp, Dst: r, A: x, B: y, Pred: pred, Site: site, Pos: l.pos(e.Pos()), Label: text})
+		return r, nil
+	}
+	if op, ok := arithTok[e.Op]; ok {
+		if !isFloat64(l.info.TypeOf(e)) {
+			return -1, l.errf(e.Pos(), "%s", subsetTypeMsg(l.info.TypeOf(e)))
+		}
+		x, err := l.lowerExpr(e.X)
+		if err != nil {
+			return -1, err
+		}
+		y, err := l.lowerExpr(e.Y)
+		if err != nil {
+			return -1, err
+		}
+		text := types.ExprString(e)
+		r := l.newReg(ir.RegF)
+		site := l.newOpSite(e.Pos(), text)
+		l.emit(ir.Instr{Op: op, Dst: r, A: x, B: y, Site: site, Pos: l.pos(e.Pos()), Label: text})
+		return r, nil
+	}
+	if e.Op == token.REM {
+		return -1, l.errf(e.Pos(), "%% is outside the analyzable subset (use math.Mod)")
+	}
+	return -1, l.errf(e.Pos(), "operator %s is outside the analyzable subset", e.Op)
+}
+
+// lowerShortCircuit lowers && and || with real control flow, so the
+// right operand — and any comparison sites inside it — only executes
+// and is only observed when the left operand does not decide the
+// result. This matches both FPL lowering and native Go evaluation.
+func (l *goLowerer) lowerShortCircuit(e *ast.BinaryExpr) (ir.Reg, error) {
+	pos := l.pos(e.Pos())
+	res := l.newReg(ir.RegB)
+	x, err := l.lowerCond(e.X)
+	if err != nil {
+		return -1, err
+	}
+	l.emit(ir.Instr{Op: ir.Mov, Dst: res, A: x, Site: ir.NoSite, Pos: pos})
+	rhsB := l.newBlock()
+	joinB := l.newBlock()
+	if e.Op == token.LAND {
+		l.emit(ir.Instr{Op: ir.CondJmp, A: res, Target: rhsB, Else: joinB, Site: ir.NoSite, Pos: pos})
+	} else {
+		l.emit(ir.Instr{Op: ir.CondJmp, A: res, Target: joinB, Else: rhsB, Site: ir.NoSite, Pos: pos})
+	}
+	l.cur = rhsB
+	y, err := l.lowerCond(e.Y)
+	if err != nil {
+		return -1, err
+	}
+	l.emit(ir.Instr{Op: ir.Mov, Dst: res, A: y, Site: ir.NoSite, Pos: pos})
+	l.emit(ir.Instr{Op: ir.Jmp, Target: joinB, Site: ir.NoSite, Pos: pos})
+	l.cur = joinB
+	return res, nil
+}
+
+func (l *goLowerer) lowerCall(e *ast.CallExpr) (ir.Reg, error) {
+	// Conversions: float64(x) on a float64 is the identity; anything
+	// else leaves the subset.
+	if tv, ok := l.info.Types[e.Fun]; ok && tv.IsType() {
+		if !isFloat64(tv.Type) {
+			return -1, l.errf(e.Pos(), "conversion to %s is outside the analyzable subset", tv.Type)
+		}
+		if len(e.Args) != 1 || !isFloat64(l.info.TypeOf(e.Args[0])) {
+			return -1, l.errf(e.Pos(), "conversion from %s is outside the analyzable subset", l.info.TypeOf(e.Args[0]))
+		}
+		return l.lowerExpr(e.Args[0])
+	}
+
+	switch fun := ast.Unparen(e.Fun).(type) {
+	case *ast.Ident:
+		obj := l.info.Uses[fun]
+		if _, ok := obj.(*types.Builtin); ok {
+			return -1, l.errf(e.Pos(), "builtin %s is outside the analyzable subset", fun.Name)
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return -1, l.errf(e.Pos(), "function values are outside the analyzable subset")
+		}
+		args, err := l.lowerArgs(e.Args)
+		if err != nil {
+			return -1, err
+		}
+		r := l.newReg(ir.RegF)
+		l.emit(ir.Instr{Op: ir.Call, Dst: r, Name: fn.Name(), Args: args, Site: ir.NoSite, Pos: l.pos(e.Pos()), Label: types.ExprString(e)})
+		return r, nil
+
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return -1, l.errf(e.Pos(), "method calls are outside the analyzable subset")
+		}
+		if _, isPkg := l.info.Uses[pkg].(*types.PkgName); !isPkg {
+			return -1, l.errf(e.Pos(), "method calls are outside the analyzable subset")
+		}
+		spec, ok := mathFuncs[fun.Sel.Name]
+		if !ok {
+			// Unreachable in practice: the synthetic math package only
+			// declares supported names, so the type checker rejects the
+			// rest first.
+			return -1, l.errf(e.Pos(), "math.%s is not supported by the frontend", fun.Sel.Name)
+		}
+		args, err := l.lowerArgs(e.Args)
+		if err != nil {
+			return -1, err
+		}
+		if len(args) != spec.Arity {
+			return -1, l.errf(e.Pos(), "math.%s takes %d arguments", fun.Sel.Name, spec.Arity)
+		}
+		text := types.ExprString(e)
+		r := l.newReg(ir.RegF)
+		site := l.newOpSite(e.Pos(), text)
+		l.emit(ir.Instr{Op: ir.CallBuiltin, Dst: r, Name: spec.Builtin, Args: args, Site: site, Pos: l.pos(e.Pos()), Label: text})
+		return r, nil
+	}
+	return -1, l.errf(e.Pos(), "function values are outside the analyzable subset")
+}
+
+func (l *goLowerer) lowerArgs(args []ast.Expr) ([]ir.Reg, error) {
+	var regs []ir.Reg
+	for _, a := range args {
+		r, err := l.lowerExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if l.fn.Kinds[r] != ir.RegF {
+			return nil, l.errf(a.Pos(), "call arguments must be float64")
+		}
+		regs = append(regs, r)
+	}
+	return regs, nil
+}

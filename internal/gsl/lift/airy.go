@@ -1,0 +1,171 @@
+package lift
+
+import "math"
+
+// gsl_sf_airy_Ai_e and airy_mod_phase (see internal/gsl/airy.go). The
+// am22 modulus series is the one engineered to vanish exactly at the
+// paper's Bug-1 trigger input airyBug1X, so the division by zero in
+// airy_mod_phase's error propagation — err/val of a vanished Chebyshev
+// sum — fires at the same input here, through the lifted pipeline.
+
+// am22YOfF replays the exact float64 dataflow from an input x in
+// [-2, -1] to the Clenshaw argument y used by the am22 evaluation
+// (a = -1, b = 1).
+func am22YOfF(x float64) float64 {
+	z := (16.0/((x*x)*x) + 9.0) / 7.0
+	return (2.0*z - (-1.0) - 1.0) / 2.0
+}
+
+func airyModPhaseModVal(x float64) float64 {
+	if x < -2.0 {
+		z := 16.0/((x*x)*x) + 1.0
+		m := 0.3125 + chebVal2(0.0116, 0.0008, 0.0001, -1.0, 1.0, z)
+		return math.Sqrt(m / math.Sqrt(-x))
+	}
+	if x <= -1.0 {
+		z := (16.0/((x*x)*x) + 9.0) / 7.0
+		m := 0.3125 + chebVal1(-am22YOfF(airyBug1X)/64.0, 0.0078125, -1.0, 1.0, z)
+		return math.Sqrt(m / math.Sqrt(-x))
+	}
+	return 0.0
+}
+
+func airyModPhaseModErr(x float64) float64 {
+	if x < -2.0 {
+		z := 16.0/((x*x)*x) + 1.0
+		mVal := chebVal2(0.0116, 0.0008, 0.0001, -1.0, 1.0, z)
+		mErr := chebErr2(0.0116, 0.0008, 0.0001, -1.0, 1.0, z)
+		m := 0.3125 + mVal
+		modVal := math.Sqrt(m / math.Sqrt(-x))
+		return math.Abs(modVal) * (dblEpsilon + math.Abs(mErr/mVal))
+	}
+	if x <= -1.0 {
+		z := (16.0/((x*x)*x) + 9.0) / 7.0
+		c0 := -am22YOfF(airyBug1X) / 64.0
+		mVal := chebVal1(c0, 0.0078125, -1.0, 1.0, z)
+		mErr := chebErr1(c0, 0.0078125, -1.0, 1.0, z)
+		m := 0.3125 + mVal
+		modVal := math.Sqrt(m / math.Sqrt(-x))
+		// Bug 1: mErr/mVal divides the raw Chebyshev sum, which
+		// vanishes at airyBug1X — the quotient is +Inf while the status
+		// stays GSL_SUCCESS.
+		return math.Abs(modVal) * (dblEpsilon + math.Abs(mErr/mVal))
+	}
+	return 0.0
+}
+
+func airyModPhasePhaseVal(x float64) float64 {
+	if x < -2.0 {
+		z := 16.0/((x*x)*x) + 1.0
+		p := -0.625 + chebVal2(-0.0834, -0.0008, 0.0001, -1.0, 1.0, z)
+		return math.Pi/4.0 - (x*math.Sqrt(-x))*p
+	}
+	if x <= -1.0 {
+		z := (16.0/((x*x)*x) + 9.0) / 7.0
+		p := -0.625 + chebVal2(-0.0816, -0.0012, 0.0002, -1.0, 1.0, z)
+		return math.Pi/4.0 - (x*math.Sqrt(-x))*p
+	}
+	return 0.0
+}
+
+func airyModPhasePhaseErr(x float64) float64 {
+	if x < -2.0 {
+		z := 16.0/((x*x)*x) + 1.0
+		pVal := chebVal2(-0.0834, -0.0008, 0.0001, -1.0, 1.0, z)
+		pErr := chebErr2(-0.0834, -0.0008, 0.0001, -1.0, 1.0, z)
+		p := -0.625 + pVal
+		phVal := math.Pi/4.0 - (x*math.Sqrt(-x))*p
+		return math.Abs(phVal) * (dblEpsilon + math.Abs(pErr/pVal))
+	}
+	if x <= -1.0 {
+		z := (16.0/((x*x)*x) + 9.0) / 7.0
+		pVal := chebVal2(-0.0816, -0.0012, 0.0002, -1.0, 1.0, z)
+		pErr := chebErr2(-0.0816, -0.0012, 0.0002, -1.0, 1.0, z)
+		p := -0.625 + pVal
+		phVal := math.Pi/4.0 - (x*math.Sqrt(-x))*p
+		return math.Abs(phVal) * (dblEpsilon + math.Abs(pErr/pVal))
+	}
+	return 0.0
+}
+
+func airyModPhaseStatus(x float64) float64 {
+	if x <= -1.0 {
+		return 0.0
+	}
+	return 1.0 // GSL_EDOM
+}
+
+// airyMidVal computes Ai(x) on [-1, 1] by the Maclaurin pair
+// Ai = c1·f - c2·g (Abramowitz & Stegun 10.4.2-3).
+func airyMidVal(x float64) float64 {
+	f := 1.0
+	g := x
+	tf := 1.0
+	tg := x
+	x3 := x * x * x
+	for k := 1.0; k <= 12.0; k += 1.0 {
+		tf *= x3 / ((3.0*k - 1.0) * (3.0 * k))
+		tg *= x3 / ((3.0 * k) * (3.0*k + 1.0))
+		f += tf
+		g += tg
+	}
+	return 0.35502805388781724*f - 0.25881940379280680*g
+}
+
+func airyAiVal(x float64) float64 {
+	if x < -1.0 {
+		modVal := airyModPhaseModVal(x)
+		thetaVal := airyModPhasePhaseVal(x)
+		thetaErr := airyModPhasePhaseErr(x)
+		return modVal * gslCosErrVal(thetaVal, thetaErr)
+	}
+	if x <= 1.0 {
+		return airyMidVal(x)
+	}
+	sqx := math.Sqrt(x)
+	s := -((2.0 / 3.0) * (x * sqx))
+	if s < logDblMin {
+		return 0.0
+	}
+	pre := 0.5 / (math.Sqrt(math.Pi) * math.Sqrt(sqx))
+	return pre * math.Exp(s)
+}
+
+func airyAiErr(x float64) float64 {
+	if x < -1.0 {
+		modVal := airyModPhaseModVal(x)
+		modErr := airyModPhaseModErr(x)
+		thetaVal := airyModPhasePhaseVal(x)
+		thetaErr := airyModPhasePhaseErr(x)
+		cosVal := gslCosErrVal(thetaVal, thetaErr)
+		cosErr := gslCosErrErr(thetaVal, thetaErr)
+		err := math.Abs(modVal*cosErr) + math.Abs(cosVal*modErr)
+		val := modVal * cosVal
+		return err + dblEpsilon*math.Abs(val)
+	}
+	if x <= 1.0 {
+		z := (x * x) * x
+		c0Err := chebErr2(-0.0400, 0.0100, -0.0010, -1.0, 1.0, z)
+		return dblEpsilon*math.Abs(airyMidVal(x)) + c0Err
+	}
+	sqx := math.Sqrt(x)
+	s := -((2.0 / 3.0) * (x * sqx))
+	if s < logDblMin {
+		return dblEpsilon
+	}
+	pre := 0.5 / (math.Sqrt(math.Pi) * math.Sqrt(sqx))
+	val := pre * math.Exp(s)
+	return dblEpsilon * math.Abs(val) * math.Abs(s)
+}
+
+func airyAiStatus(x float64) float64 {
+	if x <= 1.0 {
+		return 0.0
+	}
+	sqx := math.Sqrt(x)
+	s := -((2.0 / 3.0) * (x * sqx))
+	if s < logDblMin {
+		return 15.0 // GSL_EUNDRFLW
+	}
+	return 0.0
+}

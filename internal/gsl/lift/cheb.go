@@ -1,0 +1,70 @@
+package lift
+
+import "math"
+
+// Clenshaw evaluation of Chebyshev series on [a, b], operation for
+// operation the recurrence of GSL's cheb_eval_mode_e — including the
+// exact zero-seeded first iterations, so the evaluated values match the
+// internal/gsl ports bit for bit. The subset has no slices, so each
+// series order gets its own unrolled evaluator taking the coefficients
+// as parameters.
+
+func chebVal1(c0, c1, a, b, x float64) float64 {
+	y := ((2.0*x - a) - b) / (b - a)
+	y2 := 2.0 * y
+	d := 0.0
+	dd := 0.0
+	temp := d
+	d = (y2*d - dd) + c1
+	dd = temp
+	return (y*d - dd) + 0.5*c0
+}
+
+func chebErr1(c0, c1, a, b, x float64) float64 {
+	v := chebVal1(c0, c1, a, b, x)
+	return dblEpsilon*math.Abs(v) + math.Abs(c1)
+}
+
+func chebVal2(c0, c1, c2, a, b, x float64) float64 {
+	y := ((2.0*x - a) - b) / (b - a)
+	y2 := 2.0 * y
+	d := 0.0
+	dd := 0.0
+	temp := d
+	d = (y2*d - dd) + c2
+	dd = temp
+	temp = d
+	d = (y2*d - dd) + c1
+	dd = temp
+	return (y*d - dd) + 0.5*c0
+}
+
+func chebErr2(c0, c1, c2, a, b, x float64) float64 {
+	v := chebVal2(c0, c1, c2, a, b, x)
+	return dblEpsilon*math.Abs(v) + math.Abs(c2)
+}
+
+func chebVal4(c0, c1, c2, c3, c4, a, b, x float64) float64 {
+	y := ((2.0*x - a) - b) / (b - a)
+	y2 := 2.0 * y
+	d := 0.0
+	dd := 0.0
+	temp := d
+	d = (y2*d - dd) + c4
+	dd = temp
+	temp = d
+	d = (y2*d - dd) + c3
+	dd = temp
+	temp = d
+	d = (y2*d - dd) + c2
+	dd = temp
+	temp = d
+	d = (y2*d - dd) + c1
+	dd = temp
+	return (y*d - dd) + 0.5*c0
+}
+
+func chebErr4(c0, c1, c2, c3, c4, a, b, x float64) float64 {
+	v := chebVal4(c0, c1, c2, c3, c4, a, b, x)
+	return dblEpsilon*math.Abs(v) + math.Abs(c4)
+}

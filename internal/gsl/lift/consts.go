@@ -1,0 +1,28 @@
+package lift
+
+// GSL machine constants (gsl_machine.h) and the Cody–Waite / Chebyshev
+// constants of the trig port, as untyped constants so every use folds
+// to the same float64 the native build computes.
+const (
+	dblEpsilon      = 2.2204460492503131e-16
+	root4DblEpsilon = 1.2207031250000000e-04
+	logDblMin       = -7.0839641853226408e+02
+
+	cosP1 = 7.85398125648498535156e-01
+	cosP2 = 3.77489470793079817668e-08
+	cosP3 = 2.69515142907905952645e-15
+
+	cosC0 = 0.1653918848
+	cosC1 = -8.48478e-04
+	cosC2 = -2.100551e-04
+	cosC3 = 1.17975e-06
+	cosC4 = 1.47468e-07
+
+	sinC0 = -0.3295193064
+	sinC1 = 2.537180e-03
+	sinC2 = 6.26038e-04
+	sinC3 = -4.71857e-06
+	sinC4 = -5.89821e-07
+
+	airyBug1X = -1.8427611519777440
+)

@@ -1,0 +1,95 @@
+package lift
+
+import "math"
+
+// gsl_sf_cos_e and gsl_sf_cos_err_e (trig.c). The Cody–Waite argument
+// reduction is faithful to GSL including its failure mode: for |x|
+// large enough that y cannot be resolved by the P1/P2/P3 triple, z
+// explodes, the series argument t leaves [-1,1], and the Chebyshev
+// evaluation diverges (the paper's Bug 2 mechanism).
+//
+// GSL's integer octant bookkeeping is rephrased in exact float64
+// arithmetic: ldexp(y,±3) is a power-of-two scaling (y/8 and 8·floor
+// exact), and the octant is a small integer-valued float, so the
+// rewritten reduction computes bit-identical values.
+
+func gslCosVal(x float64) float64 {
+	absX := math.Abs(x)
+	if absX < root4DblEpsilon {
+		x2 := x * x
+		return 1.0 - 0.5*x2
+	}
+	sgn := 1.0
+	y := math.Floor(absX / (0.25 * math.Pi))
+	oct := y - 8.0*math.Floor(y/8.0)
+	if oct-2.0*math.Floor(oct/2.0) == 1.0 {
+		oct += 1.0
+		if oct == 8.0 {
+			oct = 0.0
+		}
+		y += 1.0
+	}
+	if oct > 3.0 {
+		oct -= 4.0
+		sgn = -sgn
+	}
+	if oct > 1.0 {
+		sgn = -sgn
+	}
+	z := ((absX - y*cosP1) - y*cosP2) - y*cosP3
+	t := 8.0*math.Abs(z)/math.Pi - 1.0
+	zz := z * z
+	val := 0.0
+	if oct == 0.0 {
+		cs := chebVal4(cosC0, cosC1, cosC2, cosC3, cosC4, -1.0, 1.0, t)
+		val = 1.0 - 0.5*zz*(1.0-zz*cs)
+	} else {
+		cs := chebVal4(sinC0, sinC1, sinC2, sinC3, sinC4, -1.0, 1.0, t)
+		val = z * (1.0 + zz*cs)
+	}
+	val *= sgn
+	return val
+}
+
+func gslCosErr(x float64) float64 {
+	absX := math.Abs(x)
+	if absX < root4DblEpsilon {
+		x2 := x * x
+		return math.Abs(x2 * x2 / 12.0)
+	}
+	y := math.Floor(absX / (0.25 * math.Pi))
+	oct := y - 8.0*math.Floor(y/8.0)
+	if oct-2.0*math.Floor(oct/2.0) == 1.0 {
+		oct += 1.0
+		if oct == 8.0 {
+			oct = 0.0
+		}
+		y += 1.0
+	}
+	if oct > 3.0 {
+		oct -= 4.0
+	}
+	z := ((absX - y*cosP1) - y*cosP2) - y*cosP3
+	t := 8.0*math.Abs(z)/math.Pi - 1.0
+	csErr := 0.0
+	if oct == 0.0 {
+		csErr = chebErr4(cosC0, cosC1, cosC2, cosC3, cosC4, -1.0, 1.0, t)
+	} else {
+		csErr = chebErr4(sinC0, sinC1, sinC2, sinC3, sinC4, -1.0, 1.0, t)
+	}
+	err := math.Abs(z)*dblEpsilon*math.Abs(y) + csErr
+	err += dblEpsilon * math.Abs(gslCosVal(x))
+	return err
+}
+
+func gslCosErrVal(x, dx float64) float64 {
+	_ = dx // the argument uncertainty feeds the error, not the value
+	return gslCosVal(x)
+}
+
+func gslCosErrErr(x, dx float64) float64 {
+	err := gslCosErr(x)
+	err += math.Abs(math.Sin(x)) * dx
+	err += dblEpsilon * math.Abs(gslCosVal(x))
+	return err
+}

@@ -1,6 +1,7 @@
 package ir
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/fp"
@@ -46,6 +47,29 @@ func Compile(src string) (*Module, error) {
 		return nil, err
 	}
 	return Lower(file)
+}
+
+// CompileNamed compiles FPL source read from the named file, decorating
+// any front-end diagnostic with the filename so errors render as
+// file:line:col: msg. Anonymous sources (Compile) keep the historical
+// line:col rendering.
+func CompileNamed(name, src string) (*Module, error) {
+	m, err := Compile(src)
+	if err != nil {
+		var le *lang.Error
+		if errors.As(err, &le) && le.File == "" {
+			le.File = name
+			return nil, le
+		}
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return m, nil
+}
+
+// errfAt builds a typed, position-carrying lowering diagnostic, so
+// callers (and CompileNamed) can decorate it with a filename.
+func errfAt(pos lang.Pos, format string, args ...any) *lang.Error {
+	return &lang.Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 type scope struct {
@@ -211,7 +235,7 @@ func (l *lowerer) lowerStmt(s lang.Stmt) error {
 	case *lang.AssignStmt:
 		r, ok := l.sc.lookup(s.Name)
 		if !ok {
-			return fmt.Errorf("%s: undefined variable %s", s.Pos, s.Name)
+			return errfAt(s.Pos, "undefined variable %s", s.Name)
 		}
 		v, err := l.lowerExpr(s.Expr)
 		if err != nil {
@@ -296,7 +320,7 @@ func (l *lowerer) lowerStmt(s lang.Stmt) error {
 		_, err := l.lowerExprOrVoid(s.Expr)
 		return err
 	}
-	return fmt.Errorf("%s: unhandled statement %T", s.StartPos(), s)
+	return errfAt(s.StartPos(), "unhandled statement %T", s)
 }
 
 // lowerExprOrVoid lowers an expression allowing void calls (register -1).
@@ -342,7 +366,7 @@ func (l *lowerer) lowerExpr(e lang.Expr) (Reg, error) {
 	case *lang.Ident:
 		r, ok := l.sc.lookup(e.Name)
 		if !ok {
-			return -1, fmt.Errorf("%s: undefined variable %s", e.Pos, e.Name)
+			return -1, errfAt(e.Pos, "undefined variable %s", e.Name)
 		}
 		return r, nil
 
@@ -398,7 +422,7 @@ func (l *lowerer) lowerExpr(e lang.Expr) (Reg, error) {
 			case lang.SLASH:
 				op = FDiv
 			default:
-				return -1, fmt.Errorf("%s: bad binary operator %s", e.Pos, e.Op)
+				return -1, errfAt(e.Pos, "bad binary operator %s", e.Op)
 			}
 			r := l.newReg(RegF)
 			site := l.newOpSite(e.Pos, e.Text())
@@ -421,7 +445,7 @@ func (l *lowerer) lowerExpr(e lang.Expr) (Reg, error) {
 		l.emit(Instr{Op: Call, Dst: r, Name: e.Name, Args: args, Pos: e.Pos})
 		return r, nil
 	}
-	return -1, fmt.Errorf("%s: unhandled expression %T", e.StartPos(), e)
+	return -1, errfAt(e.StartPos(), "unhandled expression %T", e)
 }
 
 // lowerShortCircuit lowers && and || with real control flow, so the

@@ -111,13 +111,21 @@ func (t Token) String() string {
 	return t.Kind.String()
 }
 
-// Error is a front-end diagnostic with a source position.
+// Error is a front-end diagnostic with a source position. File is the
+// name of the source being compiled; it is empty for anonymous (inline)
+// sources, preserving the historical "line:col: msg" rendering there.
 type Error struct {
-	Pos Pos
-	Msg string
+	File string
+	Pos  Pos
+	Msg  string
 }
 
-func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
 
 func errf(pos Pos, format string, args ...any) *Error {
 	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/gofront"
 	"repro/internal/instrument"
 	"repro/internal/opt"
 	"repro/internal/pipeline"
@@ -69,19 +70,19 @@ func BenchmarkModuleCache(b *testing.B) {
 	b.Run("miss", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			c := pipeline.NewModuleCache()
-			if _, _, err := c.Program(src, "sin_dispatch", 0); err != nil {
+			if _, _, err := c.Program(gofront.LangFPL, src, "sin_dispatch", 0); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("hit", func(b *testing.B) {
 		c := pipeline.NewModuleCache()
-		if _, _, err := c.Program(src, "sin_dispatch", 0); err != nil {
+		if _, _, err := c.Program(gofront.LangFPL, src, "sin_dispatch", 0); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := c.Program(src, "sin_dispatch", 0); err != nil {
+			if _, _, err := c.Program(gofront.LangFPL, src, "sin_dispatch", 0); err != nil {
 				b.Fatal(err)
 			}
 		}

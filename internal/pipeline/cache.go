@@ -6,14 +6,14 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/gofront"
 	"repro/internal/interp"
-	"repro/internal/ir"
 	"repro/internal/rt"
 )
 
-// ModuleCache caches compiled FPL modules keyed by source hash (and
-// execution engine), so repeated requests for the same source skip
-// lex/parse/lower and flat-code compilation entirely. It is safe for
+// ModuleCache caches compiled modules keyed by source hash (plus
+// execution engine and source language), so repeated requests for the
+// same source skip lex/parse/lower and flat-code compilation entirely. It is safe for
 // concurrent use; every Program call returns a fresh concurrency-safe
 // program instance over the shared immutable compiled module.
 //
@@ -45,6 +45,7 @@ func NewModuleCache() *ModuleCache {
 type moduleKey struct {
 	hash   [sha256.Size]byte
 	engine interp.Engine
+	lang   gofront.Lang
 }
 
 type moduleEntry struct {
@@ -76,40 +77,42 @@ func (c *ModuleCache) Stats() CacheStats {
 	return CacheStats{Modules: n, Compiles: c.compiles.Load(), Hits: c.hits.Load()}
 }
 
-// SourceID is the content address of an FPL source: the hex sha256 of
+// SourceID is the content address of a source text: the hex sha256 of
 // its bytes, prefixed "sha256:". It is the same hash the module cache
 // keys on, and the program ID the fpserve /v1 registration API hands
 // out — registering a program and submitting its source inline hit the
-// same cache slot.
+// same cache slot. The language is not part of the address: the same
+// bytes registered under two languages are the same resource ID (and a
+// conflict, which the program store refuses).
 func SourceID(src string) string {
 	h := sha256.Sum256([]byte(src))
 	return "sha256:" + hex.EncodeToString(h[:])
 }
 
-// Module compiles src (or reuses the cached module with the same hash)
-// and returns the shared compiled module. The second result reports a
-// cache hit.
-func (c *ModuleCache) Module(src string, eng interp.Engine) (*interp.Interp, bool, error) {
-	e, hit, err := c.entry(src, eng)
+// Module compiles src under lg (or reuses the cached module with the
+// same hash) and returns the shared compiled module. The second result
+// reports a cache hit.
+func (c *ModuleCache) Module(lg gofront.Lang, src string, eng interp.Engine) (*interp.Interp, bool, error) {
+	e, hit, err := c.entry(lg, src, eng)
 	if err != nil {
 		return nil, hit, err
 	}
 	return e.it, hit, nil
 }
 
-// Drop evicts the module compiled from src under eng, if cached.
-// In-flight program instances keep working over the shared immutable
-// module; only the cache slot is reclaimed.
-func (c *ModuleCache) Drop(src string, eng interp.Engine) {
-	k := moduleKey{hash: sha256.Sum256([]byte(src)), engine: eng}
+// Drop evicts the module compiled from src under lg and eng, if
+// cached. In-flight program instances keep working over the shared
+// immutable module; only the cache slot is reclaimed.
+func (c *ModuleCache) Drop(lg gofront.Lang, src string, eng interp.Engine) {
+	k := moduleKey{hash: sha256.Sum256([]byte(src)), engine: eng, lang: lg}
 	c.mu.Lock()
 	delete(c.entries, k)
 	c.mu.Unlock()
 }
 
 // entry resolves (compiling at most once) the cache entry for src.
-func (c *ModuleCache) entry(src string, eng interp.Engine) (*moduleEntry, bool, error) {
-	k := moduleKey{hash: sha256.Sum256([]byte(src)), engine: eng}
+func (c *ModuleCache) entry(lg gofront.Lang, src string, eng interp.Engine) (*moduleEntry, bool, error) {
+	k := moduleKey{hash: sha256.Sum256([]byte(src)), engine: eng, lang: lg}
 	c.mu.Lock()
 	e, hit := c.entries[k]
 	if !hit {
@@ -126,7 +129,7 @@ func (c *ModuleCache) entry(src string, eng interp.Engine) (*moduleEntry, bool, 
 
 	e.once.Do(func() {
 		c.compiles.Add(1)
-		mod, err := ir.Compile(src)
+		mod, err := gofront.CompileSource(lg, "", src)
 		if err != nil {
 			e.err = err
 			return
@@ -149,13 +152,13 @@ func (c *ModuleCache) entry(src string, eng interp.Engine) (*moduleEntry, bool, 
 	return e, hit, nil
 }
 
-// Program compiles src (or reuses the cached module with the same
-// hash), wraps fn (empty = first declared) and returns an independent
-// program instance safe to execute concurrently with every other
-// returned instance. The second result reports whether the module was
-// already cached.
-func (c *ModuleCache) Program(src, fn string, eng interp.Engine) (*rt.Program, bool, error) {
-	e, hit, err := c.entry(src, eng)
+// Program compiles src under lg (or reuses the cached module with the
+// same hash), wraps fn (empty = first declared) and returns an
+// independent program instance safe to execute concurrently with every
+// other returned instance. The second result reports whether the
+// module was already cached.
+func (c *ModuleCache) Program(lg gofront.Lang, src, fn string, eng interp.Engine) (*rt.Program, bool, error) {
+	e, hit, err := c.entry(lg, src, eng)
 	if err != nil {
 		return nil, hit, err
 	}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cli"
+	"repro/internal/gsl/lift"
 )
 
 // FPAnalyzeMain runs the fpanalyze command line: `list`, `batch`, or a
@@ -38,6 +39,8 @@ func FPAnalyzeMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int
 		return 0
 	case "batch":
 		return fpanalyzeBatch(rest, stdin, stdout, stderr)
+	case "gslcorpus":
+		return fpanalyzeGSLCorpus(rest, stdout, stderr)
 	case "help", "-h", "-help", "--help":
 		fpanalyzeUsage(stdout)
 		return 0
@@ -47,8 +50,36 @@ func FPAnalyzeMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int
 }
 
 func fpanalyzeUsage(w io.Writer) {
-	fmt.Fprintln(w, "usage: fpanalyze list | batch [-jobs N] <jobs.json|-> | <analysis> [flags] [prog.fpl]")
+	fmt.Fprintln(w, "usage: fpanalyze list | batch [-jobs N] <jobs.json|-> | gslcorpus [-list] | <analysis> [flags] [prog.fpl|prog.go]")
 	fmt.Fprintln(w, "registered analyses:", analysis.Names())
+}
+
+// fpanalyzeGSLCorpus emits the lifted GSL corpus: the combined Go
+// source every analysis can run on via `-lang go` (default), or with
+// -list the corpus function names, one per line. CI smokes the Go
+// frontend by dumping the corpus to a file and analyzing it.
+func fpanalyzeGSLCorpus(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fpanalyze gslcorpus", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the corpus function names instead of the source")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "fpanalyze gslcorpus: no positional arguments expected")
+		return 2
+	}
+	if *list {
+		for _, name := range lift.FuncNames() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+	io.WriteString(stdout, lift.CombinedSource())
+	return 0
 }
 
 // fpanalyzeRun executes one analysis with the shared registry-driven

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cli"
+	"repro/internal/gofront"
 	"repro/internal/interp"
 	"repro/internal/opt"
 )
@@ -32,8 +33,11 @@ import (
 type Job struct {
 	// Builtin names a built-in benchmark program.
 	Builtin string `json:"builtin,omitempty"`
-	// Source is inline FPL source (compiled through the module cache).
+	// Source is inline source (compiled through the module cache).
 	Source string `json:"source,omitempty"`
+	// Lang names the language Source is written in: "fpl" (the
+	// default) or "go". Ignored for builtin programs.
+	Lang string `json:"lang,omitempty"`
 	// Func selects the function within Source (empty = first declared).
 	Func string `json:"func,omitempty"`
 	// Spec selects and configures the analysis. Formula-based analyses
@@ -234,7 +238,12 @@ func (pl *Pipeline) RunJob(ctx context.Context, idx int, j Job) JobResult {
 				res.Error = (&analysis.SpecError{Field: "engine", Value: spec.Engine, Reason: err.Error()}).Error()
 				return res
 			}
-			p, hit, err := pl.Cache.Program(j.Source, j.Func, eng)
+			lg, err := gofront.ParseLang(j.Lang)
+			if err != nil {
+				res.Error = (&analysis.SpecError{Field: "lang", Value: j.Lang, Reason: err.Error()}).Error()
+				return res
+			}
+			p, hit, err := pl.Cache.Program(lg, j.Source, j.Func, eng)
 			if err != nil {
 				res.Error = err.Error()
 				return res

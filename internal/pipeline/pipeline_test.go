@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/gofront"
 	"repro/internal/instrument"
 	"repro/internal/opt"
 	"repro/internal/pipeline"
@@ -147,18 +148,18 @@ func TestModuleCacheNoRecompile(t *testing.T) {
 	src := srcs["fig2.fpl"]
 
 	c := pipeline.NewModuleCache()
-	p1, hit, err := c.Program(src, "prog", 0)
+	p1, hit, err := c.Program(gofront.LangFPL, src, "prog", 0)
 	if err != nil || hit {
 		t.Fatalf("first request: hit=%v err=%v", hit, err)
 	}
-	p2, hit, err := c.Program(src, "prog", 0)
+	p2, hit, err := c.Program(gofront.LangFPL, src, "prog", 0)
 	if err != nil || !hit {
 		t.Fatalf("second request: hit=%v err=%v", hit, err)
 	}
 	if p1 == p2 {
 		t.Fatal("cache returned the same instance twice; instances must be independent")
 	}
-	if _, hit, _ = c.Program(src, "", 0); !hit {
+	if _, hit, _ = c.Program(gofront.LangFPL, src, "", 0); !hit {
 		t.Fatal("same source, default func: want module hit")
 	}
 	if st := c.Stats(); st.Compiles != 1 || st.Modules != 1 || st.Hits != 2 {
@@ -166,7 +167,7 @@ func TestModuleCacheNoRecompile(t *testing.T) {
 	}
 
 	// A different engine is a different compiled artifact.
-	if _, hit, err = c.Program(src, "prog", 1); err != nil || hit {
+	if _, hit, err = c.Program(gofront.LangFPL, src, "prog", 1); err != nil || hit {
 		t.Fatalf("tree-engine request: hit=%v err=%v", hit, err)
 	}
 	if st := c.Stats(); st.Compiles != 2 || st.Modules != 2 {
@@ -225,10 +226,10 @@ func TestModuleCacheBounded(t *testing.T) {
 	}
 	hot := src(0)
 	for i := 0; i < 10; i++ {
-		if _, _, err := c.Program(src(i), "prog", 0); err != nil {
+		if _, _, err := c.Program(gofront.LangFPL, src(i), "prog", 0); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := c.Program(hot, "prog", 0); err != nil {
+		if _, _, err := c.Program(gofront.LangFPL, hot, "prog", 0); err != nil {
 			t.Fatal(err) // keep module 0 the most recently used
 		}
 	}
@@ -236,11 +237,11 @@ func TestModuleCacheBounded(t *testing.T) {
 	if st.Modules > 4 {
 		t.Errorf("cache holds %d modules, cap 4", st.Modules)
 	}
-	if _, hit, _ := c.Program(hot, "prog", 0); !hit {
+	if _, hit, _ := c.Program(gofront.LangFPL, hot, "prog", 0); !hit {
 		t.Error("hottest module was evicted")
 	}
 
-	if _, _, err := c.Program("not fpl", "", 0); err == nil {
+	if _, _, err := c.Program(gofront.LangFPL, "not fpl", "", 0); err == nil {
 		t.Fatal("bad source compiled")
 	}
 	if st := c.Stats(); st.Modules > 4 {
@@ -249,7 +250,7 @@ func TestModuleCacheBounded(t *testing.T) {
 	// A failed source recompiles (and fails again) rather than pinning
 	// a slot.
 	before := c.Stats().Compiles
-	if _, _, err := c.Program("not fpl", "", 0); err == nil {
+	if _, _, err := c.Program(gofront.LangFPL, "not fpl", "", 0); err == nil {
 		t.Fatal("bad source compiled on retry")
 	}
 	if c.Stats().Compiles != before+1 {

@@ -1,10 +1,12 @@
 package pipeline
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/gofront"
 	"repro/internal/interp"
 )
 
@@ -12,6 +14,8 @@ import (
 type ProgramInfo struct {
 	// ID is the content address of the source ("sha256:<hex>").
 	ID string `json:"id"`
+	// Lang is the source language ("fpl" or "go").
+	Lang string `json:"lang"`
 	// Func is the default function jobs referencing this program analyze
 	// (set at registration; jobs may override it).
 	Func string `json:"func"`
@@ -65,15 +69,22 @@ type ErrStoreFull struct{ Max int }
 func (e ErrStoreFull) Error() string { return "program store full" }
 
 // Register validates and registers source under its content address,
-// with fn (empty = first declared) as the default analyzed function.
-// Registering an already-registered source is idempotent: the second
-// result reports whether the program was already present.
-func (ps *ProgramStore) Register(source, fn string, now time.Time) (ProgramInfo, bool, error) {
+// with lg as its language and fn (empty = first declared) as the
+// default analyzed function. Registering an already-registered source
+// is idempotent: the second result reports whether the program was
+// already present. Re-registering the same bytes under a different
+// language is refused — the ID is the content address of the bytes, so
+// one registration owns it.
+func (ps *ProgramStore) Register(lg gofront.Lang, source, fn string, now time.Time) (ProgramInfo, bool, error) {
 	id := SourceID(source)
 	ps.mu.Lock()
 	if rp, ok := ps.byID[id]; ok {
 		info := rp.info
 		ps.mu.Unlock()
+		if info.Lang != lg.String() {
+			return ProgramInfo{}, false, fmt.Errorf(
+				"program %s is already registered with lang %q", id, info.Lang)
+		}
 		return info, true, nil
 	}
 	max := ps.MaxPrograms
@@ -88,14 +99,14 @@ func (ps *ProgramStore) Register(source, fn string, now time.Time) (ProgramInfo,
 
 	// Compile outside the store lock (the module cache serializes
 	// per-module compilation itself).
-	it, _, err := ps.cache.Module(source, interp.DefaultEngine)
+	it, _, err := ps.cache.Module(lg, source, interp.DefaultEngine)
 	if err != nil {
 		return ProgramInfo{}, false, err
 	}
 	if fn == "" {
 		fn = it.Mod.Order[0]
 	}
-	p, _, err := ps.cache.Program(source, fn, interp.DefaultEngine)
+	p, _, err := ps.cache.Program(lg, source, fn, interp.DefaultEngine)
 	if err != nil {
 		return ProgramInfo{}, false, err
 	}
@@ -103,6 +114,7 @@ func (ps *ProgramStore) Register(source, fn string, now time.Time) (ProgramInfo,
 	copy(funcs, it.Mod.Order)
 	info := ProgramInfo{
 		ID:          id,
+		Lang:        lg.String(),
 		Func:        fn,
 		Funcs:       funcs,
 		Dim:         p.Dim,
@@ -115,6 +127,10 @@ func (ps *ProgramStore) Register(source, fn string, now time.Time) (ProgramInfo,
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	if rp, ok := ps.byID[id]; ok { // raced with an identical registration
+		if rp.info.Lang != lg.String() {
+			return ProgramInfo{}, false, fmt.Errorf(
+				"program %s is already registered with lang %q", id, rp.info.Lang)
+		}
 		return rp.info, true, nil
 	}
 	if len(ps.byID) >= max { // re-check: concurrent distinct registrations
@@ -146,8 +162,9 @@ func (ps *ProgramStore) Delete(id string) bool {
 	if !ok {
 		return false
 	}
+	lg, _ := gofront.ParseLang(rp.info.Lang)
 	for _, eng := range []interp.Engine{interp.EngineVM, interp.EngineTree} {
-		ps.cache.Drop(rp.source, eng)
+		ps.cache.Drop(lg, rp.source, eng)
 	}
 	return true
 }

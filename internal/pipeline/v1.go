@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/gofront"
 	"repro/internal/interp"
 	"repro/internal/opt"
 	"repro/internal/sat"
@@ -45,8 +46,10 @@ func v1h(h http.HandlerFunc) http.HandlerFunc {
 
 // programRegisterRequest is the POST /v1/programs payload.
 type programRegisterRequest struct {
-	// Source is the FPL source to register.
+	// Source is the program source to register.
 	Source string `json:"source"`
+	// Lang names the source language: "fpl" (the default) or "go".
+	Lang string `json:"lang,omitempty"`
 	// Func optionally selects the default analyzed function (empty =
 	// first declared).
 	Func string `json:"func,omitempty"`
@@ -65,7 +68,13 @@ func (s *Server) handleProgramRegister(w http.ResponseWriter, r *http.Request) {
 			[]*analysis.SpecError{{Field: "source", Reason: "source is required"}})
 		return
 	}
-	info, existed, err := s.Programs.Register(req.Source, req.Func, time.Now().UTC())
+	lg, err := gofront.ParseLang(req.Lang)
+	if err != nil {
+		validationProblem(w, "bad program language",
+			[]*analysis.SpecError{{Field: "lang", Value: req.Lang, Reason: err.Error()}})
+		return
+	}
+	info, existed, err := s.Programs.Register(lg, req.Source, req.Func, time.Now().UTC())
 	if err != nil {
 		var full ErrStoreFull
 		if errors.As(err, &full) {
@@ -120,11 +129,13 @@ func (s *Server) handleProgramDelete(w http.ResponseWriter, r *http.Request) {
 // V1Job is one unit of a /v1 batch: a pipeline Job that may also
 // reference a registered program by ID instead of carrying source.
 type V1Job struct {
-	// Program references a registered program ("sha256:<hex>").
+	// Program references a registered program ("sha256:<hex>"); the
+	// job runs under the language the program was registered with.
 	Program string `json:"program,omitempty"`
-	// Builtin / Source / Func are the inline forms (see Job).
+	// Builtin / Source / Lang / Func are the inline forms (see Job).
 	Builtin string `json:"builtin,omitempty"`
 	Source  string `json:"source,omitempty"`
+	Lang    string `json:"lang,omitempty"`
 	Func    string `json:"func,omitempty"`
 	// Spec selects and configures the analysis.
 	Spec analysis.Spec `json:"spec"`
@@ -134,11 +145,12 @@ type V1Job struct {
 // or one program fanned over a spec list, plus the job deadline.
 type jobSubmitRequest struct {
 	Jobs []V1Job `json:"jobs,omitempty"`
-	// Program / Builtin / Source / Func name one program for the
-	// shorthand form.
+	// Program / Builtin / Source / Lang / Func name one program for
+	// the shorthand form.
 	Program string          `json:"program,omitempty"`
 	Builtin string          `json:"builtin,omitempty"`
 	Source  string          `json:"source,omitempty"`
+	Lang    string          `json:"lang,omitempty"`
 	Func    string          `json:"func,omitempty"`
 	Specs   []analysis.Spec `json:"specs,omitempty"`
 	// Timeout is the job's deadline as a Go duration ("30s"); on expiry
@@ -154,7 +166,7 @@ func (req jobSubmitRequest) v1jobs() []V1Job {
 	out := make([]V1Job, 0, len(req.Specs))
 	for _, sp := range req.Specs {
 		out = append(out, V1Job{Program: req.Program, Builtin: req.Builtin,
-			Source: req.Source, Func: req.Func, Spec: sp})
+			Source: req.Source, Lang: req.Lang, Func: req.Func, Spec: sp})
 	}
 	return out
 }
@@ -169,7 +181,14 @@ func (s *Server) resolveJobs(v1jobs []V1Job) ([]Job, []*analysis.SpecError) {
 	loc := func(i int, field string) string { return fmt.Sprintf("jobs[%d].%s", i, field) }
 	jobs := make([]Job, 0, len(v1jobs))
 	for i, vj := range v1jobs {
-		job := Job{Builtin: vj.Builtin, Source: vj.Source, Func: vj.Func, Spec: vj.Spec}
+		job := Job{Builtin: vj.Builtin, Source: vj.Source, Lang: vj.Lang, Func: vj.Func, Spec: vj.Spec}
+
+		if _, err := gofront.ParseLang(vj.Lang); err != nil {
+			errs = append(errs, &analysis.SpecError{Field: loc(i, "lang"),
+				Value: vj.Lang, Reason: err.Error()})
+			jobs = append(jobs, job)
+			continue
+		}
 
 		a, err := analysis.Lookup(vj.Spec.Analysis)
 		var spe *analysis.SpecError
@@ -205,6 +224,10 @@ func (s *Server) resolveJobs(v1jobs []V1Job) ([]Job, []*analysis.SpecError) {
 				continue
 			}
 			job.Source = src
+			// The registration's language travels with the source: a
+			// program-referencing job always runs under the language it
+			// was registered with.
+			job.Lang = info.Lang
 			if job.Func == "" {
 				job.Func = info.Func
 			}

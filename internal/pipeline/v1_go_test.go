@@ -1,0 +1,202 @@
+package pipeline_test
+
+// End-to-end coverage for the Go frontend behind the /v1 surface:
+// registering Go programs (lang: "go"), the language travelling with
+// program-referencing jobs, cross-language registration conflicts, and
+// all six analyses completing over lifted GSL code served through the
+// API.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gsl/lift"
+	"repro/internal/pipeline"
+)
+
+// v1GoSource is a minimal Go program exercising the numeric subset:
+// a branch, a math builtin, and float64 arithmetic.
+const v1GoSource = "package prog\n\nimport \"math\"\n\nfunc f(x float64) float64 {\n\tif x < 1.0 {\n\t\treturn math.Exp(x) + 1.0\n\t}\n\treturn x * 2.0\n}\n"
+
+// TestV1GoProgram registers a Go program and runs all six analyses
+// against it through /v1: five program-referencing jobs (bva, coverage,
+// overflow, nan, reach) inherit the registration's language, plus the
+// formula-only xsat.
+func TestV1GoProgram(t *testing.T) {
+	srv, ts := v1Server(t, 0)
+
+	body := fmt.Sprintf(`{"source": %q, "lang": "go", "func": "f"}`, v1GoSource)
+	resp, data := doJSON(t, "POST", ts.URL+"/v1/programs", body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, data)
+	}
+	info := decode[pipeline.ProgramInfo](t, data)
+	if info.Lang != "go" {
+		t.Errorf("Lang = %q, want %q", info.Lang, "go")
+	}
+	if info.Func != "f" || info.Dim != 1 || info.Branches != 1 {
+		t.Errorf("unexpected metadata: %+v", info)
+	}
+	if info.ID != pipeline.SourceID(v1GoSource) {
+		t.Errorf("ID = %q, want content address %q", info.ID, pipeline.SourceID(v1GoSource))
+	}
+
+	// The same bytes under a different language are a different program
+	// semantically but the same content address: refuse the conflict.
+	resp, data = doJSON(t, "POST", ts.URL+"/v1/programs",
+		fmt.Sprintf(`{"source": %q, "lang": "fpl", "func": "f"}`, v1GoSource))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cross-lang re-register: status %d: %s", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte("already registered")) {
+		t.Errorf("cross-lang re-register problem body: %s", data)
+	}
+
+	// Same bytes, same language: idempotent 200.
+	resp, data = doJSON(t, "POST", ts.URL+"/v1/programs", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-register: status %d: %s", resp.StatusCode, data)
+	}
+	if again := decode[pipeline.ProgramInfo](t, data); again.Lang != "go" {
+		t.Errorf("re-register Lang = %q", again.Lang)
+	}
+
+	submit := fmt.Sprintf(`{
+		"jobs": [
+			{"program": %[1]q, "spec": {"analysis": "bva", "seed": 1, "starts": 2, "evals": 200,
+			  "bounds": [{"lo": -50, "hi": 50}]}},
+			{"program": %[1]q, "spec": {"analysis": "coverage", "seed": 1, "evals": 300, "stall": 2,
+			  "bounds": [{"lo": -50, "hi": 50}]}},
+			{"program": %[1]q, "spec": {"analysis": "overflow", "seed": 1, "rounds": 4, "evals": 60,
+			  "bounds": [{"lo": -750, "hi": 750}]}},
+			{"program": %[1]q, "spec": {"analysis": "nan", "seed": 1, "rounds": 4, "evals": 60,
+			  "bounds": [{"lo": -750, "hi": 750}]}},
+			{"program": %[1]q, "spec": {"analysis": "reach", "seed": 1, "starts": 2, "evals": 300,
+			  "path": [{"Site": 0, "Taken": true}], "bounds": [{"lo": -10, "hi": 10}]}},
+			{"spec": {"analysis": "xsat", "seed": 1, "formula": "x < 1 && x + 1 >= 2"}}
+		]}`, info.ID)
+	resp, data = doJSON(t, "POST", ts.URL+"/v1/jobs", submit)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	sub := decode[struct {
+		ID string `json:"id"`
+	}](t, data)
+
+	done := pollJob(t, ts.URL, sub.ID, 120*time.Second, func(v pipeline.JobView) bool {
+		return v.Status == pipeline.JobCompleted
+	})
+	if done.Completed != 6 || len(done.Results) != 6 {
+		t.Fatalf("completed view: %+v", done)
+	}
+	for i, raw := range done.Results {
+		r := decodeResult(t, raw)
+		if r.Error != "" || r.Index != i {
+			t.Errorf("result %d: %+v", i, r)
+		}
+		// The branch x < 1 is trivially two-sided under [-50, 50] and the
+		// reach target (site 0 taken) is reachable under [-10, 10]: those
+		// analyses must positively succeed, not just complete.
+		if (r.Analysis == "coverage" || r.Analysis == "reach") && r.Failed {
+			t.Errorf("result %d (%s) failed: %+v", i, r.Analysis, r)
+		}
+	}
+	// Registration compiled the module once; all five program jobs were
+	// cache hits on the slot registration warmed.
+	if st := srv.PL.Cache.Stats(); st.Compiles != 1 {
+		t.Errorf("program compiled %d times across registration + 5 jobs, want 1", st.Compiles)
+	}
+}
+
+// TestV1GoCorpus serves the whole lifted GSL corpus through /v1 as one
+// registered Go program, then analyzes several of its functions by
+// overriding the job's func.
+func TestV1GoCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus analyses in -short mode")
+	}
+	_, ts := v1Server(t, 0)
+
+	src := lift.CombinedSource()
+	body := fmt.Sprintf(`{"source": %q, "lang": "go", "func": "airyAiVal"}`, src)
+	resp, data := doJSON(t, "POST", ts.URL+"/v1/programs", body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register corpus: status %d: %s", resp.StatusCode, data)
+	}
+	info := decode[pipeline.ProgramInfo](t, data)
+	if info.Lang != "go" || info.Dim != 1 {
+		t.Fatalf("corpus metadata: %+v", info)
+	}
+
+	submit := fmt.Sprintf(`{
+		"jobs": [
+			{"program": %[1]q, "spec": {"analysis": "bva", "seed": 1, "starts": 2, "evals": 150,
+			  "bounds": [{"lo": -10, "hi": 10}]}},
+			{"program": %[1]q, "func": "gslCosVal", "spec": {"analysis": "coverage", "seed": 1,
+			  "evals": 200, "stall": 2, "bounds": [{"lo": -100, "hi": 100}]}},
+			{"program": %[1]q, "func": "hyperg2F0Val", "spec": {"analysis": "overflow", "seed": 1,
+			  "rounds": 3, "evals": 60, "bounds": [{"lo": -500, "hi": 500}]}},
+			{"program": %[1]q, "func": "besselKnuScaledAsympxVal", "spec": {"analysis": "nan",
+			  "seed": 1, "rounds": 3, "evals": 60, "bounds": [{"lo": -100, "hi": 100}]}}
+		]}`, info.ID)
+	resp, data = doJSON(t, "POST", ts.URL+"/v1/jobs", submit)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, data)
+	}
+	sub := decode[struct {
+		ID string `json:"id"`
+	}](t, data)
+
+	done := pollJob(t, ts.URL, sub.ID, 120*time.Second, func(v pipeline.JobView) bool {
+		return v.Status == pipeline.JobCompleted
+	})
+	if done.Completed != 4 || len(done.Results) != 4 {
+		t.Fatalf("completed view: %+v", done)
+	}
+	for i, raw := range done.Results {
+		if r := decodeResult(t, raw); r.Error != "" {
+			t.Errorf("corpus result %d: %+v", i, r)
+		}
+	}
+}
+
+// TestV1GoLangValidation pins the error surface: an unknown language is
+// rejected at registration and per-job, each located by field.
+func TestV1GoLangValidation(t *testing.T) {
+	_, ts := v1Server(t, 2)
+
+	resp, data := doJSON(t, "POST", ts.URL+"/v1/programs",
+		fmt.Sprintf(`{"source": %q, "lang": "rust"}`, v1GoSource))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad lang register: status %d: %s", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte(`"lang"`)) || !bytes.Contains(data, []byte("unknown language")) {
+		t.Errorf("bad lang register problem body: %s", data)
+	}
+
+	submit := fmt.Sprintf(`{"jobs": [
+		{"source": %q, "lang": "rust", "spec": {"analysis": "coverage", "evals": 10, "stall": 1}}
+	]}`, v1GoSource)
+	resp, data = doJSON(t, "POST", ts.URL+"/v1/jobs", submit)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad lang submit: status %d: %s", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte("jobs[0].lang")) {
+		t.Errorf("bad lang submit problem body: %s", data)
+	}
+
+	// An FPL source pushed through the Go frontend is a compile-time
+	// validation problem at registration, positioned like any Go error.
+	resp, data = doJSON(t, "POST", ts.URL+"/v1/programs",
+		fmt.Sprintf(`{"source": %q, "lang": "go"}`, v1TestSource))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("FPL-as-Go register: status %d: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "does not compile") {
+		t.Errorf("FPL-as-Go problem body: %s", data)
+	}
+}
